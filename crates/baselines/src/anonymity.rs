@@ -1,0 +1,418 @@
+//! Entropy-based anonymity of randomized releases (Bonchi et al.\[4\]),
+//! used to compare baseline parameters `p` with (k, ε) pairs
+//! (paper Section 7.3, Figure 4).
+//!
+//! The adversary knows the target's original degree `ω` and the release
+//! mechanism. For each published vertex `u` with observed degree `d'`,
+//! the likelihood that `u` is the target's image is the degree-transition
+//! probability `Pr(d' | ω)`:
+//!
+//! * sparsification: `d' ~ Binomial(ω, 1 − p)`;
+//! * perturbation: `d' ~ Binomial(ω, 1 − p) + Binomial(n − 1 − ω, p_add)`.
+//!
+//! Normalising the likelihoods over all published vertices gives the
+//! posterior `Y_ω`; its entropy (and `2^H`, the equivalent crowd size) is
+//! the vertex's anonymity level, directly comparable to the uncertain-
+//! graph obfuscation levels.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use obf_graph::Graph;
+use obf_stats::IntHistogram;
+
+use crate::perturb::{perturbation_add_probability, random_perturbation};
+use crate::sparsify::random_sparsification;
+
+/// Which randomized release mechanism an anonymity computation refers to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReleaseModel {
+    /// Remove each edge with probability `p`.
+    Sparsification { p: f64 },
+    /// Remove with probability `p`, add non-edges with probability
+    /// `p_add`.
+    Perturbation { p: f64, p_add: f64 },
+}
+
+/// Binomial probability mass function as a dense vector `pmf[j] =
+/// Pr(Binom(n, p) = j)` for `j = 0..=n`, computed with the stable
+/// multiplicative recurrence.
+fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    let mut pmf = vec![0.0f64; n + 1];
+    if p <= 0.0 {
+        pmf[0] = 1.0;
+        return pmf;
+    }
+    if p >= 1.0 {
+        pmf[n] = 1.0;
+        return pmf;
+    }
+    // Start from the mode in log space to avoid underflow for large n.
+    let q = 1.0 - p;
+    let ln_p = p.ln();
+    let ln_q = q.ln();
+    let mode = ((n + 1) as f64 * p).floor().min(n as f64) as usize;
+    let ln_mode = ln_choose(n, mode) + mode as f64 * ln_p + (n - mode) as f64 * ln_q;
+    pmf[mode] = ln_mode.exp();
+    for j in (0..mode).rev() {
+        // pmf[j] = pmf[j+1] * (j+1)/(n-j) * q/p
+        pmf[j] = pmf[j + 1] * ((j + 1) as f64 / (n - j) as f64) * (q / p);
+    }
+    for j in mode + 1..=n {
+        pmf[j] = pmf[j - 1] * ((n - j + 1) as f64 / j as f64) * (p / q);
+    }
+    pmf
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)` via Stirling's series for large `n`, exact accumulation below.
+fn ln_factorial(n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64 + 1.0;
+    // Stirling: lnΓ(x) ≈ (x-1/2)ln x - x + ln(2π)/2 + 1/(12x) - 1/(360x³)
+    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Transition pmf `Pr(d' | ω)` under `model` over a graph with `n`
+/// vertices, truncated where the tail mass drops below ~1e-14.
+fn transition_pmf(model: ReleaseModel, omega: usize, n: usize) -> Vec<f64> {
+    match model {
+        ReleaseModel::Sparsification { p } => binomial_pmf(omega, 1.0 - p),
+        ReleaseModel::Perturbation { p, p_add } => {
+            let keep = binomial_pmf(omega, 1.0 - p);
+            // Addition count over the n-1-ω non-neighbours; truncate the
+            // support where the mass becomes negligible.
+            let slots = n.saturating_sub(1 + omega);
+            let add = truncated_binomial_pmf(slots, p_add);
+            convolve(&keep, &add)
+        }
+    }
+}
+
+/// Binomial pmf truncated to the smallest prefix holding ≥ 1 − 1e-12 of
+/// the mass (the addition count in perturbation is tiny compared to its
+/// support `n − 1 − ω`).
+fn truncated_binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    if n == 0 || p <= 0.0 {
+        return vec![1.0];
+    }
+    let full_needed = n.min(((n as f64 * p) + 12.0 * (n as f64 * p * (1.0 - p)).sqrt() + 16.0) as usize);
+    // Recurrence from j = 0 upward is stable for small p.
+    let q: f64 = 1.0 - p;
+    let mut pmf = Vec::with_capacity(full_needed + 1);
+    let ln_p0 = n as f64 * q.ln();
+    pmf.push(ln_p0.exp());
+    let mut mass = pmf[0];
+    for j in 1..=full_needed {
+        let prev = pmf[j - 1];
+        let next = prev * ((n - j + 1) as f64 / j as f64) * (p / q);
+        pmf.push(next);
+        mass += next;
+        if mass > 1.0 - 1e-12 {
+            break;
+        }
+    }
+    pmf
+}
+
+fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Entropy (bits) of the posterior `Y_ω` for each distinct original
+/// degree, given the published graph's degree histogram.
+///
+/// Returns `(distinct_original_degrees, entropies)`.
+fn entropies_by_degree(
+    original_degrees: &[usize],
+    published_hist: &IntHistogram,
+    model: ReleaseModel,
+    n: usize,
+) -> (Vec<usize>, Vec<f64>) {
+    let mut distinct: Vec<usize> = original_degrees.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let entropies = distinct
+        .iter()
+        .map(|&omega| {
+            let pmf = transition_pmf(model, omega, n);
+            // Entropy over individual published vertices: group by
+            // published degree d' (count c, weight w): contributes
+            // c·(w/Z)·log2(w/Z) with Z = Σ c·w.
+            let mut z = 0.0f64;
+            for (d, &w) in pmf.iter().enumerate() {
+                z += published_hist.count(d) as f64 * w;
+            }
+            if z <= 0.0 {
+                return 0.0;
+            }
+            let mut h = 0.0f64;
+            for (d, &w) in pmf.iter().enumerate() {
+                let c = published_hist.count(d) as f64;
+                if c > 0.0 && w > 0.0 {
+                    let y = w / z;
+                    h -= c * y * y.log2();
+                }
+            }
+            h
+        })
+        .collect();
+    (distinct, entropies)
+}
+
+/// Per-vertex anonymity levels `2^H(Y_{deg_G(v)})` of a **sparsified**
+/// release `published` of `original` with parameter `p`.
+pub fn sparsification_anonymity(original: &Graph, published: &Graph, p: f64) -> Vec<f64> {
+    anonymity_for_model(original, published, ReleaseModel::Sparsification { p })
+}
+
+/// Per-vertex anonymity levels of a **perturbed** release (removal
+/// probability `p`; the matching addition probability is derived from the
+/// original graph exactly as the mechanism does).
+pub fn perturbation_anonymity(original: &Graph, published: &Graph, p: f64) -> Vec<f64> {
+    let p_add = perturbation_add_probability(original, p);
+    anonymity_for_model(original, published, ReleaseModel::Perturbation { p, p_add })
+}
+
+fn anonymity_for_model(original: &Graph, published: &Graph, model: ReleaseModel) -> Vec<f64> {
+    assert_eq!(
+        original.num_vertices(),
+        published.num_vertices(),
+        "vertex sets differ"
+    );
+    let n = original.num_vertices();
+    let degrees: Vec<usize> = (0..n as u32).map(|v| original.degree(v)).collect();
+    let hist = obf_graph::degstats::degree_histogram(published);
+    let (distinct, entropies) = entropies_by_degree(&degrees, &hist, model, n);
+    let max_deg = distinct.last().copied().unwrap_or(0);
+    let mut level = vec![0.0f64; max_deg + 1];
+    for (&d, &h) in distinct.iter().zip(&entropies) {
+        level[d] = h.exp2();
+    }
+    degrees.into_iter().map(|d| level[d]).collect()
+}
+
+/// Cumulative anonymity curve for Figure 4: for each integer `k` in
+/// `1..=k_max`, the number of vertices with anonymity level ≤ `k`.
+pub fn anonymity_curve(levels: &[f64], k_max: usize) -> Vec<(usize, usize)> {
+    let mut sorted = levels.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    (1..=k_max)
+        .map(|k| {
+            let count = sorted.partition_point(|&l| l <= k as f64);
+            (k, count)
+        })
+        .collect()
+}
+
+/// The ε implied by a level vector at privacy level `k`: the fraction of
+/// vertices whose anonymity is below `k`.
+pub fn eps_for_k(levels: &[f64], k: usize) -> f64 {
+    if levels.is_empty() {
+        return 0.0;
+    }
+    let below = levels.iter().filter(|&&l| l < k as f64 - 1e-9).count();
+    below as f64 / levels.len() as f64
+}
+
+/// The k implied by a level vector at tolerance ε: disregarding the εn
+/// least-anonymous vertices, the least anonymity among the rest (paper
+/// Section 7.3's matching rule).
+pub fn k_for_eps(levels: &[f64], eps: f64) -> f64 {
+    if levels.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = levels.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let skip = ((eps * sorted.len() as f64).floor() as usize).min(sorted.len() - 1);
+    sorted[skip]
+}
+
+/// Finds the smallest `p` (on a bisection grid of resolution `tol`) such
+/// that the released graph's anonymity matches `(k, ε)`: at most an ε
+/// fraction of vertices fall below level `k`. One release is sampled per
+/// probe with a seed derived from `seed`, mirroring how a data owner
+/// would calibrate the mechanism. Returns `None` if even `p = p_max`
+/// fails.
+pub fn calibrate_p(
+    g: &Graph,
+    sparsification: bool,
+    k: usize,
+    eps: f64,
+    p_max: f64,
+    tol: f64,
+    seed: u64,
+) -> Option<f64> {
+    let achieves = |p: f64| -> bool {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (p.to_bits().rotate_left(17)));
+        let levels = if sparsification {
+            let rel = random_sparsification(g, p, &mut rng);
+            sparsification_anonymity(g, &rel, p)
+        } else {
+            let rel = random_perturbation(g, p, &mut rng);
+            perturbation_anonymity(g, &rel, p)
+        };
+        eps_for_k(&levels, k) <= eps
+    };
+    if !achieves(p_max) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, p_max);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if achieves(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(10usize, 0.3f64), (100, 0.01), (500, 0.9), (0, 0.5)] {
+            let pmf = binomial_pmf(n, p);
+            let total: f64 = pmf.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_known_values() {
+        let pmf = binomial_pmf(4, 0.5);
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|x| x / 16.0);
+        for (a, b) in pmf.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_factorial_consistency() {
+        // Stirling branch vs exact branch continuity at the boundary.
+        let exact: f64 = (2..=300usize).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transition_pmf_perturbation_mass() {
+        let pmf = transition_pmf(
+            ReleaseModel::Perturbation {
+                p: 0.3,
+                p_add: 0.001,
+            },
+            20,
+            1000,
+        );
+        let total: f64 = pmf.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total={total}");
+    }
+
+    #[test]
+    fn no_noise_anonymity_equals_crowd_size() {
+        // p = 0: the release is the original graph and anonymity reduces
+        // to the count of same-degree vertices.
+        let g = generators::path(6); // degrees: 1,2,2,2,2,1
+        let levels = sparsification_anonymity(&g, &g, 0.0);
+        assert!((levels[0] - 2.0).abs() < 1e-9);
+        assert!((levels[1] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_noise_means_more_anonymity_for_outliers() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::barabasi_albert(500, 3, &mut rng);
+        // The hub (max degree) identity: anonymity under light vs heavy
+        // sparsification.
+        let hub = (0..500u32).max_by_key(|&v| g.degree(v)).unwrap() as usize;
+        let light_rel = random_sparsification(&g, 0.05, &mut rng);
+        let light = sparsification_anonymity(&g, &light_rel, 0.05);
+        let heavy_rel = random_sparsification(&g, 0.7, &mut rng);
+        let heavy = sparsification_anonymity(&g, &heavy_rel, 0.7);
+        assert!(
+            heavy[hub] > light[hub],
+            "heavy={} light={}",
+            heavy[hub],
+            light[hub]
+        );
+    }
+
+    #[test]
+    fn anonymity_curve_monotone() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::erdos_renyi_gnm(200, 600, &mut rng);
+        let rel = random_sparsification(&g, 0.3, &mut rng);
+        let levels = sparsification_anonymity(&g, &rel, 0.3);
+        let curve = anonymity_curve(&levels, 50);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(curve.last().unwrap().1 <= 200);
+    }
+
+    #[test]
+    fn eps_k_duality() {
+        let levels = vec![1.0, 2.0, 5.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        // 2 of 10 vertices below k=5.
+        assert!((eps_for_k(&levels, 5) - 0.2).abs() < 1e-12);
+        // Disregarding the single (eps=0.1) least-anonymous vertex, the
+        // minimum level is 2.
+        assert_eq!(k_for_eps(&levels, 0.1), 2.0);
+        assert_eq!(k_for_eps(&levels, 0.0), 1.0);
+    }
+
+    #[test]
+    fn calibration_finds_monotone_threshold() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let p = calibrate_p(&g, true, 10, 0.05, 0.95, 0.02, 7);
+        if let Some(p) = p {
+            assert!((0.0..=0.95).contains(&p));
+            // The calibrated p achieves the target.
+            let mut rng = SmallRng::seed_from_u64(7 ^ (p.to_bits().rotate_left(17)));
+            let rel = random_sparsification(&g, p, &mut rng);
+            let levels = sparsification_anonymity(&g, &rel, p);
+            assert!(eps_for_k(&levels, 10) <= 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturbation_anonymity_exceeds_sparsification_at_same_p() {
+        // Perturbation both removes and adds, so the posterior spreads at
+        // least as much for most vertices; check the mean level.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let p = 0.3;
+        let rel_s = random_sparsification(&g, p, &mut rng);
+        let rel_p = random_perturbation(&g, p, &mut rng);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let s = mean(&sparsification_anonymity(&g, &rel_s, p));
+        let q = mean(&perturbation_anonymity(&g, &rel_p, p));
+        assert!(q > 0.5 * s, "perturbation={q} sparsification={s}");
+    }
+}

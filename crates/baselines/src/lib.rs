@@ -1,0 +1,32 @@
+//! Baseline anonymization methods the paper compares against (Section 7.3).
+//!
+//! * [`sparsify`] — *random sparsification*: each edge is removed with
+//!   probability `p`.
+//! * [`perturb`] — *random perturbation*: each edge removed with
+//!   probability `p`, then non-edges added with probability
+//!   `p·|E| / (C(n,2) − |E|)` so the expected edge count is preserved.
+//! * [`anonymity`] — entropy-based anonymity of a randomized release
+//!   (the methodology of Bonchi et al.\[4\], which the paper uses to match
+//!   baseline parameters `p` to (k, ε) pairs for Figure 4 / Table 6), and
+//!   the calibration search itself.
+//! * [`degree_trail`] — the sequential-release degree-trail attack
+//!   (Medforth & Wang) that the paper's conclusions pose as an open
+//!   question, generalised to uncertain releases.
+//! * [`liu_terzi`] — k-degree anonymity by deterministic edge additions
+//!   (Liu & Terzi, SIGMOD 2008), the deterministic comparator discussed in
+//!   the related work; included as an extension baseline.
+
+pub mod anonymity;
+pub mod degree_trail;
+pub mod liu_terzi;
+pub mod perturb;
+pub mod sparsify;
+
+pub use anonymity::{
+    anonymity_curve, calibrate_p, eps_for_k, k_for_eps, perturbation_anonymity,
+    sparsification_anonymity, ReleaseModel,
+};
+pub use degree_trail::{degree_trail_candidates, uncertain_trail_crowd, uncertain_trail_posterior};
+pub use liu_terzi::{anonymize_degree_sequence, is_k_degree_anonymous, k_degree_anonymize};
+pub use perturb::{perturbation_add_probability, random_perturbation};
+pub use sparsify::random_sparsification;

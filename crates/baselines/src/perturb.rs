@@ -1,0 +1,170 @@
+//! Random perturbation: remove each edge with probability `p`, then add
+//! each non-edge with probability `p·|E| / (C(n,2) − |E|)` (paper Section
+//! 7.3) so the expected number of added edges equals the expected number
+//! removed.
+
+use rand::Rng;
+
+use obf_graph::{Graph, GraphBuilder};
+
+/// The addition probability for non-edges implied by removal probability
+/// `p`: `p·|E| / (C(n,2) − |E|)`.
+pub fn perturbation_add_probability(g: &Graph, p: f64) -> f64 {
+    let n = g.num_vertices() as f64;
+    let m = g.num_edges() as f64;
+    let non_edges = n * (n - 1.0) / 2.0 - m;
+    if non_edges <= 0.0 {
+        0.0
+    } else {
+        (p * m / non_edges).min(1.0)
+    }
+}
+
+/// Publishes a randomly perturbed copy of `g`.
+pub fn random_perturbation<R: Rng + ?Sized>(g: &Graph, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let n = g.num_vertices();
+    let p_add = perturbation_add_probability(g, p);
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges());
+    // Removals.
+    for (u, v) in g.edges() {
+        if rng.gen::<f64>() >= p {
+            b.add_edge(u, v);
+        }
+    }
+    // Additions: sample the number of added non-edges, then rejection-
+    // sample distinct non-edges uniformly (cheap because non-edges vastly
+    // outnumber edges in sparse graphs).
+    if p_add > 0.0 && n >= 2 {
+        let total_pairs = n as u64 * (n as u64 - 1) / 2;
+        let non_edges = total_pairs - g.num_edges() as u64;
+        let expected = p_add * non_edges as f64;
+        let count = sample_binomial(non_edges, p_add, rng).min(non_edges);
+        let mut added = obf_graph::FxHashSet::default();
+        let mut attempts = 0u64;
+        let max_attempts = 100 + 20 * count.max(expected.ceil() as u64);
+        while (added.len() as u64) < count && attempts < max_attempts {
+            attempts += 1;
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v || g.has_edge(u, v) {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if added.insert(key) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Samples Binomial(n, p) — exact Bernoulli summation for small `n·p`,
+/// normal approximation for large counts (error negligible at the scales
+/// used here).
+fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let mean = n as f64 * p;
+    if n <= 64 || mean < 32.0 {
+        // Geometric skipping: count successes without n Bernoulli draws.
+        if p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        let log1p = (1.0 - p).ln();
+        let mut successes = 0u64;
+        let mut idx = 0u64;
+        loop {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let skip = (u.ln() / log1p).floor() as u64 + 1;
+            idx = match idx.checked_add(skip) {
+                Some(i) => i,
+                None => break,
+            };
+            if idx > n {
+                break;
+            }
+            successes += 1;
+        }
+        successes
+    } else {
+        let sd = (mean * (1.0 - p)).sqrt();
+        let z = obf_stats::normal::std_norm_inv_cdf(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12));
+        (mean + sd * z).round().clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_expected_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::erdos_renyi_gnm(300, 2000, &mut rng);
+        let mut total = 0usize;
+        let runs = 30;
+        for _ in 0..runs {
+            total += random_perturbation(&g, 0.3, &mut rng).num_edges();
+        }
+        let avg = total as f64 / runs as f64;
+        assert!((avg - 2000.0).abs() < 60.0, "avg={avg}");
+    }
+
+    #[test]
+    fn p_zero_is_identity() {
+        let g = generators::cycle(15);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(random_perturbation(&g, 0.0, &mut rng), g);
+    }
+
+    #[test]
+    fn add_probability_formula() {
+        let g = generators::cycle(10); // n=10, m=10, pairs=45, non-edges=35
+        let pa = perturbation_add_probability(&g, 0.7);
+        assert!((pa - 0.7 * 10.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_has_no_additions() {
+        let g = generators::complete(6);
+        assert_eq!(perturbation_add_probability(&g, 0.5), 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = random_perturbation(&g, 0.5, &mut rng);
+        for (u, v) in out.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn some_edges_added_and_removed() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::erdos_renyi_gnm(200, 1000, &mut rng);
+        let out = random_perturbation(&g, 0.4, &mut rng);
+        let removed = g.edges().filter(|&(u, v)| !out.has_edge(u, v)).count();
+        let added = out.edges().filter(|&(u, v)| !g.has_edge(u, v)).count();
+        assert!(removed > 200, "removed={removed}");
+        assert!(added > 200, "added={added}");
+    }
+
+    #[test]
+    fn binomial_sampler_mean() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Small-mean exact path.
+        let mean_small: f64 = (0..2000)
+            .map(|_| sample_binomial(1000, 0.01, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean_small - 10.0).abs() < 0.5, "mean={mean_small}");
+        // Large-mean normal path.
+        let mean_large: f64 = (0..2000)
+            .map(|_| sample_binomial(100_000, 0.5, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean_large - 50_000.0).abs() < 50.0, "mean={mean_large}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Random sparsification: remove each edge independently with
+//! probability `p` (paper Section 7.3, following Bonchi et al.\[4\]).
+
+use rand::Rng;
+
+use obf_graph::{Graph, GraphBuilder};
+
+/// Publishes a sparsified copy of `g`: every edge is kept independently
+/// with probability `1 − p`.
+pub fn random_sparsification<R: Rng + ?Sized>(g: &Graph, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut b = GraphBuilder::with_capacity(
+        g.num_vertices(),
+        ((1.0 - p) * g.num_edges() as f64).ceil() as usize,
+    );
+    for (u, v) in g.edges() {
+        if rng.gen::<f64>() >= p {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_zero_is_identity() {
+        let g = generators::cycle(20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(random_sparsification(&g, 0.0, &mut rng), g);
+    }
+
+    #[test]
+    fn p_one_removes_everything() {
+        let g = generators::complete(8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = random_sparsification(&g, 1.0, &mut rng);
+        assert_eq!(s.num_edges(), 0);
+        assert_eq!(s.num_vertices(), 8);
+    }
+
+    #[test]
+    fn keeps_expected_fraction() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_gnm(300, 3000, &mut rng);
+        let s = random_sparsification(&g, 0.64, &mut rng);
+        let expect = 0.36 * 3000.0;
+        assert!(
+            (s.num_edges() as f64 - expect).abs() < 4.0 * (3000.0f64 * 0.64 * 0.36).sqrt(),
+            "kept {}",
+            s.num_edges()
+        );
+    }
+
+    #[test]
+    fn subset_of_original_edges() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(100, 2, &mut rng);
+        let s = random_sparsification(&g, 0.5, &mut rng);
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn rejects_bad_p() {
+        let g = generators::cycle(5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = random_sparsification(&g, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the baseline mechanisms.
+
+use obf_baselines::{
+    anonymity_curve, anonymize_degree_sequence, eps_for_k, k_for_eps,
+    perturbation_add_probability, random_perturbation, random_sparsification,
+    sparsification_anonymity,
+};
+use obf_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), n..4 * n).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sparsification_is_subgraph(g in arb_graph(40), p in 0.0f64..1.0, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = random_sparsification(&g, p, &mut rng);
+        prop_assert_eq!(s.num_vertices(), g.num_vertices());
+        for (u, v) in s.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn perturbation_preserves_vertex_set(g in arb_graph(30), p in 0.0f64..0.9, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = random_perturbation(&g, p, &mut rng);
+        prop_assert_eq!(out.num_vertices(), g.num_vertices());
+        prop_assert!(out.validate().is_ok());
+        let p_add = perturbation_add_probability(&g, p);
+        prop_assert!((0.0..=1.0).contains(&p_add));
+    }
+
+    #[test]
+    fn anonymity_levels_bounded_by_n(g in arb_graph(30), p in 0.05f64..0.9, seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rel = random_sparsification(&g, p, &mut rng);
+        let levels = sparsification_anonymity(&g, &rel, p);
+        let n = g.num_vertices() as f64;
+        for &l in &levels {
+            prop_assert!(l >= 0.0 && l <= n + 1e-6, "level {}", l);
+        }
+        // eps/k duality sanity.
+        let k = 3;
+        let eps = eps_for_k(&levels, k);
+        prop_assert!((0.0..=1.0).contains(&eps));
+        let kk = k_for_eps(&levels, eps + 1e-9);
+        prop_assert!(kk >= 0.0);
+    }
+
+    #[test]
+    fn anonymity_curve_is_cumulative(levels in proptest::collection::vec(0.0f64..200.0, 1..100)) {
+        let curve = anonymity_curve(&levels, 50);
+        prop_assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!(curve.last().unwrap().1 <= levels.len());
+    }
+
+    #[test]
+    fn degree_sequence_dp_invariants(
+        degrees in proptest::collection::vec(0usize..30, 1..60),
+        k in 1usize..8
+    ) {
+        let out = anonymize_degree_sequence(&degrees, k);
+        prop_assert_eq!(out.degrees.len(), degrees.len());
+        // Only increases, and the total matches.
+        let mut inc = 0usize;
+        for (t, d) in out.degrees.iter().zip(&degrees) {
+            prop_assert!(t >= d);
+            inc += t - d;
+        }
+        prop_assert_eq!(inc, out.total_increase);
+        // Every target value occurs at least min(k, n) times.
+        let mut counts = std::collections::HashMap::new();
+        for &t in &out.degrees {
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        let need = k.min(degrees.len());
+        prop_assert!(counts.values().all(|&c| c >= need));
+    }
+}

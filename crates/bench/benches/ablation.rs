@@ -1,0 +1,79 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the white-noise level `q` (Algorithm 2 lines 15–18);
+//! * the candidate multiplier `c` (`|E_C| = c·|E|`);
+//! * the trial count `t`.
+//!
+//! These are wall-clock benchmarks of the full Algorithm 1 run under each
+//! setting; the companion quality numbers (minimal σ, achieved ε̃ — the
+//! utility side of the trade-off) are printed to stderr once per
+//! configuration so they appear next to the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obf_core::{obfuscate, ObfuscationParams};
+use obf_datasets::dblp_like;
+
+fn base_params() -> ObfuscationParams {
+    let mut p = ObfuscationParams::new(10, 0.05).with_seed(17);
+    p.delta = 1e-3;
+    p.t = 2;
+    p.threads = 1;
+    p
+}
+
+fn bench_q_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_q");
+    group.sample_size(10);
+    let g = dblp_like(1500, 1);
+    for &q in &[0.0f64, 0.01, 0.05, 0.1] {
+        let mut p = base_params();
+        p.q = q;
+        if let Ok(res) = obfuscate(&g, &p) {
+            eprintln!(
+                "[ablation q={q}: sigma={:.3e} eps={:.4}]",
+                res.sigma, res.eps_achieved
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("q", format!("{q}")), &p, |b, p| {
+            b.iter(|| obfuscate(&g, p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_c_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_c");
+    group.sample_size(10);
+    let g = dblp_like(1500, 2);
+    for &cc in &[1.5f64, 2.0, 3.0] {
+        let mut p = base_params();
+        p.c = cc;
+        if let Ok(res) = obfuscate(&g, &p) {
+            eprintln!(
+                "[ablation c={cc}: sigma={:.3e} eps={:.4}]",
+                res.sigma, res.eps_achieved
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("c", format!("{cc}")), &p, |b, p| {
+            b.iter(|| obfuscate(&g, p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trials_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_trials");
+    group.sample_size(10);
+    let g = dblp_like(1500, 3);
+    for &t in &[1usize, 3, 5] {
+        let mut p = base_params();
+        p.t = t;
+        group.bench_with_input(BenchmarkId::new("t", t), &p, |b, p| {
+            b.iter(|| obfuscate(&g, p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q_sweep, bench_c_sweep, bench_trials_sweep);
+criterion_main!(benches);

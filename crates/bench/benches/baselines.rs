@@ -1,0 +1,61 @@
+//! Benchmarks of the baseline mechanisms and their anonymity
+//! quantification (the machinery behind Figure 4 and Table 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obf_baselines::{
+    k_degree_anonymize, perturbation_anonymity, random_perturbation, random_sparsification,
+    sparsification_anonymity,
+};
+use obf_datasets::dblp_like;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_mechanisms");
+    let g = dblp_like(4000, 1);
+    group.bench_function("sparsification_p0.64", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| random_sparsification(&g, 0.64, &mut rng));
+    });
+    group.bench_function("perturbation_p0.32", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| random_perturbation(&g, 0.32, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_anonymity_quantification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_anonymity");
+    group.sample_size(10);
+    let g = dblp_like(4000, 1);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let spars = random_sparsification(&g, 0.5, &mut rng);
+    let pert = random_perturbation(&g, 0.3, &mut rng);
+    group.bench_function("sparsification_levels", |b| {
+        b.iter(|| sparsification_anonymity(&g, &spars, 0.5));
+    });
+    group.bench_function("perturbation_levels", |b| {
+        b.iter(|| perturbation_anonymity(&g, &pert, 0.3));
+    });
+    group.finish();
+}
+
+fn bench_liu_terzi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("liu_terzi");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000] {
+        let g = dblp_like(n, 4);
+        group.bench_with_input(BenchmarkId::new("k10", n), &g, |b, g| {
+            b.iter(|| k_degree_anonymize(g, 10, 5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mechanisms,
+    bench_anonymity_quantification,
+    bench_liu_terzi
+);
+criterion_main!(benches);

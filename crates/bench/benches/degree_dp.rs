@@ -1,0 +1,38 @@
+//! Benchmarks of the per-vertex degree-distribution machinery (Lemma 1's
+//! exact Poisson-binomial DP vs the CLT normal approximation), which
+//! dominates the cost of the (k, ε) certification step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obf_uncertain::degree_dist::{normal_cells, poisson_binomial};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn probs(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+fn bench_poisson_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_binomial_exact");
+    for &len in &[8usize, 32, 128, 512] {
+        let p = probs(len, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &p, |b, p| {
+            b.iter(|| poisson_binomial(p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_normal_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_binomial_normal");
+    for &len in &[8usize, 32, 128, 512] {
+        let p = probs(len, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &p, |b, p| {
+            b.iter(|| normal_cells(p));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poisson_binomial, bench_normal_approx);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks of the HyperANF substrate vs exact all-pairs BFS, across
+//! register sizes — the trade-off the paper leans on for distance
+//! statistics at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obf_datasets::y360_like;
+use obf_graph::distance::exact_distance_distribution;
+use obf_hyperanf::{hyper_anf, HyperAnfConfig};
+
+fn bench_hyperanf_registers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperanf_registers");
+    group.sample_size(10);
+    let g = y360_like(4000, 1);
+    for &b_param in &[4u32, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("b", b_param), &b_param, |bch, &b_param| {
+            let cfg = HyperAnfConfig {
+                b: b_param,
+                seed: 9,
+                max_iterations: 256,
+            };
+            bch.iter(|| hyper_anf(&g, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_anf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_distribution");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let g = y360_like(n, 2);
+        group.bench_with_input(BenchmarkId::new("exact_bfs", n), &g, |b, g| {
+            b.iter(|| exact_distance_distribution(g));
+        });
+        group.bench_with_input(BenchmarkId::new("hyperanf_b6", n), &g, |b, g| {
+            let cfg = HyperAnfConfig {
+                b: 6,
+                seed: 9,
+                max_iterations: 256,
+            };
+            b.iter(|| hyper_anf(g, &cfg).distance_distribution().stats());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hyperanf_registers, bench_exact_vs_anf);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks of possible-world sampling and per-world statistic
+//! evaluation (the inner loop of Tables 4–6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obf_datasets::dblp_like;
+use obf_uncertain::statistics::{evaluate_world, DistanceEngine, UtilityConfig};
+use obf_uncertain::UncertainGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn uncertain(n: usize) -> UncertainGraph {
+    let g = dblp_like(n, 1);
+    let cands: Vec<(u32, u32, f64)> = g.edges().map(|(u, v)| (u, v, 0.9)).collect();
+    UncertainGraph::new(n, cands).unwrap()
+}
+
+fn bench_world_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_world");
+    for &n in &[1000usize, 4000] {
+        let ug = uncertain(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ug, |b, ug| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            b.iter(|| ug.sample_world(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_world_statistics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_world");
+    group.sample_size(10);
+    let g = dblp_like(2000, 1);
+    for (name, engine) in [
+        ("exact_bfs", DistanceEngine::Exact),
+        ("hyperanf_b6", DistanceEngine::HyperAnf { b: 6 }),
+    ] {
+        let cfg = UtilityConfig {
+            distance: engine,
+            seed: 1,
+            threads: 1,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| evaluate_world(&g, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_sampling, bench_world_statistics);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 4: cumulative anonymity-level curves — for every level `k`, the
+//! number of vertices with obfuscation level ≤ `k` — comparing the
+//! original graph, uncertainty obfuscation, random perturbation and
+//! sparsification at the paper's parameter matches
+//! (dblp: pert p = 0.04 / spars p = 0.64; flickr: pert p = 0.32 /
+//! spars p = 0.64).
+
+use obf_bench::experiments::figure4;
+use obf_bench::table::render;
+use obf_bench::HarnessConfig;
+use obf_datasets::Dataset;
+
+#[allow(clippy::type_complexity)]
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!("[config: {cfg:?}]");
+    let k_max = 80;
+    let jobs: Vec<(Dataset, Vec<(usize, f64)>, f64, f64)> = if cfg.fast {
+        vec![(Dataset::Dblp, vec![(5, 1e-2)], 0.04, 0.64)]
+    } else {
+        vec![
+            (
+                Dataset::Dblp,
+                vec![(60, 1e-3), (20, 1e-4)],
+                0.04,
+                0.64,
+            ),
+            (Dataset::Flickr, vec![(20, 1e-4)], 0.32, 0.64),
+        ]
+    };
+    for (ds, obf_settings, pert_p, spars_p) in jobs {
+        let curves = figure4(&cfg, ds, &obf_settings, pert_p, spars_p, k_max);
+        // Print a table with one column per curve, sampled at a few k.
+        let sample_ks = [1usize, 5, 10, 20, 40, 60, 80];
+        let mut header: Vec<String> = vec!["k".into()];
+        header.extend(curves.iter().map(|c| c.label.clone()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = sample_ks
+            .iter()
+            .filter(|&&k| k <= k_max)
+            .map(|&k| {
+                let mut row = vec![k.to_string()];
+                for c in &curves {
+                    row.push(c.points[k - 1].1.to_string());
+                }
+                row
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &format!("Figure 4: vertices with anonymity level <= k ({})", ds.name()),
+                &header_refs,
+                &rows
+            )
+        );
+        // Full-resolution TSV.
+        let full: Vec<Vec<String>> = (1..=k_max)
+            .map(|k| {
+                let mut row = vec![k.to_string()];
+                for c in &curves {
+                    row.push(c.points[k - 1].1.to_string());
+                }
+                row
+            })
+            .collect();
+        obf_bench::write_tsv(&format!("fig4_{}.tsv", ds.name()), &header_refs, &full);
+    }
+}

@@ -1,0 +1,32 @@
+//! Runs every table/figure experiment in sequence (one-shot reproduction
+//! driver). Respects the same `OBF_*` environment knobs as the individual
+//! binaries. Sibling binaries are preferred when already built (e.g. via
+//! `cargo build --release -p obf-bench`); otherwise each is run through
+//! `cargo run`.
+
+use std::process::Command;
+
+fn main() {
+    let exes = [
+        "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "table6",
+    ];
+    let self_path = std::env::current_exe().expect("current exe");
+    let dir = self_path.parent().expect("exe dir").to_path_buf();
+    for exe in exes {
+        eprintln!("==> {exe}");
+        let sibling = dir.join(exe);
+        let status = if sibling.exists() {
+            Command::new(&sibling).status()
+        } else {
+            Command::new("cargo")
+                .args(["run", "-q", "--release", "-p", "obf-bench", "--bin", exe])
+                .status()
+        }
+        .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+        if !status.success() {
+            eprintln!("{exe} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("all experiments completed; TSVs in results/");
+}

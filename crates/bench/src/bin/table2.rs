@@ -1,0 +1,33 @@
+//! Table 2: the minimal σ found by Algorithm 1 for each
+//! (dataset, k, ε) cell (q = 0.01, c = 2 with the paper's c = 3
+//! fallback).
+
+use obf_bench::experiments::table2_3;
+use obf_bench::table::{fmt, render};
+use obf_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!("[config: {cfg:?}]");
+    let cells = table2_3(&cfg);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let (sigma, note) = match &c.outcome {
+                Ok(o) => (fmt(o.sigma), if c.c > 2.0 { " (*) c=3" } else { "" }),
+                Err(_) => ("FAILED".to_string(), " (no obfuscation found)"),
+            };
+            vec![
+                c.dataset.name().to_string(),
+                c.k.to_string(),
+                format!("{:.0e}", c.eps),
+                format!("{sigma}{note}"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render("Table 2: minimal sigma", &["dataset", "k", "eps", "sigma"], &rows)
+    );
+    obf_bench::write_tsv("table2.tsv", &["dataset", "k", "eps", "sigma"], &rows);
+}

@@ -1,0 +1,46 @@
+//! Table 3: obfuscation throughput (edges/second of the full Algorithm 1
+//! run) for each (dataset, k, ε) cell.
+
+use obf_bench::experiments::table2_3;
+use obf_bench::table::render;
+use obf_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!("[config: {cfg:?}]");
+    let cells = table2_3(&cfg);
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let (eps_s, secs, calls) = match &c.outcome {
+                Ok(o) => (
+                    format!("{:.2}", o.edges_per_sec),
+                    format!("{:.2}", o.elapsed_secs),
+                    o.generate_calls.to_string(),
+                ),
+                Err(_) => ("FAILED".into(), "-".into(), "-".into()),
+            };
+            vec![
+                c.dataset.name().to_string(),
+                c.k.to_string(),
+                format!("{:.0e}", c.eps),
+                eps_s,
+                secs,
+                calls,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            "Table 3: throughput",
+            &["dataset", "k", "eps", "edges/sec", "seconds", "generate_calls"],
+            &rows
+        )
+    );
+    obf_bench::write_tsv(
+        "table3.tsv",
+        &["dataset", "k", "eps", "edges_per_sec", "seconds", "generate_calls"],
+        &rows,
+    );
+}

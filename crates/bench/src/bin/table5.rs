@@ -1,0 +1,38 @@
+//! Table 5: relative sample standard error of the mean (SEM) of each
+//! statistic over the sampled worlds, with the row average last.
+
+use obf_bench::experiments::table4_5;
+use obf_bench::table::render;
+use obf_bench::HarnessConfig;
+use obf_uncertain::statistics::StatSuite;
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    eprintln!("[config: {cfg:?}]");
+    let eps = if cfg.fast { 1e-2 } else { 1e-4 };
+    let blocks = table4_5(&cfg, eps);
+
+    let mut header: Vec<&str> = vec!["graph", "k"];
+    header.extend(StatSuite::NAMES);
+    header.push("average");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for b in &blocks {
+        for (k, _, _, rel_sems, _) in &b.per_k {
+            let mut row = vec![b.dataset.name().to_string(), k.to_string()];
+            row.extend(rel_sems.iter().map(|&s| format!("{s:.5}")));
+            let avg = rel_sems.iter().sum::<f64>() / rel_sems.len() as f64;
+            row.push(format!("{avg:.4}"));
+            rows.push(row);
+        }
+    }
+    println!(
+        "{}",
+        render(
+            &format!("Table 5: relative SEM (eps = {eps:.0e}, {} worlds)", cfg.worlds),
+            &header,
+            &rows
+        )
+    );
+    obf_bench::write_tsv("table5.tsv", &header, &rows);
+}

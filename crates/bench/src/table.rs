@@ -1,0 +1,80 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders an ASCII table with right-aligned cells.
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float compactly: scientific for very small magnitudes,
+/// fixed otherwise (matching the paper's table style).
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 1e-3 || x.abs() >= 1e7 {
+        format!("{x:.4e}")
+    } else if x.abs() < 1.0 {
+        format!("{x:.4}")
+    } else if x.abs() < 100.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let s = render(
+            "demo",
+            &["a", "bb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
+        );
+        assert!(s.contains("== demo =="));
+        assert!(s.contains(" a   bb"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(5.9605e-8).contains('e'));
+        assert_eq!(fmt(0.38), "0.3800");
+        assert_eq!(fmt(6.33), "6.33");
+        assert_eq!(fmt(716_460.0), "716460");
+    }
+}

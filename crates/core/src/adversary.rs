@@ -1,0 +1,369 @@
+//! The adversary's view of an uncertain graph (paper Section 4).
+//!
+//! For the degree property, `X_v(ω) = Pr(deg_{G̃}(v) = ω)` is the
+//! Poisson-binomial distribution over the candidate pairs incident to `v`
+//! (Lemma 1). The normalised column `Y_ω(v) = X_v(ω)/Σ_u X_u(ω)` (Eq. 3)
+//! is the posterior over published vertices for a target with original
+//! degree `ω`; its entropy certifies k-obfuscation (Definition 2).
+
+use obf_graph::Graph;
+use obf_stats::entropy::{entropy_bits_normalized, obfuscation_level};
+use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
+use obf_uncertain::UncertainGraph;
+
+/// Per-vertex degree distributions of an uncertain graph — the rows of the
+/// matrix `X_v(ω)`.
+#[derive(Debug, Clone)]
+pub struct AdversaryTable {
+    /// `rows[v][ω] = X_v(ω)`; rows have individual lengths (bounded by
+    /// each vertex's incident candidate count + 1).
+    rows: Vec<Vec<f64>>,
+}
+
+impl AdversaryTable {
+    /// Builds the table for all vertices of `g`.
+    pub fn build(g: &UncertainGraph, method: DegreeDistMethod) -> Self {
+        let rows = (0..g.num_vertices() as u32)
+            .map(|v| vertex_degree_distribution(g, v, method))
+            .collect();
+        Self { rows }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `X_v(ω)`; zero outside the stored support.
+    pub fn x(&self, v: u32, omega: usize) -> f64 {
+        self.rows[v as usize].get(omega).copied().unwrap_or(0.0)
+    }
+
+    /// Full row of vertex `v` (its degree distribution).
+    pub fn row(&self, v: u32) -> &[f64] {
+        &self.rows[v as usize]
+    }
+
+    /// The unnormalised column `[X_u(ω)]_u` over all vertices.
+    pub fn column(&self, omega: usize) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| r.get(omega).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// The posterior `Y_ω` (Eq. 3): the column normalised by its sum.
+    /// Returns all zeros if the column has no mass.
+    pub fn posterior(&self, omega: usize) -> Vec<f64> {
+        let mut col = self.column(omega);
+        let total: f64 = col.iter().sum();
+        if total > 0.0 {
+            for x in &mut col {
+                *x /= total;
+            }
+        }
+        col
+    }
+
+    /// Entropy in bits of `Y_ω` (Definition 2's measure).
+    pub fn entropy(&self, omega: usize) -> f64 {
+        entropy_bits_normalized(&self.column(omega))
+    }
+
+    /// `2^H(Y_ω)` — the equivalent uniform crowd size (Figure 4's x-axis).
+    pub fn obfuscation_level(&self, omega: usize) -> f64 {
+        obfuscation_level(&self.column(omega))
+    }
+
+    /// The *a-posteriori belief* obfuscation level of Hay et al. /
+    /// Ying et al. (paper Section 2): `(max_u Y_ω(u))⁻¹`. The paper
+    /// adopts the entropy measure instead because, as Bonchi et al.
+    /// showed, `2^H(Y_ω) >= (max_u Y_ω(u))⁻¹` always — the entropy
+    /// distinguishes situations the belief measure conflates. Returns 0
+    /// when the column carries no mass.
+    pub fn belief_obfuscation_level(&self, omega: usize) -> f64 {
+        let y = self.posterior(omega);
+        let max = y.iter().copied().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            0.0
+        } else {
+            1.0 / max
+        }
+    }
+
+    /// Entropies for many property values at once, optionally in parallel.
+    /// Output is parallel to `omegas`.
+    pub fn entropies(&self, omegas: &[usize], threads: usize) -> Vec<f64> {
+        let threads = threads.max(1).min(omegas.len().max(1));
+        if threads <= 1 || omegas.len() < 4 {
+            return omegas.iter().map(|&w| self.entropy(w)).collect();
+        }
+        let mut out = vec![0.0f64; omegas.len()];
+        let chunk = omegas.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (slot, idx) in out.chunks_mut(chunk).zip(omegas.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (o, &w) in slot.iter_mut().zip(idx) {
+                        *o = self.entropy(w);
+                    }
+                });
+            }
+        })
+        .expect("entropy worker panicked");
+        out
+    }
+}
+
+/// Result of checking Definition 2 on an uncertain graph against the
+/// original graph's degrees.
+#[derive(Debug, Clone)]
+pub struct ObfuscationCheck {
+    /// Entropy `H(Y_ω)` for each distinct original degree, as
+    /// `(degree, entropy)` pairs sorted by degree.
+    pub entropy_by_degree: Vec<(usize, f64)>,
+    /// Fraction of vertices *not* k-obfuscated (the ε̃ of Algorithm 2
+    /// line 20).
+    pub eps_achieved: f64,
+    /// Number of vertices not k-obfuscated.
+    pub failed_vertices: usize,
+}
+
+impl ObfuscationCheck {
+    /// Runs the Definition 2 test: for every vertex `v` of the original
+    /// graph, the entropy of `Y_{deg_G(v)}` must reach `log₂ k`.
+    ///
+    /// `original` and `published` must have the same vertex set.
+    pub fn run(
+        original: &Graph,
+        published: &AdversaryTable,
+        k: usize,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(
+            original.num_vertices(),
+            published.num_vertices(),
+            "vertex sets differ"
+        );
+        assert!(k >= 1, "k must be at least 1");
+        let n = original.num_vertices();
+        if n == 0 {
+            return Self {
+                entropy_by_degree: Vec::new(),
+                eps_achieved: 0.0,
+                failed_vertices: 0,
+            };
+        }
+        let degrees: Vec<usize> = (0..n as u32).map(|v| original.degree(v)).collect();
+        let mut distinct: Vec<usize> = degrees.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let entropies = published.entropies(&distinct, threads);
+        let threshold = (k as f64).log2();
+        let entropy_by_degree: Vec<(usize, f64)> =
+            distinct.iter().copied().zip(entropies).collect();
+        // Map degree -> pass/fail.
+        let max_deg = *distinct.last().unwrap();
+        let mut pass = vec![false; max_deg + 1];
+        for &(d, h) in &entropy_by_degree {
+            pass[d] = h >= threshold - 1e-12;
+        }
+        let failed_vertices = degrees.iter().filter(|&&d| !pass[d]).count();
+        Self {
+            entropy_by_degree,
+            eps_achieved: failed_vertices as f64 / n as f64,
+            failed_vertices,
+        }
+    }
+
+    /// Convenience: whether the published graph is a (k, ε)-obfuscation.
+    pub fn satisfies(&self, eps: f64) -> bool {
+        self.eps_achieved <= eps
+    }
+}
+
+/// Per-vertex obfuscation levels `2^H(Y_{deg_G(v)})` for the anonymity
+/// curves of Figure 4.
+pub fn vertex_obfuscation_levels(
+    original: &Graph,
+    published: &AdversaryTable,
+    threads: usize,
+) -> Vec<f64> {
+    let n = original.num_vertices();
+    let degrees: Vec<usize> = (0..n as u32).map(|v| original.degree(v)).collect();
+    let mut distinct: Vec<usize> = degrees.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let entropies = published.entropies(&distinct, threads);
+    let max_deg = distinct.last().copied().unwrap_or(0);
+    let mut level = vec![0.0f64; max_deg + 1];
+    for (&d, &h) in distinct.iter().zip(&entropies) {
+        level[d] = h.exp2();
+    }
+    degrees.into_iter().map(|d| level[d]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 1: original graph (a) and uncertain graph (b).
+    fn paper_pair() -> (Graph, UncertainGraph) {
+        let original = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        let published = UncertainGraph::new(
+            4,
+            vec![
+                (0, 1, 0.7),
+                (0, 2, 0.9),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.1),
+                (2, 3, 0.0),
+            ],
+        )
+        .unwrap();
+        (original, published)
+    }
+
+    #[test]
+    fn table1_y_matrix_columns() {
+        let (_, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let expected: [(usize, [f64; 4]); 4] = [
+            (0, [0.023, 0.208, 0.077, 0.692]),
+            (1, [0.064, 0.242, 0.180, 0.514]),
+            (2, [0.229, 0.311, 0.414, 0.046]),
+            (3, [0.900, 0.100, 0.000, 0.000]),
+        ];
+        for (omega, want) in expected {
+            let y = t.posterior(omega);
+            for (v, &w) in want.iter().enumerate() {
+                assert!(
+                    (y[v] - w).abs() < 1.5e-3,
+                    "omega={omega} v={} got={} want={w}",
+                    v + 1,
+                    y[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example2_entropies() {
+        let (_, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        // Example 2: H(deg=3) ≈ 0.469; H(deg=1) ≈ 1.688; H(deg=2) ≈ 1.742.
+        assert!((t.entropy(3) - 0.469).abs() < 1e-3, "h3={}", t.entropy(3));
+        assert!((t.entropy(1) - 1.688).abs() < 1e-3, "h1={}", t.entropy(1));
+        assert!((t.entropy(2) - 1.742).abs() < 1e-3, "h2={}", t.entropy(2));
+    }
+
+    #[test]
+    fn example2_is_3_025_obfuscation() {
+        // "as three out of four vertices are 3-obfuscated, the graph
+        // provides a (3, 0.25)-obfuscation".
+        let (g, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let check = ObfuscationCheck::run(&g, &t, 3, 1);
+        assert_eq!(check.failed_vertices, 1); // v1 (degree 3)
+        assert!((check.eps_achieved - 0.25).abs() < 1e-12);
+        assert!(check.satisfies(0.25));
+        assert!(!check.satisfies(0.2));
+    }
+
+    #[test]
+    fn certain_graph_entropy_is_log_crowd_size() {
+        // In a certain graph, Y_ω is uniform over the k vertices with
+        // degree ω (Section 3 discussion).
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        // Degrees: 1,2,2,2,1.
+        let ug = UncertainGraph::from_certain(&g);
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        assert!((t.entropy(1) - 1.0).abs() < 1e-12); // two vertices
+        assert!((t.entropy(2) - (3.0f64).log2()).abs() < 1e-12);
+        assert!((t.obfuscation_level(2) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_and_x_accessors() {
+        let (_, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        assert!((t.x(0, 2) - 0.398).abs() < 1e-12);
+        assert_eq!(t.x(0, 99), 0.0);
+        assert_eq!(t.row(3).len(), 4); // 3 incident candidates + 1
+    }
+
+    #[test]
+    fn parallel_entropies_match_serial() {
+        let (_, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let omegas: Vec<usize> = (0..4).collect();
+        let serial = t.entropies(&omegas, 1);
+        let parallel = t.entropies(&omegas, 4);
+        // `entropies` falls back to serial for short inputs; force the
+        // parallel path with a longer input.
+        let many: Vec<usize> = (0..64).map(|i| i % 4).collect();
+        let par_many = t.entropies(&many, 4);
+        for (i, &w) in many.iter().enumerate() {
+            assert_eq!(par_many[i], serial[w]);
+        }
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn entropy_level_dominates_belief_level() {
+        // Section 2: "the obfuscation level quantified by means of the
+        // entropy is always greater than [or equal to] the one based on
+        // a-posteriori belief probabilities".
+        let (_, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        for omega in 0..4usize {
+            let entropy_level = t.obfuscation_level(omega);
+            let belief_level = t.belief_obfuscation_level(omega);
+            assert!(
+                entropy_level >= belief_level - 1e-9,
+                "omega={omega}: entropy {entropy_level} < belief {belief_level}"
+            );
+        }
+    }
+
+    #[test]
+    fn belief_level_on_certain_graph_is_crowd_size() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let ug = UncertainGraph::from_certain(&g);
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        // Uniform over the crowd: belief level equals entropy level.
+        assert!((t.belief_obfuscation_level(2) - 3.0).abs() < 1e-9);
+        assert!((t.belief_obfuscation_level(1) - 2.0).abs() < 1e-9);
+        assert_eq!(t.belief_obfuscation_level(4), 0.0); // no mass at 4
+    }
+
+    #[test]
+    fn obfuscation_levels_per_vertex() {
+        let (g, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let levels = vertex_obfuscation_levels(&g, &t, 1);
+        assert_eq!(levels.len(), 4);
+        // v1 has degree 3: level 2^0.469 ≈ 1.38.
+        assert!((levels[0] - 2f64.powf(t.entropy(3))).abs() < 1e-12);
+        // v3, v4 share degree 2 and thus share a level.
+        assert_eq!(levels[2], levels[3]);
+    }
+
+    #[test]
+    fn empty_graph_check() {
+        let g = Graph::empty(0);
+        let ug = UncertainGraph::new(0, vec![]).unwrap();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let check = ObfuscationCheck::run(&g, &t, 5, 1);
+        assert_eq!(check.eps_achieved, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex sets differ")]
+    fn mismatched_vertex_sets_rejected() {
+        let g = Graph::empty(3);
+        let ug = UncertainGraph::new(2, vec![]).unwrap();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let _ = ObfuscationCheck::run(&g, &t, 2, 1);
+    }
+}

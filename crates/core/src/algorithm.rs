@@ -1,0 +1,692 @@
+//! The obfuscation algorithms (paper Section 5).
+//!
+//! [`generate_obfuscation`] is Algorithm 2: given a global uncertainty
+//! level `σ` it selects the candidate set `E_C`, redistributes `σ` over
+//! pairs in proportion to uniqueness (Eq. 7), draws truncated-normal
+//! perturbations (with a `q` fraction of uniform white noise) and tests
+//! the result against Definition 2; `t` independent trials are attempted.
+//!
+//! [`obfuscate`] is Algorithm 1: it doubles an upper bound `σ_u` until a
+//! (k, ε)-obfuscation exists, then binary-searches `[0, σ_u]` for the
+//! smallest `σ` that still succeeds, returning the last successful
+//! obfuscation (the one with minimal σ, i.e. maximal utility).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use obf_graph::{AliasTable, FxHashSet, Graph, VertexPair};
+use obf_stats::TruncatedNormal;
+use obf_uncertain::degree_dist::DegreeDistMethod;
+use obf_uncertain::UncertainGraph;
+
+use crate::adversary::{AdversaryTable, ObfuscationCheck};
+use crate::commonness::CommonnessScores;
+use crate::property::{DegreeProperty, VertexProperty};
+
+/// Parameters of the obfuscation algorithm (paper Algorithms 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObfuscationParams {
+    /// Desired obfuscation level `k` (Definition 2).
+    pub k: usize,
+    /// Tolerance `ε`: fraction of vertices allowed to stay under-obfuscated.
+    pub eps: f64,
+    /// Candidate-set size multiplier `c` (`|E_C| = c·|E|`); the paper uses
+    /// 2, falling back to 3 for hard instances.
+    pub c: f64,
+    /// White-noise level `q`: fraction of pairs whose perturbation is
+    /// drawn uniformly from `[0, 1]` (paper: 0.01).
+    pub q: f64,
+    /// Trials per `σ` (paper: `t = 5`).
+    pub t: usize,
+    /// Initial upper bound `σ_u` for the doubling phase (paper: 1).
+    pub sigma_init: f64,
+    /// Binary-search resolution `δ`: the search stops when
+    /// `σ_ℓ + δ ≥ σ_u`. The paper's reported minima (≈6e-8 = 2⁻²⁴ of the
+    /// unit start) correspond to this default.
+    pub delta: f64,
+    /// Maximum doublings before giving up on finding an upper bound.
+    pub max_doublings: u32,
+    /// RNG seed (the algorithm is fully deterministic given the seed).
+    pub seed: u64,
+    /// Per-vertex degree-distribution method for the adversary table.
+    pub method: DegreeDistMethod,
+    /// Worker threads for the entropy columns.
+    pub threads: usize,
+}
+
+impl ObfuscationParams {
+    /// Paper defaults (`c = 2`, `q = 0.01`, `t = 5`) for a given `(k, ε)`.
+    pub fn new(k: usize, eps: f64) -> Self {
+        Self {
+            k,
+            eps,
+            c: 2.0,
+            q: 0.01,
+            t: 5,
+            sigma_init: 1.0,
+            delta: 6e-8,
+            max_doublings: 16,
+            seed: 0x0bf5,
+            method: DegreeDistMethod::Auto { threshold: 64 },
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the candidate multiplier `c`.
+    pub fn with_c(mut self, c: f64) -> Self {
+        self.c = c;
+        self
+    }
+
+    /// Overrides the white-noise level `q`.
+    pub fn with_q(mut self, q: f64) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Overrides the trial count `t`.
+    pub fn with_trials(mut self, t: usize) -> Self {
+        self.t = t;
+        self
+    }
+
+    fn validate(&self, n: usize) -> Result<(), ObfuscationError> {
+        if self.k < 1 {
+            return Err(ObfuscationError::BadParameter("k must be >= 1".into()));
+        }
+        if self.k > n.max(1) {
+            return Err(ObfuscationError::BadParameter(format!(
+                "k = {} exceeds the number of vertices {n}",
+                self.k
+            )));
+        }
+        if !(0.0..1.0).contains(&self.eps) {
+            return Err(ObfuscationError::BadParameter(
+                "eps must be in [0, 1)".into(),
+            ));
+        }
+        if self.c < 1.0 {
+            return Err(ObfuscationError::BadParameter("c must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.q) {
+            return Err(ObfuscationError::BadParameter("q must be in [0,1]".into()));
+        }
+        if self.t == 0 {
+            return Err(ObfuscationError::BadParameter("t must be >= 1".into()));
+        }
+        if self.sigma_init <= 0.0 || self.delta <= 0.0 {
+            return Err(ObfuscationError::BadParameter(
+                "sigma_init and delta must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Failure modes of the obfuscation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObfuscationError {
+    /// Invalid parameter combination.
+    BadParameter(String),
+    /// No (k, ε)-obfuscation found even after doubling `σ_u`
+    /// `max_doublings` times; the paper resolves such cases by raising `c`.
+    NoUpperBound {
+        last_sigma: f64,
+        best_eps: f64,
+    },
+}
+
+impl std::fmt::Display for ObfuscationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObfuscationError::BadParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ObfuscationError::NoUpperBound {
+                last_sigma,
+                best_eps,
+            } => write!(
+                f,
+                "no (k,eps)-obfuscation found up to sigma = {last_sigma} \
+                 (best eps reached: {best_eps}); consider increasing c"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObfuscationError {}
+
+/// Statistics of one `GenerateObfuscation` trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStats {
+    /// Achieved ε̃ (fraction of under-obfuscated vertices).
+    pub eps_achieved: f64,
+    /// Candidate pairs that are original edges.
+    pub kept_edges: usize,
+    /// Candidate pairs that are added non-edges.
+    pub added_pairs: usize,
+    /// Original edges removed from `E_C` (certain deletions).
+    pub removed_edges: usize,
+}
+
+/// Outcome of Algorithm 2 for one `σ`.
+#[derive(Debug, Clone)]
+pub struct GenerateOutcome {
+    /// The best trial's uncertain graph, if any trial met `ε`.
+    pub graph: Option<UncertainGraph>,
+    /// Best achieved ε̃ among successful trials (∞ if none succeeded).
+    pub eps_achieved: f64,
+    /// Per-trial statistics.
+    pub trials: Vec<TrialStats>,
+}
+
+impl GenerateOutcome {
+    /// True when some trial produced a (k, ε)-obfuscation.
+    pub fn succeeded(&self) -> bool {
+        self.graph.is_some()
+    }
+}
+
+/// Result of the full Algorithm 1 run.
+#[derive(Debug, Clone)]
+pub struct ObfuscationResult {
+    /// The published uncertain graph.
+    pub graph: UncertainGraph,
+    /// The minimal global σ that produced it.
+    pub sigma: f64,
+    /// The achieved ε̃ (≤ the requested ε).
+    pub eps_achieved: f64,
+    /// Number of doubling steps used to find the upper bound.
+    pub doublings: u32,
+    /// Number of binary-search iterations.
+    pub search_steps: u32,
+    /// Total `GenerateObfuscation` invocations.
+    pub generate_calls: u32,
+}
+
+/// Algorithm 2: attempts to produce a (k, ε)-obfuscation of `g` at global
+/// uncertainty `σ`, using `t` randomized trials.
+pub fn generate_obfuscation(
+    g: &Graph,
+    params: &ObfuscationParams,
+    sigma: f64,
+    rng: &mut SmallRng,
+) -> GenerateOutcome {
+    generate_obfuscation_with_excluded(g, params, sigma, &[], rng)
+}
+
+/// Algorithm 2 with a caller-supplied part of the exclusion set `H`
+/// (paper Section 5.3: "The algorithm could also receive H, or part of H,
+/// as an input, instead of fully selecting it on its own"). The supplied
+/// vertices are excluded from noise injection unconditionally; the
+/// algorithm tops the set up to `⌈ε/2·n⌉` with the most unique remaining
+/// vertices.
+pub fn generate_obfuscation_with_excluded(
+    g: &Graph,
+    params: &ObfuscationParams,
+    sigma: f64,
+    forced_excluded: &[u32],
+    rng: &mut SmallRng,
+) -> GenerateOutcome {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let property = DegreeProperty;
+    let per_vertex = property.values(g);
+
+    // Line 1: σ-uniqueness of every vertex (θ = σ, Section 5.2).
+    let scores = CommonnessScores::from_values(&per_vertex, &property, sigma.max(1e-300));
+    let uniq = scores.vertex_uniqueness(&per_vertex);
+
+    // Line 2: H = the ⌈ε/2·n⌉ most unique vertices, excluded from noise;
+    // caller-forced members take priority.
+    let h_size = ((params.eps / 2.0) * n as f64).ceil() as usize;
+    let mut h_set: Vec<u32> = forced_excluded.to_vec();
+    h_set.sort_unstable();
+    h_set.dedup();
+    if h_set.len() < h_size.min(n) {
+        let forced: obf_graph::FxHashSet<u32> = h_set.iter().copied().collect();
+        for v in uniq.top_unique(h_size.min(n)) {
+            if h_set.len() >= h_size.min(n) {
+                break;
+            }
+            if !forced.contains(&v) {
+                h_set.push(v);
+            }
+        }
+    }
+
+    // Line 3: Q(v) ∝ U_σ(P(v)) on V \ H.
+    let q_weights = uniq.q_weights(&h_set);
+    let total_q: f64 = q_weights.iter().sum();
+    let alias = if total_q > 0.0 && q_weights.iter().any(|&w| w > 0.0) {
+        Some(AliasTable::new(&q_weights))
+    } else {
+        None
+    };
+
+    let target_ec = ((params.c * m as f64).round() as usize).max(m);
+    let mut best: Option<(f64, UncertainGraph)> = None;
+    let mut trials = Vec::with_capacity(params.t);
+
+    for _trial in 0..params.t {
+        // Lines 6–12: select E_C starting from E.
+        let (ec, removed_edges) = match select_candidates(g, target_ec, alias.as_ref(), rng) {
+            Some(x) => x,
+            None => {
+                // Degenerate graph (no sampleable vertices): E_C stays E.
+                (g.edges().map(|(u, v)| VertexPair::new(u, v)).collect(), 0)
+            }
+        };
+
+        // Line 14: per-pair σ(e) (Eq. 7), proportional to pair uniqueness.
+        let pair_uniqueness: Vec<f64> = ec
+            .iter()
+            .map(|p| {
+                (uniq.of(p.lo()) + uniq.of(p.hi())) / 2.0
+            })
+            .collect();
+        let uniq_total: f64 = pair_uniqueness.iter().sum();
+
+        // Lines 13–19: draw perturbations and assign probabilities.
+        let mut kept_edges = 0usize;
+        let mut added_pairs = 0usize;
+        let mut candidates: Vec<(u32, u32, f64)> = Vec::with_capacity(ec.len());
+        for (pair, &u_e) in ec.iter().zip(&pair_uniqueness) {
+            let sigma_e = if uniq_total > 0.0 {
+                (sigma * ec.len() as f64 * u_e / uniq_total).max(1e-12)
+            } else {
+                sigma.max(1e-12)
+            };
+            let r_e = if rng.gen::<f64>() < params.q {
+                rng.gen::<f64>()
+            } else {
+                TruncatedNormal::new(sigma_e).sample(rng)
+            };
+            let is_edge = g.has_edge(pair.lo(), pair.hi());
+            let p = if is_edge {
+                kept_edges += 1;
+                1.0 - r_e
+            } else {
+                added_pairs += 1;
+                r_e
+            };
+            candidates.push((pair.lo(), pair.hi(), p));
+        }
+        let ug = UncertainGraph::new(n, candidates).expect("valid candidate set");
+
+        // Line 20: ε' = fraction of vertices not k-obfuscated.
+        let table = AdversaryTable::build(&ug, params.method);
+        let check = ObfuscationCheck::run(g, &table, params.k, params.threads);
+        let eps_trial = check.eps_achieved;
+        trials.push(TrialStats {
+            eps_achieved: eps_trial,
+            kept_edges,
+            added_pairs,
+            removed_edges,
+        });
+
+        // Line 21: keep the best trial meeting ε.
+        if eps_trial <= params.eps
+            && best.as_ref().is_none_or(|(e, _)| eps_trial < *e)
+        {
+            best = Some((eps_trial, ug));
+        }
+    }
+
+    match best {
+        Some((eps, graph)) => GenerateOutcome {
+            graph: Some(graph),
+            eps_achieved: eps,
+            trials,
+        },
+        None => GenerateOutcome {
+            graph: None,
+            eps_achieved: f64::INFINITY,
+            trials,
+        },
+    }
+}
+
+/// Algorithm 2 lines 6–12: starting from `E_C = E`, repeatedly draw a
+/// vertex pair from `Q × Q`; drawing an existing edge removes it (certain
+/// deletion), a non-edge is added as a candidate; stop at `|E_C| =
+/// target`. Returns the candidate pairs and the number of removed original
+/// edges, or `None` when no vertices are sampleable.
+fn select_candidates(
+    g: &Graph,
+    target: usize,
+    alias: Option<&AliasTable>,
+    rng: &mut SmallRng,
+) -> Option<(Vec<VertexPair>, usize)> {
+    let alias = alias?;
+    let mut ec: FxHashSet<VertexPair> = g.edges().map(|(u, v)| VertexPair::new(u, v)).collect();
+    let mut removed = 0usize;
+    // Safety valve: the expected number of draws is ~(target - |E|) plus a
+    // small correction for collisions; a generous multiple covers skewed Q.
+    let max_draws = 200usize
+        .saturating_add(target.saturating_mul(50))
+        .saturating_add(g.num_edges() * 50);
+    let mut draws = 0usize;
+    while ec.len() != target {
+        draws += 1;
+        if draws > max_draws {
+            // Could not reach the target (e.g. dense graph with few
+            // non-edges among sampleable vertices); proceed with what we
+            // have — the trial's ε̃ test still gates correctness.
+            break;
+        }
+        let u = alias.sample(rng);
+        let v = alias.sample(rng);
+        if u == v {
+            continue;
+        }
+        let pair = VertexPair::new(u, v);
+        if g.has_edge(u, v) {
+            if ec.remove(&pair) {
+                removed += 1;
+            }
+        } else {
+            ec.insert(pair);
+        }
+    }
+    let mut pairs: Vec<VertexPair> = ec.into_iter().collect();
+    pairs.sort_unstable();
+    Some((pairs, removed))
+}
+
+/// Algorithm 1: finds the minimal `σ` for which Algorithm 2 produces a
+/// (k, ε)-obfuscation, via doubling and binary search.
+pub fn obfuscate(g: &Graph, params: &ObfuscationParams) -> Result<ObfuscationResult, ObfuscationError> {
+    params.validate(g.num_vertices())?;
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut generate_calls = 0u32;
+
+    // Doubling phase (lines 1–6).
+    let mut sigma_u = params.sigma_init;
+    let mut doublings = 0u32;
+    let mut best_eps_seen = f64::INFINITY;
+    let found: (f64, f64, UncertainGraph) = loop {
+        let out = generate_obfuscation(g, params, sigma_u, &mut rng);
+        generate_calls += 1;
+        let min_trial_eps = out
+            .trials
+            .iter()
+            .map(|t| t.eps_achieved)
+            .fold(f64::INFINITY, f64::min);
+        best_eps_seen = best_eps_seen.min(min_trial_eps);
+        if let Some(graph) = out.graph {
+            break (sigma_u, out.eps_achieved, graph);
+        }
+        if doublings >= params.max_doublings {
+            return Err(ObfuscationError::NoUpperBound {
+                last_sigma: sigma_u,
+                best_eps: best_eps_seen,
+            });
+        }
+        sigma_u *= 2.0;
+        doublings += 1;
+    };
+    let (mut sigma_u, mut best_eps, mut best_graph) = found;
+
+    // Binary search (lines 8–12).
+    let mut sigma_l = 0.0f64;
+    let mut search_steps = 0u32;
+    let mut best_sigma = sigma_u;
+    while sigma_l + params.delta < sigma_u {
+        let sigma = 0.5 * (sigma_l + sigma_u);
+        let out = generate_obfuscation(g, params, sigma, &mut rng);
+        generate_calls += 1;
+        search_steps += 1;
+        if let Some(graph) = out.graph {
+            best_graph = graph;
+            best_eps = out.eps_achieved;
+            best_sigma = sigma;
+            sigma_u = sigma;
+        } else {
+            sigma_l = sigma;
+        }
+    }
+
+    Ok(ObfuscationResult {
+        graph: best_graph,
+        sigma: best_sigma,
+        eps_achieved: best_eps,
+        doublings,
+        search_steps,
+        generate_calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+
+    fn test_params(k: usize, eps: f64) -> ObfuscationParams {
+        // Faster search for tests: coarser delta, fewer trials.
+        let mut p = ObfuscationParams::new(k, eps).with_seed(42);
+        p.delta = 1e-3;
+        p.t = 3;
+        p.threads = 2;
+        p
+    }
+
+    #[test]
+    fn obfuscates_random_regularish_graph() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::erdos_renyi_gnm(300, 900, &mut rng);
+        let params = test_params(10, 0.05);
+        let res = obfuscate(&g, &params).expect("found obfuscation");
+        assert!(res.eps_achieved <= 0.05);
+        assert!(res.sigma > 0.0);
+        // The certificate must hold when re-verified from scratch.
+        let table = AdversaryTable::build(&res.graph, DegreeDistMethod::Exact);
+        let check = ObfuscationCheck::run(&g, &table, 10, 1);
+        assert!(
+            check.eps_achieved <= 0.05 + 1e-12,
+            "recheck eps = {}",
+            check.eps_achieved
+        );
+    }
+
+    #[test]
+    fn candidate_set_size_hits_target() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::erdos_renyi_gnm(200, 400, &mut rng);
+        let params = test_params(5, 0.05);
+        let out = generate_obfuscation(&g, &params, 0.1, &mut rng);
+        for t in &out.trials {
+            assert_eq!(
+                t.kept_edges + t.added_pairs,
+                (params.c * g.num_edges() as f64).round() as usize,
+                "|E_C| must be c|E|"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_oriented_correctly() {
+        // With small q and tiny sigma, kept edges get p ≈ 1 and added pairs
+        // get p ≈ 0.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::erdos_renyi_gnm(100, 200, &mut rng);
+        let mut params = test_params(2, 0.2);
+        params.q = 0.0;
+        let out = generate_obfuscation(&g, &params, 1e-6, &mut rng);
+        // Inspect any trial graph — even failing trials are informative,
+        // so re-run the pieces manually if no trial passed.
+        if let Some(ug) = out.graph {
+            for &(u, v, p) in ug.candidates() {
+                if g.has_edge(u, v) {
+                    assert!(p > 0.99, "kept edge ({u},{v}) p={p}");
+                } else {
+                    assert!(p < 0.01, "added pair ({u},{v}) p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_vertices_receive_no_new_pairs() {
+        // H vertices must not be endpoints of added pairs or removals.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(150, 3, &mut rng);
+        let mut params = test_params(5, 0.2);
+        params.eps = 0.2;
+        let sigma = 0.05;
+        // Recompute H exactly as the algorithm does.
+        let property = DegreeProperty;
+        let per_vertex = property.values(&g);
+        let scores = CommonnessScores::from_values(&per_vertex, &property, sigma);
+        let uniq = scores.vertex_uniqueness(&per_vertex);
+        let h_size = ((params.eps / 2.0) * g.num_vertices() as f64).ceil() as usize;
+        let h: std::collections::HashSet<u32> =
+            uniq.top_unique(h_size).into_iter().collect();
+
+        let out = generate_obfuscation(&g, &params, sigma, &mut rng);
+        if let Some(ug) = out.graph {
+            for &(u, v, _) in ug.candidates() {
+                if !g.has_edge(u, v) {
+                    assert!(
+                        !h.contains(&u) && !h.contains(&v),
+                        "added pair touches H: ({u},{v})"
+                    );
+                }
+            }
+            // Removed edges: E \ E_C must avoid H too.
+            let in_ec: std::collections::HashSet<(u32, u32)> = ug
+                .candidates()
+                .iter()
+                .map(|&(u, v, _)| (u, v))
+                .collect();
+            for (u, v) in g.edges() {
+                if !in_ec.contains(&(u, v)) {
+                    assert!(
+                        !h.contains(&u) && !h.contains(&v),
+                        "removed edge touches H: ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::erdos_renyi_gnm(120, 240, &mut rng);
+        let params = test_params(5, 0.1);
+        let a = obfuscate(&g, &params).unwrap();
+        let b = obfuscate(&g, &params).unwrap();
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn harder_privacy_needs_more_noise() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::barabasi_albert(400, 3, &mut rng);
+        let easy = obfuscate(&g, &test_params(5, 0.1)).unwrap();
+        let hard = obfuscate(&g, &test_params(40, 0.1)).unwrap();
+        assert!(
+            hard.sigma >= easy.sigma,
+            "easy={} hard={}",
+            easy.sigma,
+            hard.sigma
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = generators::cycle(10);
+        assert!(matches!(
+            obfuscate(&g, &ObfuscationParams::new(0, 0.1)),
+            Err(ObfuscationError::BadParameter(_))
+        ));
+        assert!(matches!(
+            obfuscate(&g, &ObfuscationParams::new(100, 0.1)),
+            Err(ObfuscationError::BadParameter(_))
+        ));
+        let mut p = ObfuscationParams::new(2, 0.1);
+        p.c = 0.5;
+        assert!(matches!(
+            obfuscate(&g, &p),
+            Err(ObfuscationError::BadParameter(_))
+        ));
+        let mut p = ObfuscationParams::new(2, 0.1);
+        p.eps = 1.5;
+        assert!(matches!(
+            obfuscate(&g, &p),
+            Err(ObfuscationError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn impossible_instance_reports_no_upper_bound() {
+        // k close to n with eps = 0 on a tiny star: the hub can never hide.
+        let g = generators::star(6);
+        let mut params = test_params(6, 0.0);
+        params.max_doublings = 3;
+        params.t = 1;
+        match obfuscate(&g, &params) {
+            Err(ObfuscationError::NoUpperBound { .. }) => {}
+            other => panic!("expected NoUpperBound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trial_stats_are_consistent() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::erdos_renyi_gnm(100, 200, &mut rng);
+        let params = test_params(3, 0.1);
+        let out = generate_obfuscation(&g, &params, 0.05, &mut rng);
+        assert_eq!(out.trials.len(), params.t);
+        for t in &out.trials {
+            assert!(t.kept_edges <= g.num_edges());
+            assert_eq!(g.num_edges() - t.kept_edges, t.removed_edges);
+        }
+    }
+
+    #[test]
+    fn forced_h_vertices_are_untouched() {
+        // Supplying part of H (paper Section 5.3) must keep those vertices
+        // out of all noise injection, regardless of their uniqueness.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = generators::erdos_renyi_gnm(150, 300, &mut rng);
+        let forced = [3u32, 77, 141];
+        let params = test_params(3, 0.2);
+        let out = super::generate_obfuscation_with_excluded(&g, &params, 0.05, &forced, &mut rng);
+        if let Some(ug) = out.graph {
+            let in_ec: std::collections::HashSet<(u32, u32)> =
+                ug.candidates().iter().map(|&(u, v, _)| (u, v)).collect();
+            for &(u, v, _) in ug.candidates() {
+                if !g.has_edge(u, v) {
+                    assert!(!forced.contains(&u) && !forced.contains(&v));
+                }
+            }
+            for (u, v) in g.edges() {
+                if !in_ec.contains(&(u, v)) {
+                    assert!(!forced.contains(&u) && !forced.contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_shrinks_sigma() {
+        // The returned sigma must be no larger than the first successful
+        // upper bound (sigma_init doubled `doublings` times).
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::erdos_renyi_gnm(200, 600, &mut rng);
+        let params = test_params(5, 0.1);
+        let res = obfuscate(&g, &params).unwrap();
+        let upper = params.sigma_init * 2f64.powi(res.doublings as i32);
+        assert!(res.sigma <= upper);
+        assert!(res.search_steps > 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! θ-commonness and θ-uniqueness of property values (paper Definition 3).
+//!
+//! The commonness of a value `ω ∈ Ω_P` is the kernel-weighted count of
+//! vertices whose property value is near `ω`:
+//! `C_θ(ω) = Σ_{v∈V} Φ_{0,θ}(d(ω, P(v)))`, with the Gaussian density
+//! `Φ_{0,θ}` of Eq. 5; uniqueness is its reciprocal. Vertices with unique
+//! property values need more noise to "blend in the crowd", so these
+//! scores drive the exclusion set `H`, the vertex-sampling distribution
+//! `Q` (Algorithm 2, lines 2–3) and the per-pair noise levels `σ(e)`
+//! (Eq. 7).
+//!
+//! For the degree property the value multiset is a histogram over at most
+//! `max_degree + 1` distinct values, so all scores are computed on
+//! distinct values and broadcast back to vertices.
+
+use obf_graph::Graph;
+use obf_stats::normal::norm_pdf;
+
+use crate::property::VertexProperty;
+
+/// Kernel distance (in multiples of θ) beyond which the Gaussian weight is
+/// negligible (`Φ_{0,θ}(8θ)/Φ_{0,θ}(0) = e^{-32} ≈ 1.3e-14`).
+const KERNEL_CUTOFF_THETAS: f64 = 8.0;
+
+/// Commonness scores of the distinct property values in a graph.
+#[derive(Debug, Clone)]
+pub struct CommonnessScores {
+    /// Sorted distinct property values.
+    values: Vec<f64>,
+    /// Multiplicity of each distinct value.
+    counts: Vec<usize>,
+    /// `C_θ` for each distinct value.
+    commonness: Vec<f64>,
+    theta: f64,
+}
+
+impl CommonnessScores {
+    /// Computes `C_θ` for every distinct property value of `g` under
+    /// property `prop`.
+    ///
+    /// # Panics
+    /// Panics if `theta` is not strictly positive and finite.
+    pub fn compute<P: VertexProperty>(g: &Graph, prop: &P, theta: f64) -> Self {
+        let per_vertex = prop.values(g);
+        Self::from_values(&per_vertex, prop, theta)
+    }
+
+    /// Computes scores from a raw value vector (one entry per vertex).
+    pub fn from_values<P: VertexProperty>(per_vertex: &[f64], prop: &P, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta > 0.0,
+            "theta must be positive and finite, got {theta}"
+        );
+        // Distinct values with multiplicities.
+        let mut sorted = per_vertex.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut values: Vec<f64> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for &x in &sorted {
+            if values.last() == Some(&x) {
+                *counts.last_mut().unwrap() += 1;
+            } else {
+                values.push(x);
+                counts.push(1);
+            }
+        }
+        // C_θ(ω) = Σ_{ω'} count(ω') Φ_{0,θ}(d(ω, ω')) with kernel cutoff.
+        let cutoff = KERNEL_CUTOFF_THETAS * theta;
+        let mut commonness = vec![0.0f64; values.len()];
+        for (i, &w) in values.iter().enumerate() {
+            let mut acc = 0.0;
+            // Values are sorted and the default distance is |a-b|, but a
+            // custom distance may not align with the sort order — only use
+            // the cutoff window when it is safe (monotone distance).
+            // Scan left and right from i, breaking when out of window.
+            for j in (0..=i).rev() {
+                let d = prop.distance(w, values[j]);
+                if d > cutoff {
+                    break;
+                }
+                acc += counts[j] as f64 * norm_pdf(d, 0.0, theta);
+            }
+            for j in i + 1..values.len() {
+                let d = prop.distance(w, values[j]);
+                if d > cutoff {
+                    break;
+                }
+                acc += counts[j] as f64 * norm_pdf(d, 0.0, theta);
+            }
+            commonness[i] = acc;
+        }
+        Self {
+            values,
+            counts,
+            commonness,
+            theta,
+        }
+    }
+
+    /// θ used for the kernel.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Sorted distinct property values.
+    pub fn distinct_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Multiplicities parallel to [`Self::distinct_values`].
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// `C_θ(ω)` for a distinct value (by binary search).
+    pub fn commonness_of(&self, omega: f64) -> Option<f64> {
+        self.values
+            .binary_search_by(|x| x.total_cmp(&omega))
+            .ok()
+            .map(|i| self.commonness[i])
+    }
+
+    /// `U_θ(ω) = 1 / C_θ(ω)`.
+    pub fn uniqueness_of(&self, omega: f64) -> Option<f64> {
+        self.commonness_of(omega).map(|c| 1.0 / c)
+    }
+
+    /// Expands to per-vertex uniqueness scores given the per-vertex value
+    /// vector used to build the scores.
+    pub fn vertex_uniqueness(&self, per_vertex: &[f64]) -> UniquenessScores {
+        let scores = per_vertex
+            .iter()
+            .map(|&w| self.uniqueness_of(w).expect("value present in scores"))
+            .collect();
+        UniquenessScores { scores }
+    }
+}
+
+/// Per-vertex uniqueness scores `U_θ(P(v))`.
+#[derive(Debug, Clone)]
+pub struct UniquenessScores {
+    scores: Vec<f64>,
+}
+
+impl UniquenessScores {
+    /// Uniqueness of vertex `v`.
+    pub fn of(&self, v: u32) -> f64 {
+        self.scores[v as usize]
+    }
+
+    /// All scores (vertex order).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Indices of the `h` vertices with the largest uniqueness — the
+    /// exclusion set `H` of Algorithm 2 line 2. Ties are broken by vertex
+    /// id for determinism.
+    pub fn top_unique(&self, h: usize) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b as usize]
+                .total_cmp(&self.scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        idx.truncate(h);
+        idx
+    }
+
+    /// Sampling weights for the distribution `Q(v) ∝ U_θ(P(v))`
+    /// (Algorithm 2 line 3), with the vertices in `excluded` zeroed out so
+    /// they are never drawn (lines 8–9 sample from `V \ H`).
+    pub fn q_weights(&self, excluded: &[u32]) -> Vec<f64> {
+        let mut w = self.scores.clone();
+        for &v in excluded {
+            w[v as usize] = 0.0;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::DegreeProperty;
+    use obf_graph::generators;
+
+    #[test]
+    fn tiny_theta_reduces_to_multiplicity() {
+        // With θ → 0 the kernel only sees exact matches:
+        // C_θ(ω) ≈ count(ω) · Φ_{0,θ}(0) = count(ω)/(θ√(2π)).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]); // degrees 3,2,2,1
+        let theta = 1e-6;
+        let s = CommonnessScores::compute(&g, &DegreeProperty, theta);
+        let phi0 = obf_stats::normal::norm_pdf(0.0, 0.0, theta);
+        assert!((s.commonness_of(2.0).unwrap() - 2.0 * phi0).abs() / phi0 < 1e-9);
+        assert!((s.commonness_of(3.0).unwrap() - phi0).abs() / phi0 < 1e-9);
+    }
+
+    use obf_graph::Graph;
+
+    #[test]
+    fn frequent_values_are_more_common() {
+        let g = generators::star(10); // degree 9 once, degree 1 nine times
+        let s = CommonnessScores::compute(&g, &DegreeProperty, 0.5);
+        let c_hub = s.commonness_of(9.0).unwrap();
+        let c_leaf = s.commonness_of(1.0).unwrap();
+        assert!(c_leaf > 5.0 * c_hub, "leaf={c_leaf} hub={c_hub}");
+        assert!(s.uniqueness_of(9.0).unwrap() > s.uniqueness_of(1.0).unwrap());
+    }
+
+    #[test]
+    fn nearby_values_contribute() {
+        // Degrees 5 (x9) and 6 (x1) with θ = 2: value 6 is much less
+        // unique than it would be with θ = 0.01 because the 5s are close.
+        let vals_near: Vec<f64> = std::iter::repeat_n(5.0, 9)
+            .chain(std::iter::once(6.0))
+            .collect();
+        let wide = CommonnessScores::from_values(&vals_near, &DegreeProperty, 2.0);
+        let narrow = CommonnessScores::from_values(&vals_near, &DegreeProperty, 0.01);
+        // Ratio of uniqueness(6)/uniqueness(5):
+        let r_wide = wide.uniqueness_of(6.0).unwrap() / wide.uniqueness_of(5.0).unwrap();
+        let r_narrow = narrow.uniqueness_of(6.0).unwrap() / narrow.uniqueness_of(5.0).unwrap();
+        assert!(r_wide < r_narrow / 2.0, "wide={r_wide} narrow={r_narrow}");
+    }
+
+    #[test]
+    fn top_unique_selects_rarest() {
+        let g = generators::star(10);
+        let s = CommonnessScores::compute(&g, &DegreeProperty, 0.1);
+        let per_vertex = DegreeProperty.values(&g);
+        let u = s.vertex_uniqueness(&per_vertex);
+        let top = u.top_unique(1);
+        assert_eq!(top, vec![0]); // the hub
+        // Deterministic tie-break on the leaves.
+        let top3 = u.top_unique(3);
+        assert_eq!(top3, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn q_weights_zero_excluded() {
+        let g = generators::star(5);
+        let s = CommonnessScores::compute(&g, &DegreeProperty, 0.1);
+        let u = s.vertex_uniqueness(&DegreeProperty.values(&g));
+        let w = u.q_weights(&[0, 2]);
+        assert_eq!(w[0], 0.0);
+        assert_eq!(w[2], 0.0);
+        assert!(w[1] > 0.0);
+    }
+
+    #[test]
+    fn unknown_value_is_none() {
+        let g = generators::cycle(5);
+        let s = CommonnessScores::compute(&g, &DegreeProperty, 0.5);
+        assert!(s.commonness_of(7.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_theta() {
+        let g = generators::cycle(5);
+        let _ = CommonnessScores::compute(&g, &DegreeProperty, 0.0);
+    }
+
+    #[test]
+    fn counts_track_multiplicities() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let s = CommonnessScores::compute(&g, &DegreeProperty, 1.0);
+        assert_eq!(s.distinct_values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.counts(), &[1, 2, 1]);
+    }
+}

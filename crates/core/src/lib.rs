@@ -1,0 +1,32 @@
+//! The paper's contribution: **(k, ε)-obfuscation of graphs by injecting
+//! uncertainty** (Boldi, Bonchi, Gionis, Tassa — PVLDB 5(11), 2012).
+//!
+//! Given an undirected graph `G`, a privacy level `k`, and a tolerance
+//! `ε`, [`obfuscate`] publishes an uncertain graph `G̃ = (V, p)` such that
+//! for at least `(1 − ε)·n` vertices the adversary posterior induced by
+//! the vertex's degree has entropy at least `log₂ k` (Definition 2).
+//!
+//! Pipeline (paper Sections 4–5):
+//!
+//! 1. [`commonness`] — θ-commonness/uniqueness scores of property values
+//!    (Definition 3), driving both the exclusion set `H` and the sampling
+//!    distribution `Q`.
+//! 2. [`algorithm`] — Algorithm 2 (`GenerateObfuscation`): candidate-set
+//!    selection, per-pair noise levels `σ(e)` (Eq. 7), truncated-normal
+//!    perturbations with `q` white noise; Algorithm 1: doubling plus
+//!    binary search for the minimal global `σ`.
+//! 3. [`adversary`] — the matrices `X_v(ω)` and `Y_ω(v)` (Eqs. 2–3) and
+//!    the entropy test that certifies (k, ε)-obfuscation (Section 4).
+
+pub mod adversary;
+pub mod algorithm;
+pub mod commonness;
+pub mod property;
+
+pub use adversary::{AdversaryTable, ObfuscationCheck};
+pub use algorithm::{
+    generate_obfuscation, generate_obfuscation_with_excluded, obfuscate, GenerateOutcome, ObfuscationError, ObfuscationParams,
+    ObfuscationResult, TrialStats,
+};
+pub use commonness::{CommonnessScores, UniquenessScores};
+pub use property::{DegreeProperty, VertexProperty};

@@ -1,0 +1,62 @@
+//! Vertex properties (paper Section 3).
+//!
+//! The adversary is assumed to know some property `P` of the target
+//! vertex; the paper's quantitative machinery (Section 4) and experiments
+//! use the **degree** property `P₁`, with the distance between two
+//! property values being the absolute degree difference. The trait keeps
+//! the scoring machinery (commonness/uniqueness, Definition 3) generic so
+//! other numeric properties can reuse it.
+
+use obf_graph::Graph;
+
+/// A numeric vertex property with a distance on its value domain `Ω_P`.
+pub trait VertexProperty {
+    /// Property value of each vertex, in vertex order.
+    fn values(&self, g: &Graph) -> Vec<f64>;
+
+    /// Distance `d(ω, ω')` between two property values (Definition 3
+    /// requires a distance on `Ω_P`).
+    fn distance(&self, a: f64, b: f64) -> f64 {
+        (a - b).abs()
+    }
+
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+}
+
+/// The degree property `P₁`: `P(v) = deg(v)`, `d(ω, ω') = |ω − ω'|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegreeProperty;
+
+impl VertexProperty for DegreeProperty {
+    fn values(&self, g: &Graph) -> Vec<f64> {
+        (0..g.num_vertices() as u32)
+            .map(|v| g.degree(v) as f64)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_values() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let p = DegreeProperty;
+        assert_eq!(p.values(&g), vec![3.0, 2.0, 2.0, 1.0]);
+        assert_eq!(p.name(), "degree");
+    }
+
+    #[test]
+    fn default_distance_is_absolute_difference() {
+        let p = DegreeProperty;
+        assert_eq!(p.distance(5.0, 2.0), 3.0);
+        assert_eq!(p.distance(2.0, 5.0), 3.0);
+        assert_eq!(p.distance(4.0, 4.0), 0.0);
+    }
+}

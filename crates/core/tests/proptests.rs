@@ -1,0 +1,96 @@
+//! Property-based tests of the obfuscation core.
+
+use obf_core::adversary::{AdversaryTable, ObfuscationCheck};
+use obf_core::commonness::CommonnessScores;
+use obf_core::property::{DegreeProperty, VertexProperty};
+use obf_graph::{Graph, GraphBuilder};
+use obf_uncertain::degree_dist::DegreeDistMethod;
+use obf_uncertain::UncertainGraph;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), n..4 * n).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn commonness_positive_and_count_bounded(g in arb_graph(40), theta in 0.01f64..5.0) {
+        let scores = CommonnessScores::compute(&g, &DegreeProperty, theta);
+        let phi0 = obf_stats::normal::norm_pdf(0.0, 0.0, theta);
+        let n = g.num_vertices() as f64;
+        for (&w, &count) in scores.distinct_values().iter().zip(scores.counts()) {
+            let c = scores.commonness_of(w).unwrap();
+            // At least the exact-match mass, at most all n vertices at
+            // distance zero.
+            prop_assert!(c >= count as f64 * phi0 * (1.0 - 1e-12));
+            prop_assert!(c <= n * phi0 * (1.0 + 1e-12));
+            prop_assert!(scores.uniqueness_of(w).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniqueness_ordering_matches_rarity_at_tiny_theta(g in arb_graph(40)) {
+        // θ → 0: uniqueness is inversely proportional to multiplicity, so
+        // rarer degrees are at least as unique.
+        let scores = CommonnessScores::compute(&g, &DegreeProperty, 1e-9);
+        let values = scores.distinct_values().to_vec();
+        let counts = scores.counts().to_vec();
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if counts[i] < counts[j] {
+                    prop_assert!(
+                        scores.uniqueness_of(values[i]).unwrap()
+                            >= scores.uniqueness_of(values[j]).unwrap() * (1.0 - 1e-9)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certain_graph_check_is_exact_crowd_test(g in arb_graph(30), k in 1usize..6) {
+        // On a certain graph, v is k-obfuscated iff its degree crowd has
+        // at least k members.
+        let ug = UncertainGraph::from_certain(&g);
+        let table = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let check = ObfuscationCheck::run(&g, &table, k, 1);
+        let hist = obf_graph::degstats::degree_histogram(&g);
+        let expected_failures = (0..g.num_vertices() as u32)
+            .filter(|&v| (hist.count(g.degree(v)) as usize) < k)
+            .count();
+        prop_assert_eq!(check.failed_vertices, expected_failures);
+    }
+
+    #[test]
+    fn posterior_is_probability_vector(g in arb_graph(24)) {
+        let cands: Vec<(u32, u32, f64)> = g.edges().map(|(u, v)| (u, v, 0.5)).collect();
+        let ug = UncertainGraph::new(g.num_vertices(), cands).unwrap();
+        let table = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        for omega in 0..5usize {
+            let y = table.posterior(omega);
+            let total: f64 = y.iter().sum();
+            prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+            prop_assert!(y.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn property_values_match_degrees(g in arb_graph(40)) {
+        let vals = DegreeProperty.values(&g);
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(vals[v as usize], g.degree(v) as f64);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Walker alias method for O(1) weighted sampling.
+//!
+//! Algorithm 2 repeatedly samples vertices from the distribution
+//! `Q(v) ∝ U_σ(P(v))` (lines 8–9); with hundreds of thousands of draws per
+//! trial, linear or binary-search CDF sampling would dominate the run time.
+//! The alias table gives exact sampling in constant time after `O(n)`
+//! preprocessing.
+
+use rand::Rng;
+
+/// Preprocessed alias table over indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (need not be normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Scaled weights; mean is exactly 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Move the excess of l onto s's slot.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never: `new` rejects that).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index according to the weights.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 80_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "f={f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_recovered() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freqs = empirical(&w, 200_000, 2);
+        for (i, f) in freqs.iter().enumerate() {
+            let expect = w[i] / 10.0;
+            assert!((f - expect).abs() < 0.01, "i={i} f={f} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let freqs = empirical(&[0.0, 1.0, 0.0, 1.0], 20_000, 3);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+    }
+
+    #[test]
+    fn single_category() {
+        let freqs = empirical(&[42.0], 100, 4);
+        assert_eq!(freqs[0], 1.0);
+    }
+
+    #[test]
+    fn extreme_skew() {
+        // Uniqueness scores can span many orders of magnitude.
+        let w = [1e-12, 1.0];
+        let freqs = empirical(&w, 50_000, 5);
+        assert!(freqs[0] < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Incremental construction of [`Graph`]s.
+//!
+//! The builder accepts edges in any order, with duplicates and self loops
+//! silently dropped, and produces a CSR graph with sorted adjacency in
+//! `O(n + m log m)` using a counting-sort bucket pass.
+
+use crate::graph::Graph;
+
+/// Accumulates an edge list and finalises it into a CSR [`Graph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Canonicalised (lo, hi) edges; may contain duplicates until `build`.
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builder with edge capacity preallocated.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `(u, v)`. Self loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((lo, hi));
+    }
+
+    /// Adds many edges.
+    pub fn extend_edges<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalises into a CSR graph, deduplicating edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let m = self.edges.len();
+
+        let mut deg = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; 2 * m];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each adjacency slice is filled in increasing order of the *other*
+        // endpoint only for the (u→v) direction; the (v→u) inserts arrive
+        // sorted by u as well because the edge list is sorted by (lo, hi).
+        // The hi→lo direction is sorted by lo since edges are
+        // lexicographically sorted, but interleaving lo-entries (sorted by
+        // hi) and hi-entries (sorted by lo) is not globally sorted; sort
+        // each slice to guarantee the invariant.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, neighbors, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(4, 0);
+        b.add_edge(0, 2);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 4]);
+        assert_eq!(g.num_edges(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn extend_edges_works() {
+        let mut b = GraphBuilder::with_capacity(4, 3);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Connected components, via BFS labelling and a union-find structure.
+//!
+//! The sampled possible worlds of an uncertain graph are frequently
+//! disconnected (Section 6.3), so the distance statistics must be
+//! component-aware; this module provides the machinery.
+
+use crate::graph::Graph;
+use crate::traversal::bfs_distances_into;
+
+/// Union-find (disjoint set union) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Labels each vertex with a component id in `0..k` (BFS order of
+/// discovery); returns `(labels, component_sizes)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, Vec<usize>) {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut dist = Vec::new();
+    let mut queue = Vec::new();
+    for s in 0..n as u32 {
+        if label[s as usize] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        bfs_distances_into(g, s, &mut dist, &mut queue);
+        // `queue` holds exactly the vertices reached from s.
+        let mut size = 0usize;
+        for &v in &queue {
+            if label[v as usize] == u32::MAX {
+                label[v as usize] = id;
+                size += 1;
+            }
+        }
+        sizes.push(size);
+    }
+    (label, sizes)
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Graph) -> usize {
+    connected_components(g).1.len()
+}
+
+/// Size of the largest connected component (0 for the empty graph).
+pub fn largest_component_size(g: &Graph) -> usize {
+    connected_components(g).1.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_size(4), 1);
+    }
+
+    #[test]
+    fn components_match_union_find() {
+        let edges = [(0u32, 1u32), (1, 2), (3, 4)];
+        let g = Graph::from_edges(6, &edges);
+        let (labels, sizes) = connected_components(&g);
+        assert_eq!(sizes.len(), 3);
+        let mut uf = UnionFind::new(6);
+        for &(u, v) in &edges {
+            uf.union(u, v);
+        }
+        assert_eq!(uf.num_components(), 3);
+        // Same partition.
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                assert_eq!(
+                    labels[u as usize] == labels[v as usize],
+                    uf.connected(u, v),
+                    "u={u} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = Graph::empty(4);
+        let (labels, sizes) = connected_components(&g);
+        assert_eq!(sizes, vec![1, 1, 1, 1]);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+        assert_eq!(largest_component_size(&g), 1);
+        assert_eq!(largest_component_size(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(num_components(&g), 1);
+        assert_eq!(largest_component_size(&g), 4);
+    }
+
+    #[test]
+    fn labels_are_dense_and_sized() {
+        let g = Graph::from_edges(7, &[(0, 1), (2, 3), (3, 4), (5, 6)]);
+        let (labels, sizes) = connected_components(&g);
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+        for &l in &labels {
+            assert!((l as usize) < sizes.len());
+        }
+    }
+}

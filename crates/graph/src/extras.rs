@@ -1,0 +1,246 @@
+//! Additional utility statistics common in graph-anonymization
+//! evaluations beyond the paper's ten (the SecGraph-style suite): degree
+//! assortativity, k-core decomposition, and PageRank. Useful for
+//! extending the utility comparison of Table 6 to richer workloads.
+
+use crate::graph::Graph;
+
+/// Pearson degree assortativity coefficient (Newman): the correlation of
+/// the degrees at the two ends of an edge, in `[-1, 1]`. Returns 0 for
+/// graphs with no edges or degenerate variance.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    // Over edge endpoints (each edge contributes both orientations).
+    let mut sum_xy = 0.0f64;
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    for (u, v) in g.edges() {
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        sum_xy += 2.0 * du * dv;
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+    }
+    let count = 2.0 * m as f64;
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (sum_xy / count - mean * mean) / var
+}
+
+/// k-core decomposition: returns the core number of every vertex (the
+/// largest `k` such that the vertex survives in the maximal subgraph of
+/// minimum degree `k`). Matula–Beck peeling in `O(n + m)`.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = g.degrees();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort vertices by degree.
+    let mut bin_start = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin_start[d + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0u32; n];
+    {
+        let mut cursor = bin_start.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = cursor[d];
+            order[cursor[d]] = v as u32;
+            cursor[d] += 1;
+        }
+    }
+    let mut core = vec![0u32; n];
+    let mut bin = bin_start;
+    for i in 0..n {
+        let v = order[i] as usize;
+        core[v] = degree[v] as u32;
+        for &u in g.neighbors(v as u32) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first vertex of
+                // its bucket.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = order[pw] as usize;
+                if u != w {
+                    order.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Size of the maximum core (the graph's degeneracy).
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// PageRank by power iteration with uniform teleport. Dangling (isolated)
+/// vertices redistribute uniformly. Returns the stationary vector
+/// (sums to 1 for non-empty graphs).
+pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&damping), "damping must be in [0,1]");
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0f64;
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for (v, &rv) in rank.iter().enumerate() {
+            let d = g.degree(v as u32);
+            if d == 0 {
+                dangling += rv;
+                continue;
+            }
+            let share = rv / d as f64;
+            for &u in g.neighbors(v as u32) {
+                next[u as usize] += share;
+            }
+        }
+        let teleport = (1.0 - damping) / nf + damping * dangling / nf;
+        for x in next.iter_mut() {
+            *x = damping * *x + teleport;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn assortativity_of_regular_graph_is_degenerate_zero() {
+        // All degrees equal: zero variance → defined as 0.
+        assert_eq!(degree_assortativity(&generators::cycle(10)), 0.0);
+    }
+
+    #[test]
+    fn star_is_perfectly_disassortative() {
+        let g = generators::star(10);
+        assert!((degree_assortativity(&g) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assortativity_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::barabasi_albert(500, 3, &mut rng);
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r), "r={r}");
+    }
+
+    #[test]
+    fn core_numbers_of_clique_plus_tail() {
+        // K4 (vertices 0-3) with a path 3-4-5 appended.
+        let g = crate::Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        let core = core_numbers(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 1);
+        assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn core_numbers_brute_force_agreement() {
+        // Verify against iterative-peeling reference on a random graph.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::erdos_renyi_gnm(60, 150, &mut rng);
+        let fast = core_numbers(&g);
+        // Reference: for each k, repeatedly remove vertices with degree < k.
+        let n = g.num_vertices();
+        let mut reference = vec![0u32; n];
+        for k in 1..=g.max_degree() as u32 {
+            let mut alive = vec![true; n];
+            loop {
+                let mut changed = false;
+                for v in 0..n {
+                    if !alive[v] {
+                        continue;
+                    }
+                    let d = g
+                        .neighbors(v as u32)
+                        .iter()
+                        .filter(|&&u| alive[u as usize])
+                        .count();
+                    if (d as u32) < k {
+                        alive[v] = false;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    reference[v] = k;
+                }
+            }
+        }
+        assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        let g = generators::star(20);
+        let pr = pagerank(&g, 0.85, 50);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The hub outranks every leaf.
+        for v in 1..20 {
+            assert!(pr[0] > pr[v]);
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_regular_graph() {
+        let g = generators::cycle(12);
+        let pr = pagerank(&g, 0.85, 100);
+        for &x in &pr {
+            assert!((x - 1.0 / 12.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_vertices() {
+        let g = crate::Graph::from_edges(4, &[(0, 1)]);
+        let pr = pagerank(&g, 0.85, 60);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[2] > 0.0 && (pr[2] - pr[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_extras() {
+        let g = crate::Graph::empty(0);
+        assert!(pagerank(&g, 0.85, 10).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Immutable undirected graph in CSR form.
+//!
+//! Vertices are `0..n` as `u32`. The adjacency of each vertex is sorted,
+//! which gives `O(log deg)` edge queries and enables the merge-based
+//! triangle counting in [`crate::triangles`].
+
+use crate::builder::GraphBuilder;
+use crate::VertexPair;
+
+/// A simple undirected graph (no self loops, no parallel edges) stored as
+/// compressed sparse rows with sorted neighbour lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists; every undirected edge appears
+    /// twice (once per endpoint).
+    neighbors: Vec<u32>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` vertices, deduplicating
+    /// and dropping self loops. Convenience wrapper over [`GraphBuilder`].
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            num_edges: 0,
+        }
+    }
+
+    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<u32>, num_edges: usize) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        Self {
+            offsets,
+            neighbors,
+            num_edges,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` is present.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates over each undirected edge once, as canonical pairs with
+    /// `u < v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates over each undirected edge once as [`VertexPair`]s.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = VertexPair> + '_ {
+        self.edges().map(|(u, v)| VertexPair::new(u, v))
+    }
+
+    /// The degree sequence indexed by vertex.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .collect()
+    }
+
+    /// Average degree `2m / n`; 0 for the empty vertex set.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum degree; 0 for an edgeless graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Density `m / C(n,2)`.
+    pub fn density(&self) -> f64 {
+        let n = self.num_vertices();
+        if n < 2 {
+            return 0.0;
+        }
+        self.num_edges as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+            let adj = &self.neighbors[self.offsets[v]..self.offsets[v + 1]];
+            for w in adj.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {v} not strictly sorted"));
+                }
+            }
+            for &u in adj {
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} out of range"));
+                }
+                if u as usize == v {
+                    return Err(format!("self loop at {v}"));
+                }
+                if self.neighbors(u).binary_search(&(v as u32)).is_err() {
+                    return Err(format!("edge ({v},{u}) not symmetric"));
+                }
+            }
+        }
+        if self.neighbors.len() != 2 * self.num_edges {
+            return Err("edge count inconsistent with adjacency length".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant on 0; 4 isolated.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (0, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(4, &[(3, 0), (1, 0), (2, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn edges_canonical_once() {
+        let g = triangle_plus_pendant();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(2, 2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+        let g0 = Graph::empty(0);
+        assert_eq!(g0.num_vertices(), 0);
+        assert_eq!(g0.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn density_of_complete_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_and_average() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1, 0]);
+        assert!((g.average_degree() - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Whitespace-separated edge-list I/O.
+//!
+//! Real datasets (e.g. SNAP exports of co-authorship networks) ship as
+//! `u v` pairs, one edge per line, with `#` comments. The loader maps
+//! arbitrary vertex labels to contiguous ids and returns the mapping so
+//! published results can be traced back.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::hashers::FxHashMap;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Result of loading an edge list: the graph plus the original labels of
+/// each contiguous vertex id.
+#[derive(Debug)]
+pub struct LoadedGraph {
+    pub graph: Graph,
+    /// `labels[v]` is the original label of vertex `v`.
+    pub labels: Vec<u64>,
+}
+
+/// Parses an edge list from a reader: one `u v` pair per line, `#`-prefixed
+/// lines and blank lines skipped. Labels are arbitrary u64s, remapped to
+/// `0..n` in first-appearance order.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
+    let mut id_of: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut labels: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let intern = |label: u64, labels: &mut Vec<u64>, id_of: &mut FxHashMap<u64, u32>| -> u32 {
+        *id_of.entry(label).or_insert_with(|| {
+            let id = labels.len() as u32;
+            labels.push(label);
+            id
+        })
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        let (a, b) = match (a.parse::<u64>(), b.parse::<u64>()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: line.clone(),
+                })
+            }
+        };
+        let u = intern(a, &mut labels, &mut id_of);
+        let v = intern(b, &mut labels, &mut id_of);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    let mut builder = GraphBuilder::with_capacity(labels.len(), edges.len());
+    builder.extend_edges(edges);
+    Ok(LoadedGraph {
+        graph: builder.build(),
+        labels,
+    })
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Writes the graph as a `u v` edge list (canonical orientation, one edge
+/// per line).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Saves the graph to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let input = "# comment\n1 2\n2 3\n\n3 1\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_vertices(), 3);
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_remapped_in_first_appearance_order() {
+        let input = "100 7\n7 55\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.labels, vec![100, 7, 55]);
+        assert!(loaded.graph.has_edge(0, 1));
+        assert!(loaded.graph.has_edge(1, 2));
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_dropped() {
+        let input = "1 1\n1 2\n2 1\n";
+        let loaded = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_error_reported_with_line() {
+        let input = "1 2\nbogus\n";
+        match read_edge_list(input.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_field() {
+        let input = "1\n";
+        assert!(read_edge_list(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(loaded.graph.num_edges(), g.num_edges());
+        assert_eq!(loaded.graph.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("obfugraph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        save_edge_list(&g, &path).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.graph.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,70 @@
+//! Exact neighbourhood function by all-pairs BFS, for validating the
+//! HyperANF estimates on small graphs.
+
+use obf_graph::traversal::{bfs_distances_into, UNREACHABLE};
+use obf_graph::Graph;
+
+/// Exact neighbourhood function: `nf[t]` is the number of *ordered* pairs
+/// `(u, v)` (including `u = v`) with `dist(u, v) <= t`, for
+/// `t = 0..=diameter`.
+pub fn exact_neighbourhood_function(g: &Graph) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut counts: Vec<u64> = vec![n as u64]; // t = 0: every vertex itself
+    let mut dist = Vec::new();
+    let mut queue = Vec::new();
+    let mut per_distance: Vec<u64> = Vec::new();
+    for s in 0..n as u32 {
+        bfs_distances_into(g, s, &mut dist, &mut queue);
+        for &d in dist.iter() {
+            if d != UNREACHABLE && d > 0 {
+                let d = d as usize;
+                if d >= per_distance.len() {
+                    per_distance.resize(d + 1, 0);
+                }
+                per_distance[d] += 1;
+            }
+        }
+    }
+    let mut acc = n as u64;
+    for &c in per_distance.iter().skip(1) {
+        acc += c;
+        counts.push(acc);
+    }
+    counts.into_iter().map(|c| c as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+
+    #[test]
+    fn path_nf() {
+        // P4: nf[0]=4, nf[1]=4+6=10 (3 edges × 2 directions),
+        // nf[2]=10+4=14, nf[3]=14+2=16 = n².
+        let g = generators::path(4);
+        let nf = exact_neighbourhood_function(&g);
+        assert_eq!(nf, vec![4.0, 10.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn complete_graph_nf() {
+        let g = generators::complete(5);
+        let nf = exact_neighbourhood_function(&g);
+        assert_eq!(nf, vec![5.0, 25.0]);
+    }
+
+    #[test]
+    fn disconnected_saturates_below_n_squared() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let nf = exact_neighbourhood_function(&g);
+        assert_eq!(*nf.last().unwrap(), 4.0 + 4.0); // 4 self + 4 ordered pairs
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = Graph::empty(3);
+        let nf = exact_neighbourhood_function(&g);
+        assert_eq!(nf, vec![3.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! HyperANF substrate for `obfugraph`.
+//!
+//! The paper estimates distance distributions on large graphs with
+//! HyperANF (Boldi, Rosa, Vigna — WWW 2011): every vertex carries a
+//! HyperLogLog counter approximating the size of its ball `|B(v, t)|`;
+//! one diffusion round per distance unit unions each counter with its
+//! neighbours'. The neighbourhood function `N(t) = Σ_v |B(v, t)|` then
+//! yields the distribution of pairwise distances, the average distance
+//! `S_APD`, the interpolated effective diameter `S_EDiam`, the
+//! connectivity length `S_CL` and the diameter lower bound `S_DiamLB`
+//! (paper Section 6.3).
+//!
+//! Because the estimator is probabilistic, the paper repeats executions
+//! and jackknifes the derived statistics; [`estimate_with_error`] does the
+//! same here using [`obf_stats::jackknife`].
+
+pub mod exact;
+pub mod hll;
+pub mod nf;
+
+pub use exact::exact_neighbourhood_function;
+pub use hll::HyperLogLog;
+pub use nf::{
+    estimate_distance_stats, estimate_with_error, hyper_anf, ApproxDistanceDistribution,
+    HyperAnfConfig, NeighbourhoodFunction,
+};

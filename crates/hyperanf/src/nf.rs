@@ -1,0 +1,392 @@
+//! The HyperANF diffusion and the distance statistics derived from the
+//! neighbourhood function.
+
+use obf_graph::{splitmix64, Graph};
+use obf_stats::jackknife::jackknife;
+
+use crate::hll::{add_hash_to_registers, estimate_registers, union_registers};
+
+/// Configuration for a HyperANF run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HyperAnfConfig {
+    /// `log2` of the number of registers per counter (`4..=16`).
+    /// `b = 6` (64 registers, ~13% per-counter RSD) matches the accuracy
+    /// regime the paper reports (0.2%–2% on aggregated statistics).
+    pub b: u32,
+    /// Hash seed; distinct seeds give independent runs for jackknifing.
+    pub seed: u64,
+    /// Safety cap on diffusion rounds (the loop stops at the register
+    /// fixpoint anyway, which is bounded by the diameter).
+    pub max_iterations: usize,
+}
+
+impl Default for HyperAnfConfig {
+    fn default() -> Self {
+        Self {
+            b: 6,
+            seed: 0x0bfu64,
+            max_iterations: 512,
+        }
+    }
+}
+
+/// The estimated neighbourhood function of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighbourhoodFunction {
+    /// `nf[t]` ≈ number of ordered pairs (including self-pairs) within
+    /// distance `t`; `nf[0] = n`.
+    pub nf: Vec<f64>,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+impl NeighbourhoodFunction {
+    /// Approximate distance distribution implied by this neighbourhood
+    /// function.
+    pub fn distance_distribution(&self) -> ApproxDistanceDistribution {
+        let n = self.n as f64;
+        let total_pairs = n * (n - 1.0) / 2.0;
+        // Unordered pairs at distance exactly t; clamp tiny negative
+        // fluctuations from the estimator.
+        let mut counts = vec![0.0f64];
+        for t in 1..self.nf.len() {
+            counts.push(((self.nf[t] - self.nf[t - 1]) / 2.0).max(0.0));
+        }
+        let connected: f64 = counts.iter().sum();
+        ApproxDistanceDistribution {
+            counts,
+            unreachable_pairs: (total_pairs - connected).max(0.0),
+        }
+    }
+}
+
+/// Distance distribution with fractional pair counts (as produced by the
+/// probabilistic estimator). Mirrors
+/// [`obf_graph::distance::DistanceDistribution`] but keeps `f64` counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxDistanceDistribution {
+    /// `counts[t]` ≈ number of unordered pairs at distance `t`
+    /// (`counts[0] = 0`).
+    pub counts: Vec<f64>,
+    /// ≈ number of unordered pairs in different components.
+    pub unreachable_pairs: f64,
+}
+
+impl ApproxDistanceDistribution {
+    /// Total connected unordered pairs.
+    pub fn connected_pairs(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// `S_APD`: mean distance over connected pairs.
+    pub fn average_distance(&self) -> f64 {
+        let total = self.connected_pairs();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| t as f64 * c)
+            .sum::<f64>()
+            / total
+    }
+
+    /// `S_EDiam`: interpolated 90th-percentile distance over connected
+    /// pairs — the variant the paper uses, interpolating linearly between
+    /// the percentile's integer cell and the successive integer.
+    pub fn effective_diameter(&self, q: f64) -> f64 {
+        let total = self.connected_pairs();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * total;
+        let mut cum = 0.0;
+        for (t, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if cum >= target && c > 0.0 {
+                return t as f64 + ((target - prev) / c).clamp(0.0, 1.0);
+            }
+        }
+        (self.counts.len() - 1) as f64
+    }
+
+    /// `S_CL`: connectivity length — harmonic mean over *all* pairs,
+    /// counting `1/dist = 0` for disconnected pairs (Marchiori–Latora).
+    pub fn connectivity_length(&self) -> f64 {
+        let harm: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(t, &c)| c / t as f64)
+            .sum();
+        if harm == 0.0 {
+            return 0.0;
+        }
+        (self.connected_pairs() + self.unreachable_pairs) / harm
+    }
+
+    /// `S_DiamLB`: the largest distance whose estimated pair count is
+    /// non-negligible (above `threshold` pairs — the paper uses "nonzero",
+    /// which for a noisy estimator needs a small floor).
+    pub fn diameter_lower_bound(&self, threshold: f64) -> u32 {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > threshold)
+            .map(|(t, _)| t as u32)
+            .unwrap_or(0)
+    }
+
+    /// Fractions of connected pairs per distance (Figure 2's y-axis).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total = self.connected_pairs();
+        if total == 0.0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c / total).collect()
+    }
+
+    /// Bundles the scalar statistics.
+    pub fn stats(&self) -> DistanceScalars {
+        DistanceScalars {
+            average_distance: self.average_distance(),
+            effective_diameter: self.effective_diameter(0.9),
+            connectivity_length: self.connectivity_length(),
+            diameter_lower_bound: self.diameter_lower_bound(0.5),
+        }
+    }
+}
+
+/// The four scalar distance statistics of Section 6.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceScalars {
+    pub average_distance: f64,
+    pub effective_diameter: f64,
+    pub connectivity_length: f64,
+    pub diameter_lower_bound: u32,
+}
+
+/// Runs HyperANF on `g` and returns the estimated neighbourhood function.
+///
+/// Each vertex gets a `2^b`-register HyperLogLog initialised with (a hash
+/// of) itself; every round unions each counter with its neighbours'
+/// counters, so after `t` rounds counter `v` describes `B(v, t)`. The loop
+/// stops when no register changes (guaranteed within `diameter` rounds).
+pub fn hyper_anf(g: &Graph, config: &HyperAnfConfig) -> NeighbourhoodFunction {
+    let n = g.num_vertices();
+    let m = 1usize << config.b;
+    if n == 0 {
+        return NeighbourhoodFunction { nf: vec![0.0], n };
+    }
+    // Flat arenas: current and next registers for all vertices.
+    let mut cur = vec![0u8; n * m];
+    for v in 0..n {
+        let h = splitmix64(config.seed ^ splitmix64(v as u64));
+        add_hash_to_registers(&mut cur[v * m..(v + 1) * m], config.b, h);
+    }
+    let mut next = cur.clone();
+
+    let estimate_total = |regs: &[u8]| -> f64 {
+        (0..n).map(|v| estimate_registers(&regs[v * m..(v + 1) * m])).sum()
+    };
+
+    let mut nf = vec![estimate_total(&cur)];
+    for _ in 0..config.max_iterations {
+        let mut changed = false;
+        // next = cur, then union in neighbours.
+        next.copy_from_slice(&cur);
+        for v in 0..n as u32 {
+            let dst_range = (v as usize) * m..(v as usize + 1) * m;
+            // Split borrows: neighbours read from `cur`, write into `next`.
+            let dst = &mut next[dst_range];
+            for &u in g.neighbors(v) {
+                let src = &cur[(u as usize) * m..(u as usize + 1) * m];
+                changed |= union_registers(dst, src);
+            }
+        }
+        if !changed {
+            break;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        let total = estimate_total(&cur);
+        // Enforce monotonicity of the reported neighbourhood function.
+        let prev = *nf.last().unwrap();
+        nf.push(total.max(prev));
+    }
+    NeighbourhoodFunction { nf, n }
+}
+
+/// Convenience: runs HyperANF once and returns the derived scalar distance
+/// statistics.
+pub fn estimate_distance_stats(g: &Graph, config: &HyperAnfConfig) -> DistanceScalars {
+    hyper_anf(g, config).distance_distribution().stats()
+}
+
+/// Repeats HyperANF `runs` times with independent seeds, and returns the
+/// jackknife estimate and standard error for a statistic derived from the
+/// per-run distance distribution (the paper's Section 6.3 methodology).
+pub fn estimate_with_error<F>(
+    g: &Graph,
+    config: &HyperAnfConfig,
+    runs: usize,
+    stat: F,
+) -> (f64, f64)
+where
+    F: Fn(&ApproxDistanceDistribution) -> f64,
+{
+    assert!(runs >= 2, "need at least 2 runs for jackknifing");
+    let dists: Vec<ApproxDistanceDistribution> = (0..runs)
+        .map(|r| {
+            let cfg = HyperAnfConfig {
+                seed: splitmix64(config.seed.wrapping_add(r as u64 + 1)),
+                ..*config
+            };
+            hyper_anf(g, &cfg).distance_distribution()
+        })
+        .collect();
+    jackknife(&dists, |subset| {
+        let vals: Vec<f64> = subset.iter().map(&stat).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_neighbourhood_function;
+    use obf_graph::distance::exact_distance_distribution;
+    use obf_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn config(b: u32, seed: u64) -> HyperAnfConfig {
+        HyperAnfConfig {
+            b,
+            seed,
+            max_iterations: 256,
+        }
+    }
+
+    #[test]
+    fn nf_monotone_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::erdos_renyi_gnm(500, 1200, &mut rng);
+        let nf = hyper_anf(&g, &config(7, 3)).nf;
+        for w in nf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        let n2 = (500.0f64) * 500.0;
+        assert!(*nf.last().unwrap() <= n2 * 1.3);
+    }
+
+    #[test]
+    fn matches_exact_on_path() {
+        let g = generators::path(30);
+        // High precision registers on a tiny graph: linear counting regime,
+        // estimates are near exact.
+        let est = hyper_anf(&g, &config(10, 1)).nf;
+        let exact = exact_neighbourhood_function(&g);
+        assert_eq!(est.len(), exact.len(), "diffusion rounds = diameter");
+        for (t, (e, x)) in est.iter().zip(&exact).enumerate() {
+            let rel = (e - x).abs() / x;
+            assert!(rel < 0.05, "t={t} est={e} exact={x}");
+        }
+    }
+
+    #[test]
+    fn average_distance_close_to_exact() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(800, 3, &mut rng);
+        let exact = exact_distance_distribution(&g).stats();
+        let approx = estimate_distance_stats(&g, &config(8, 11));
+        let rel = (approx.average_distance - exact.average_distance).abs()
+            / exact.average_distance;
+        assert!(rel < 0.1, "approx={} exact={}", approx.average_distance, exact.average_distance);
+    }
+
+    #[test]
+    fn effective_diameter_close_to_exact() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::erdos_renyi_gnm(600, 1500, &mut rng);
+        let exact = exact_distance_distribution(&g).stats();
+        let approx = estimate_distance_stats(&g, &config(8, 13));
+        assert!(
+            (approx.effective_diameter - exact.effective_diameter).abs() < 1.0,
+            "approx={} exact={}",
+            approx.effective_diameter,
+            exact.effective_diameter
+        );
+    }
+
+    #[test]
+    fn connectivity_length_close_to_exact() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::erdos_renyi_gnm(400, 1000, &mut rng);
+        let exact = exact_distance_distribution(&g).stats();
+        let approx = estimate_distance_stats(&g, &config(8, 17));
+        let rel = (approx.connectivity_length - exact.connectivity_length).abs()
+            / exact.connectivity_length;
+        assert!(rel < 0.1, "approx={} exact={}", approx.connectivity_length, exact.connectivity_length);
+    }
+
+    #[test]
+    fn diameter_lb_on_path_graph() {
+        let g = generators::path(20);
+        let dd = hyper_anf(&g, &config(10, 19)).distance_distribution();
+        let lb = dd.diameter_lower_bound(0.5);
+        assert!((17..=19).contains(&lb), "lb={lb}");
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        // Two cliques of 5: 20 within-pairs reachable, 25 cross pairs not.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+                edges.push((u + 5, v + 5));
+            }
+        }
+        let g = obf_graph::Graph::from_edges(10, &edges);
+        let dd = hyper_anf(&g, &config(10, 23)).distance_distribution();
+        assert!((dd.connected_pairs() - 20.0).abs() < 2.0);
+        assert!((dd.unreachable_pairs - 25.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let g = obf_graph::Graph::empty(0);
+        let nf = hyper_anf(&g, &config(6, 1));
+        assert_eq!(nf.n, 0);
+        let g = obf_graph::Graph::empty(5);
+        let dd = hyper_anf(&g, &config(6, 1)).distance_distribution();
+        assert_eq!(dd.connected_pairs(), 0.0);
+        assert_eq!(dd.stats().average_distance, 0.0);
+    }
+
+    #[test]
+    fn jackknife_error_is_small_and_estimate_sane() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::erdos_renyi_gnm(300, 800, &mut rng);
+        let exact = exact_distance_distribution(&g).stats();
+        let (est, se) = estimate_with_error(&g, &config(7, 100), 8, |dd| dd.average_distance());
+        assert!(
+            (est - exact.average_distance).abs() < 5.0 * se.max(0.05),
+            "est={est} exact={} se={se}",
+            exact.average_distance
+        );
+        assert!(se < 0.2 * exact.average_distance, "se={se}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::cycle(50);
+        let a = hyper_anf(&g, &config(6, 77));
+        let b = hyper_anf(&g, &config(6, 77));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the HyperANF substrate against the exact
+//! neighbourhood function.
+
+use obf_graph::{Graph, GraphBuilder};
+use obf_hyperanf::{exact_neighbourhood_function, hyper_anf, HyperAnfConfig, HyperLogLog};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..4 * n).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hll_estimate_nonnegative_and_monotone(hashes in proptest::collection::vec(any::<u64>(), 0..500)) {
+        let mut h = HyperLogLog::new(6);
+        let mut prev = 0.0;
+        for (i, &x) in hashes.iter().enumerate() {
+            h.add_hash(obf_graph::splitmix64(x));
+            let e = h.estimate();
+            prop_assert!(e >= 0.0);
+            // Adding elements never decreases the estimate by much more
+            // than the linear-counting switch wobble.
+            prop_assert!(e >= prev * 0.7 - 1.0, "i={} e={} prev={}", i, e, prev);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn hll_union_commutes(xs in proptest::collection::vec(any::<u64>(), 0..200),
+                          ys in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut a = HyperLogLog::new(5);
+        let mut b = HyperLogLog::new(5);
+        for &x in &xs { a.add_hash(obf_graph::splitmix64(x)); }
+        for &y in &ys { b.add_hash(obf_graph::splitmix64(y)); }
+        let mut ab = a.clone();
+        ab.union(&b);
+        let mut ba = b.clone();
+        ba.union(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn nf_reaches_exact_fixpoint_support(g in arb_graph(24)) {
+        // With high-precision registers on tiny graphs, the number of
+        // diffusion rounds equals the exact effective diameter support.
+        let cfg = HyperAnfConfig { b: 10, seed: 3, max_iterations: 128 };
+        let est = hyper_anf(&g, &cfg);
+        let exact = exact_neighbourhood_function(&g);
+        prop_assert_eq!(est.nf.len(), exact.len());
+        for (e, x) in est.nf.iter().zip(&exact) {
+            let rel = (e - x).abs() / x.max(1.0);
+            prop_assert!(rel < 0.25, "est={} exact={}", e, x);
+        }
+    }
+
+    #[test]
+    fn distance_distribution_conserves_pairs(g in arb_graph(24)) {
+        let cfg = HyperAnfConfig { b: 8, seed: 7, max_iterations: 128 };
+        let dd = hyper_anf(&g, &cfg).distance_distribution();
+        let n = g.num_vertices() as f64;
+        let total = dd.connected_pairs() + dd.unreachable_pairs;
+        prop_assert!((total - n * (n - 1.0) / 2.0).abs() / (n * n) < 0.15);
+        for &c in &dd.counts {
+            prop_assert!(c >= 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_are_finite_and_ordered(g in arb_graph(24)) {
+        let cfg = HyperAnfConfig { b: 8, seed: 11, max_iterations: 128 };
+        let s = hyper_anf(&g, &cfg).distance_distribution().stats();
+        prop_assert!(s.average_distance.is_finite());
+        prop_assert!(s.effective_diameter.is_finite());
+        prop_assert!(s.connectivity_length.is_finite());
+        // Effective diameter can exceed the average distance but never the
+        // diameter bound + 1.
+        prop_assert!(s.effective_diameter <= s.diameter_lower_bound as f64 + 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shannon entropy in bits — the privacy measure of Definition 2.
+//!
+//! The uncertain graph k-obfuscates a vertex `v` when the entropy of the
+//! adversary's posterior `Y_{P(v)}` over the vertices of `G̃` is at least
+//! `log₂ k`.
+
+/// Shannon entropy (base 2) of a non-negative weight vector that is assumed
+/// to be normalised (sums to 1). Zero weights contribute nothing.
+///
+/// For robustness against tiny negative values produced by floating-point
+/// cancellation, weights `<= 0` are skipped.
+pub fn entropy_bits(probs: &[f64]) -> f64 {
+    let mut h = 0.0;
+    for &p in probs {
+        if p > 0.0 {
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Entropy of an *unnormalised* non-negative weight vector: the weights are
+/// normalised by their sum first. Returns 0 if the total mass is 0.
+///
+/// This matches Eq. (3): the column `X_v(ω)` is normalised by its column
+/// sum to obtain `Y_ω`, whose entropy is then tested against `log₂ k`.
+pub fn entropy_bits_normalized(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // H(w/W) = log2(W) - (1/W) Σ w log2 w  — one pass, no temporary vector.
+    let mut acc = 0.0;
+    for &w in weights {
+        if w > 0.0 {
+            acc += w * w.log2();
+        }
+    }
+    // Clamp the floating-point cancellation of a point-mass input (exact
+    // result 0) to keep the entropy non-negative.
+    (total.log2() - acc / total).max(0.0)
+}
+
+/// Entropy expressed as an *obfuscation level*: `k(v) = 2^H`, i.e. the size
+/// of the uniform crowd the posterior is equivalent to (used for the
+/// anonymity-level curves of Figure 4).
+pub fn obfuscation_level(weights: &[f64]) -> f64 {
+    entropy_bits_normalized(weights).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_entropy_is_log_n() {
+        let p = vec![0.25; 4];
+        assert!((entropy_bits(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_mass_entropy_is_zero() {
+        assert_eq!(entropy_bits(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn paper_example2_degree3_column() {
+        // Y_{deg=3} = [0.9, 0.1] → H ≈ 0.469 (Example 2).
+        let h = entropy_bits(&[0.9, 0.1]);
+        assert!((h - 0.468_995_593_589_281).abs() < 1e-9, "h={h}");
+    }
+
+    #[test]
+    fn normalised_matches_prenormalised() {
+        let w = [3.0, 1.0, 4.0, 0.0, 2.0];
+        let total: f64 = w.iter().sum();
+        let p: Vec<f64> = w.iter().map(|x| x / total).collect();
+        assert!((entropy_bits_normalized(&w) - entropy_bits(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_gives_zero() {
+        assert_eq!(entropy_bits_normalized(&[0.0, 0.0]), 0.0);
+        assert_eq!(entropy_bits_normalized(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_support() {
+        let w = [0.1, 0.7, 0.05, 0.15];
+        let h = entropy_bits(&w);
+        assert!(h >= 0.0 && h <= (w.len() as f64).log2() + 1e-12);
+    }
+
+    #[test]
+    fn negative_noise_is_ignored() {
+        // Tiny negative values from cancellation must not produce NaN.
+        let h = entropy_bits_normalized(&[0.5, -1e-18, 0.5]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obfuscation_level_of_uniform_crowd() {
+        let w = vec![1.0; 20];
+        assert!((obfuscation_level(&w) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Integer-valued histograms.
+//!
+//! Degree distributions (`S_DD`) and distance distributions (`S_PDD`) are
+//! histograms over small non-negative integers; this module provides a
+//! compact counted representation with the derived quantities the paper
+//! needs (fractions, cumulative sums, interpolated percentiles).
+
+/// Histogram over non-negative integer values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a histogram from an iterator of observations.
+    pub fn from_values<I: IntoIterator<Item = usize>>(values: I) -> Self {
+        let mut h = Self::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Builds directly from per-value counts (index = value).
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let total = counts.iter().sum();
+        let mut h = Self { counts, total };
+        h.trim();
+        h
+    }
+
+    /// Records one observation of `value`.
+    pub fn add(&mut self, value: usize) {
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Records `count` observations of `value`.
+    pub fn add_count(&mut self, value: usize, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if value >= self.counts.len() {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += count;
+        self.total += count;
+    }
+
+    fn trim(&mut self) {
+        while self.counts.last() == Some(&0) {
+            self.counts.pop();
+        }
+    }
+
+    /// Number of observations of `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest value with a non-zero count, or `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Fraction of observations equal to `value` (the paper's `Δ(d)`).
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Dense vector of fractions, index = value.
+    pub fn fractions(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Raw counts slice (index = value; may have trailing zeros trimmed).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Population variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| {
+                let d = v as f64 - m;
+                d * d * c as f64
+            })
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Linearly interpolated `q`-percentile in the sense the paper uses for
+    /// the effective diameter (Section 6.3): the minimal (fractional) value
+    /// `x` such that a `q` fraction of the mass lies at values `<= x`,
+    /// interpolating between an integer and its successor.
+    pub fn interpolated_percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cum = 0.0;
+        for (v, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c as f64;
+            if cum >= target {
+                if c == 0 {
+                    continue;
+                }
+                // Fraction of this cell needed to reach the target,
+                // interpolated towards the successive integer.
+                let need = (target - prev) / c as f64;
+                return v as f64 + need.clamp(0.0, 1.0);
+            }
+        }
+        self.counts.len() as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        for (v, &c) in other.counts.iter().enumerate() {
+            self.add_count(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut h = IntHistogram::new();
+        h.add(3);
+        h.add(3);
+        h.add(0);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(7), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.max_value(), Some(3));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let h = IntHistogram::from_values([1, 1, 2, 5, 5, 5]);
+        let s: f64 = h.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((h.fraction(5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let h = IntHistogram::from_values([2, 4, 4, 4, 5, 5, 7, 9]);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert!((h.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = IntHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.interpolated_percentile(0.9), 0.0);
+    }
+
+    #[test]
+    fn from_counts_trims_trailing_zeros() {
+        let h = IntHistogram::from_counts(vec![1, 0, 2, 0, 0]);
+        assert_eq!(h.counts().len(), 3);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn percentile_point_mass() {
+        let h = IntHistogram::from_values(std::iter::repeat_n(4, 10));
+        // All mass at 4: the 90th percentile lies inside cell 4.
+        let p = h.interpolated_percentile(0.9);
+        assert!((p - 4.9).abs() < 1e-12, "p={p}");
+    }
+
+    #[test]
+    fn percentile_interpolates_between_values() {
+        // 50 observations at 1, 50 at 2: 90th percentile is 80% into cell 2.
+        let mut h = IntHistogram::new();
+        h.add_count(1, 50);
+        h.add_count(2, 50);
+        let p = h.interpolated_percentile(0.9);
+        assert!((p - 2.8).abs() < 1e-12, "p={p}");
+    }
+
+    #[test]
+    fn percentile_monotone_in_q() {
+        let h = IntHistogram::from_values([0, 1, 1, 2, 3, 3, 3, 8]);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let p = h.interpolated_percentile(i as f64 / 10.0);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = IntHistogram::from_values([1, 2, 2]);
+        let b = IntHistogram::from_values([2, 4]);
+        a.merge(&b);
+        assert_eq!(a.count(2), 3);
+        assert_eq!(a.count(4), 1);
+        assert_eq!(a.total(), 5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Jackknife (leave-one-out) standard errors.
+//!
+//! The paper (Section 6.3) repeats HyperANF executions and uses
+//! jackknifing to infer the standard error of the derived distance
+//! statistics; this module provides the generic estimator.
+
+/// Jackknife estimate of a statistic `f` computed from `n` independent
+/// replicates: returns `(estimate, standard_error)` where the estimate is
+/// the bias-corrected jackknife value.
+///
+/// `f` receives a subset of the replicates (all of them, or all but one).
+pub fn jackknife<T, F>(replicates: &[T], f: F) -> (f64, f64)
+where
+    T: Clone,
+    F: Fn(&[T]) -> f64,
+{
+    let n = replicates.len();
+    assert!(n >= 2, "jackknife needs at least 2 replicates");
+    let full = f(replicates);
+    let mut leave_one_out = Vec::with_capacity(n);
+    let mut buf: Vec<T> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        buf.clear();
+        buf.extend(replicates.iter().take(i).cloned());
+        buf.extend(replicates.iter().skip(i + 1).cloned());
+        leave_one_out.push(f(&buf));
+    }
+    let loo_mean = leave_one_out.iter().sum::<f64>() / n as f64;
+    let bias_corrected = n as f64 * full - (n - 1) as f64 * loo_mean;
+    let var = leave_one_out
+        .iter()
+        .map(|x| (x - loo_mean) * (x - loo_mean))
+        .sum::<f64>()
+        * (n - 1) as f64
+        / n as f64;
+    (bias_corrected, var.sqrt())
+}
+
+/// Jackknife applied to the mean of scalar replicates; the SE equals the
+/// classical standard error of the mean, a useful identity for testing.
+pub fn jackknife_mean(xs: &[f64]) -> (f64, f64) {
+    jackknife(xs, |s| s.iter().sum::<f64>() / s.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jackknife_of_mean_is_mean() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        let (est, se) = jackknife_mean(&xs);
+        assert!((est - 5.0).abs() < 1e-12);
+        // For the mean, jackknife SE equals s/sqrt(n).
+        let classical = crate::describe::sample_std(&xs) / (xs.len() as f64).sqrt();
+        assert!((se - classical).abs() < 1e-12, "se={se} classical={classical}");
+    }
+
+    #[test]
+    fn corrects_simple_bias() {
+        // For f = (mean)^2 the jackknife removes the O(1/n) bias term.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (est, _) = jackknife(&xs, |s| {
+            let m = s.iter().sum::<f64>() / s.len() as f64;
+            m * m
+        });
+        let m = 3.5f64;
+        // Plug-in estimate is m² + Var/n-ish biased; jackknife should land
+        // closer to m² - Var/(n(n-1))·(n-1)... just check it differs from
+        // plug-in in the right direction (smaller).
+        assert!(est < m * m + 1e-12);
+    }
+
+    #[test]
+    fn constant_replicates_have_zero_se() {
+        let xs = [7.0; 5];
+        let (est, se) = jackknife_mean(&xs);
+        assert_eq!(est, 7.0);
+        assert_eq!(se, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn needs_two_replicates() {
+        let _ = jackknife_mean(&[1.0]);
+    }
+}

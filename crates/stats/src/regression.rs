@@ -1,0 +1,115 @@
+//! Least-squares line fitting.
+//!
+//! Used for the power-law exponent statistic `S_PL` (Section 6.2): the
+//! paper fits the exponent of `Δ(d) ~ d^(−γ)` on the high-degree portion of
+//! the degree distribution, i.e. a straight line in log–log space.
+
+/// Result of an ordinary least squares fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits a line through the given points. Returns `None` when fewer than
+    /// two distinct x values are present.
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        let n = points.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let mx = sx / nf;
+        let my = sy / nf;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| {
+                let e = p.1 - (slope * p.0 + intercept);
+                e * e
+            })
+            .sum();
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Some(Self {
+            slope,
+            intercept,
+            r_squared,
+            n,
+        })
+    }
+}
+
+/// Fits a power law `y ~ C · x^slope` through positive points by linear
+/// regression in log10–log10 space. Points with non-positive coordinates
+/// are skipped.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.log10(), y.log10()))
+        .collect();
+    LinearFit::fit(&logs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        // y = 5 x^{-2.5}
+        let pts: Vec<(f64, f64)> = (1..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, 5.0 * x.powf(-2.5))
+            })
+            .collect();
+        let fit = fit_power_law(&pts).unwrap();
+        assert!((fit.slope + 2.5).abs() < 1e-9, "slope={}", fit.slope);
+    }
+
+    #[test]
+    fn skips_nonpositive_points() {
+        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 1.0), (10.0, 0.1), (100.0, 0.01)];
+        let fit = fit_power_law(&pts).unwrap();
+        assert_eq!(fit.n, 3);
+        assert!((fit.slope + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 1.0)]).is_none());
+        assert!(LinearFit::fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn r_squared_below_one_with_noise() {
+        let pts = [(0.0, 0.0), (1.0, 1.2), (2.0, 1.8), (3.0, 3.1)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.r_squared > 0.9 && fit.r_squared < 1.0);
+    }
+}

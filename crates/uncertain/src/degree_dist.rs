@@ -1,0 +1,325 @@
+//! Per-vertex degree distributions in an uncertain graph (paper Section 4).
+//!
+//! The degree of `v` in `G̃` is the sum of independent Bernoulli variables
+//! over the candidate pairs incident to `v` — a Poisson-binomial
+//! distribution. [`poisson_binomial`] is the exact `O(ℓ²)` dynamic program
+//! of Lemma 1; [`normal_cells`] is the central-limit approximation the
+//! paper recommends when the number of addends is large. The exact
+//! *expected degree distribution* of the whole graph,
+//! `E[Δ(d)] = (1/n) Σ_v Pr(d_v = d)`, falls out for free and is used for
+//! Figure 3.
+
+use obf_stats::normal::norm_cell_prob;
+
+use crate::graph::UncertainGraph;
+
+/// Method selection for per-vertex degree distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegreeDistMethod {
+    /// Exact Poisson-binomial DP (Lemma 1).
+    #[default]
+    Exact,
+    /// Continuity-corrected normal approximation (CLT).
+    Normal,
+    /// Exact below the threshold number of addends, normal above.
+    Auto {
+        /// Number of incident candidates at which to switch to the normal
+        /// approximation; the paper notes the CLT is effective from ~30.
+        threshold: usize,
+    },
+}
+
+/// Exact Poisson-binomial probability mass function: `out[j] = Pr(Σ eᵢ = j)`
+/// for independent Bernoulli variables with success probabilities `probs`.
+/// Runs the Lemma 1 recurrence in `O(ℓ²)` time, `O(ℓ)` space.
+pub fn poisson_binomial(probs: &[f64]) -> Vec<f64> {
+    let mut dist = vec![0.0f64; probs.len() + 1];
+    dist[0] = 1.0;
+    for (l, &p) in probs.iter().enumerate() {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // dist[0..=l] holds the distribution of the first l variables;
+        // update in place from the top to avoid overwriting inputs.
+        for j in (0..=l + 1).rev() {
+            let stay = if j <= l { dist[j] * (1.0 - p) } else { 0.0 };
+            let up = if j > 0 { dist[j - 1] * p } else { 0.0 };
+            dist[j] = stay + up;
+        }
+    }
+    dist
+}
+
+/// Continuity-corrected normal approximation of the Poisson binomial:
+/// `out[j] ≈ Pr(Σ eᵢ = j)` using `N(μ, σ²)` with `μ = Σ pᵢ`,
+/// `σ² = Σ pᵢ(1−pᵢ)` (paper Section 4, Eq. 5). Degenerates to a point
+/// mass when `σ² = 0`.
+pub fn normal_cells(probs: &[f64]) -> Vec<f64> {
+    let mu: f64 = probs.iter().sum();
+    let var: f64 = probs.iter().map(|&p| p * (1.0 - p)).sum();
+    let len = probs.len() + 1;
+    if var <= 1e-300 {
+        let mut out = vec![0.0; len];
+        let j = mu.round() as usize;
+        out[j.min(len - 1)] = 1.0;
+        return out;
+    }
+    let sigma = var.sqrt();
+    let mut out = Vec::with_capacity(len);
+    for j in 0..len {
+        out.push(norm_cell_prob(j as f64, mu, sigma));
+    }
+    // Renormalise the truncation to the valid support [0, ℓ].
+    let total: f64 = out.iter().sum();
+    if total > 0.0 {
+        for x in &mut out {
+            *x /= total;
+        }
+    }
+    out
+}
+
+/// Degree distribution of vertex `v` in `G̃`: `out[ω] = X_v(ω)` (Eq. 2 for
+/// the degree property), with `out.len() - 1` equal to the number of
+/// candidate pairs incident to `v`.
+pub fn vertex_degree_distribution(
+    g: &UncertainGraph,
+    v: u32,
+    method: DegreeDistMethod,
+) -> Vec<f64> {
+    let probs: Vec<f64> = g.incident(v).iter().map(|&(_, p)| p).collect();
+    match method {
+        DegreeDistMethod::Exact => poisson_binomial(&probs),
+        DegreeDistMethod::Normal => normal_cells(&probs),
+        DegreeDistMethod::Auto { threshold } => {
+            if probs.len() <= threshold {
+                poisson_binomial(&probs)
+            } else {
+                normal_cells(&probs)
+            }
+        }
+    }
+}
+
+/// Exact expected degree distribution of the uncertain graph:
+/// `out[d] = E[Δ(d)] = (1/n) Σ_v Pr(d_v = d)` — the quantity Figure 3
+/// estimates by sampling, computed here in closed form.
+pub fn degree_distribution_exact(g: &UncertainGraph) -> Vec<f64> {
+    accumulate_degree_distribution(g, DegreeDistMethod::Exact)
+}
+
+/// Normal-approximated expected degree distribution (for large incident
+/// candidate sets).
+pub fn degree_distribution_normal(g: &UncertainGraph) -> Vec<f64> {
+    accumulate_degree_distribution(g, DegreeDistMethod::Normal)
+}
+
+fn accumulate_degree_distribution(g: &UncertainGraph, method: DegreeDistMethod) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut acc: Vec<f64> = Vec::new();
+    for v in 0..n as u32 {
+        let dist = vertex_degree_distribution(g, v, method);
+        if dist.len() > acc.len() {
+            acc.resize(dist.len(), 0.0);
+        }
+        for (d, &p) in dist.iter().enumerate() {
+            acc[d] += p;
+        }
+    }
+    for x in &mut acc {
+        *x /= n as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn figure1b() -> UncertainGraph {
+        UncertainGraph::new(
+            4,
+            vec![
+                (0, 1, 0.7),
+                (0, 2, 0.9),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.1),
+                (2, 3, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example1_v1_degree_two() {
+        // Example 1: Pr(deg(v1) = 2) = 0.398.
+        let g = figure1b();
+        let dist = vertex_degree_distribution(&g, 0, DegreeDistMethod::Exact);
+        assert!((dist[2] - 0.398).abs() < 1e-12, "got {}", dist[2]);
+    }
+
+    #[test]
+    fn paper_table1_x_matrix_rows() {
+        // Table 1, X_v(ω), all four rows to 3 decimals.
+        let g = figure1b();
+        let expected = [
+            [0.006, 0.092, 0.398, 0.504],
+            [0.054, 0.348, 0.542, 0.056],
+            [0.020, 0.260, 0.720, 0.000],
+            [0.180, 0.740, 0.080, 0.000],
+        ];
+        for (v, row) in expected.iter().enumerate() {
+            let dist = vertex_degree_distribution(&g, v as u32, DegreeDistMethod::Exact);
+            for (omega, &want) in row.iter().enumerate() {
+                let got = dist.get(omega).copied().unwrap_or(0.0);
+                assert!(
+                    (got - want).abs() < 5e-4,
+                    "v{} deg{} got {} want {}",
+                    v + 1,
+                    omega,
+                    got,
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_binomial_sums_to_one() {
+        let probs = [0.2, 0.5, 0.9, 0.01, 0.77];
+        let dist = poisson_binomial(&probs);
+        assert_eq!(dist.len(), 6);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_binomial_matches_binomial() {
+        // Equal probabilities reduce to a binomial.
+        let p = 0.3f64;
+        let n = 10;
+        let dist = poisson_binomial(&vec![p; n]);
+        for (k, &got) in dist.iter().enumerate() {
+            let binom = choose(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+            assert!((got - binom).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    fn choose(n: usize, k: usize) -> f64 {
+        (0..k).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64)
+    }
+
+    #[test]
+    fn poisson_binomial_brute_force_agreement() {
+        // Enumerate all subsets for small inputs.
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let len = rng.gen_range(1..=8);
+            let probs: Vec<f64> = (0..len).map(|_| rng.gen::<f64>()).collect();
+            let dp = poisson_binomial(&probs);
+            let mut brute = vec![0.0; len + 1];
+            for mask in 0u32..(1 << len) {
+                let mut pr = 1.0;
+                let mut ones = 0;
+                for (i, &p) in probs.iter().enumerate() {
+                    if mask >> i & 1 == 1 {
+                        pr *= p;
+                        ones += 1;
+                    } else {
+                        pr *= 1.0 - p;
+                    }
+                }
+                brute[ones] += pr;
+            }
+            for (a, b) in dp.iter().zip(&brute) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_probs_is_point_mass_at_zero() {
+        assert_eq!(poisson_binomial(&[]), vec![1.0]);
+    }
+
+    #[test]
+    fn deterministic_probs() {
+        let dist = poisson_binomial(&[1.0, 1.0, 0.0]);
+        assert!((dist[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_approximation_close_for_many_addends() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let probs: Vec<f64> = (0..200).map(|_| rng.gen::<f64>() * 0.5 + 0.25).collect();
+        let exact = poisson_binomial(&probs);
+        let normal = normal_cells(&probs);
+        // Total variation distance should be small.
+        let tv: f64 = exact
+            .iter()
+            .zip(&normal)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 2.0;
+        assert!(tv < 0.01, "tv={tv}");
+    }
+
+    #[test]
+    fn normal_cells_sums_to_one() {
+        let probs = vec![0.4; 50];
+        let cells = normal_cells(&probs);
+        assert!((cells.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_degenerate_all_certain() {
+        let cells = normal_cells(&[1.0, 1.0]);
+        assert_eq!(cells[2], 1.0);
+        assert_eq!(cells[0], 0.0);
+    }
+
+    #[test]
+    fn auto_switches_methods() {
+        let g = figure1b();
+        let auto_low = vertex_degree_distribution(&g, 0, DegreeDistMethod::Auto { threshold: 10 });
+        let exact = vertex_degree_distribution(&g, 0, DegreeDistMethod::Exact);
+        assert_eq!(auto_low, exact);
+        let auto_hi = vertex_degree_distribution(&g, 0, DegreeDistMethod::Auto { threshold: 1 });
+        let normal = vertex_degree_distribution(&g, 0, DegreeDistMethod::Normal);
+        assert_eq!(auto_hi, normal);
+    }
+
+    #[test]
+    fn expected_degree_distribution_matches_sampling() {
+        let g = figure1b();
+        let exact = degree_distribution_exact(&g);
+        // Monte-Carlo check.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = 40_000;
+        let mut acc = vec![0.0f64; exact.len()];
+        for _ in 0..r {
+            let w = g.sample_world(&mut rng);
+            for v in 0..4u32 {
+                acc[w.degree(v)] += 1.0;
+            }
+        }
+        for x in &mut acc {
+            *x /= (r * 4) as f64;
+        }
+        for (d, (a, b)) in exact.iter().zip(&acc).enumerate() {
+            assert!((a - b).abs() < 0.01, "d={d} exact={a} sampled={b}");
+        }
+    }
+
+    #[test]
+    fn expected_degree_distribution_normalised() {
+        let g = figure1b();
+        let dd = degree_distribution_exact(&g);
+        assert!((dd.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let empty = UncertainGraph::new(0, vec![]).unwrap();
+        assert!(degree_distribution_exact(&empty).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Exact expected values of degree statistics (paper Section 6.2).
+//!
+//! For linear statistics the expectation passes through (Eq. 11):
+//! `E[S_NE] = Σ_e p(e)` and `E[S_AD] = (2/n) Σ_e p(e)`. The paper remarks
+//! that `E[S_DV]` can also be computed exactly but omits the formula,
+//! citing quadratic cost; using the independence of the candidate-pair
+//! indicators it is actually linear:
+//!
+//! ```text
+//! S_DV   = (1/n) Σ_v (d_v − d̄)²  where  d̄ = (1/n) Σ_v d_v
+//! E[S_DV] = (1/n) Σ_v E[d_v²] − E[d̄²]
+//!         = (1/n) Σ_v (σ_v² + μ_v²) − Var(d̄) − μ̄²
+//! Var(d̄) = Var((2/n) Σ_e X_e) = (4/n²) Σ_e p_e (1 − p_e)
+//! ```
+//!
+//! with `μ_v = Σ_{e∋v} p_e`, `σ_v² = Σ_{e∋v} p_e(1−p_e)` and
+//! `μ̄ = (2/n) Σ_e p_e`.
+
+use crate::graph::UncertainGraph;
+
+/// `E[S_NE] = Σ_{e ∈ E_C} p(e)` (Section 6.2).
+pub fn expected_num_edges(g: &UncertainGraph) -> f64 {
+    g.total_probability_mass()
+}
+
+/// `E[S_AD] = (2/n) Σ_{e ∈ E_C} p(e)` (Section 6.2).
+pub fn expected_average_degree(g: &UncertainGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        0.0
+    } else {
+        2.0 * g.total_probability_mass() / n as f64
+    }
+}
+
+/// Exact `E[S_DV]` in `O(n + |E_C|)` (see module docs for the derivation).
+pub fn expected_degree_variance(g: &UncertainGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut sum_second_moment = 0.0;
+    for v in 0..n as u32 {
+        let mu = g.expected_degree(v);
+        let var = g.degree_variance_term(v);
+        sum_second_moment += var + mu * mu;
+    }
+    let edge_var_sum: f64 = g
+        .candidates()
+        .iter()
+        .map(|&(_, _, p)| p * (1.0 - p))
+        .sum();
+    let mu_bar = 2.0 * g.total_probability_mass() / nf;
+    sum_second_moment / nf - 4.0 / (nf * nf) * edge_var_sum - mu_bar * mu_bar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn figure1b() -> UncertainGraph {
+        UncertainGraph::new(
+            4,
+            vec![
+                (0, 1, 0.7),
+                (0, 2, 0.9),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.1),
+                (2, 3, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expected_edges_figure1b() {
+        assert!((expected_num_edges(&figure1b()) - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_average_degree_figure1b() {
+        assert!((expected_average_degree(&figure1b()) - 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_graph_degree_variance_is_deterministic() {
+        let g = obf_graph::generators::star(5);
+        let ug = UncertainGraph::from_certain(&g);
+        let exact = obf_graph::DegreeStats::of(&g).degree_variance;
+        assert!((expected_degree_variance(&ug) - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_variance_matches_monte_carlo() {
+        let ug = figure1b();
+        let exact = expected_degree_variance(&ug);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = 200_000;
+        let mut acc = 0.0;
+        for _ in 0..r {
+            let w = ug.sample_world(&mut rng);
+            let degs: Vec<f64> = (0..4u32).map(|v| w.degree(v) as f64).collect();
+            let mean = degs.iter().sum::<f64>() / 4.0;
+            acc += degs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / 4.0;
+        }
+        let mc = acc / r as f64;
+        assert!((exact - mc).abs() < 0.01, "exact={exact} mc={mc}");
+    }
+
+    #[test]
+    fn degree_variance_matches_monte_carlo_random_graph() {
+        // Larger random uncertain graph.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 30usize;
+        let mut cands = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if rng.gen::<f64>() < 0.2 {
+                    cands.push((u, v, rng.gen::<f64>()));
+                }
+            }
+        }
+        let ug = UncertainGraph::new(n, cands).unwrap();
+        let exact = expected_degree_variance(&ug);
+        let r = 30_000;
+        let mut acc = 0.0;
+        for _ in 0..r {
+            let w = ug.sample_world(&mut rng);
+            let degs: Vec<f64> = (0..n as u32).map(|v| w.degree(v) as f64).collect();
+            let mean = degs.iter().sum::<f64>() / n as f64;
+            acc += degs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        }
+        let mc = acc / r as f64;
+        assert!(
+            (exact - mc).abs() < 0.05 * exact.max(1.0),
+            "exact={exact} mc={mc}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_expectations() {
+        let ug = UncertainGraph::new(0, vec![]).unwrap();
+        assert_eq!(expected_num_edges(&ug), 0.0);
+        assert_eq!(expected_average_degree(&ug), 0.0);
+        assert_eq!(expected_degree_variance(&ug), 0.0);
+    }
+}

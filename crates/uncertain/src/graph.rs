@@ -1,0 +1,244 @@
+//! The [`UncertainGraph`] type (paper Definition 1, restricted to a
+//! candidate set `E_C` as in Section 3).
+
+use obf_graph::{Graph, VertexPair};
+
+/// An uncertain graph `G̃ = (V, p)`: `n` vertices and a list of candidate
+/// pairs with existence probabilities; pairs not listed are certain
+/// non-edges (`p = 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainGraph {
+    n: usize,
+    /// Candidate pairs in canonical `(lo, hi)` order with probabilities in
+    /// `[0, 1]`; sorted and deduplicated.
+    edges: Vec<(u32, u32, f64)>,
+    /// CSR index over candidate pairs: `adj[offsets[v]..offsets[v+1]]`
+    /// lists `(other_endpoint, probability)` for every candidate pair
+    /// incident to `v`.
+    offsets: Vec<usize>,
+    adj: Vec<(u32, f64)>,
+}
+
+impl UncertainGraph {
+    /// Builds an uncertain graph from candidate pairs.
+    ///
+    /// Duplicate pairs are rejected, as are probabilities outside `[0, 1]`
+    /// and self loops.
+    pub fn new(n: usize, mut candidates: Vec<(u32, u32, f64)>) -> Result<Self, String> {
+        for (u, v, p) in candidates.iter_mut() {
+            if *u == *v {
+                return Err(format!("self loop at vertex {u}"));
+            }
+            if (*u as usize) >= n || (*v as usize) >= n {
+                return Err(format!("pair ({u},{v}) out of range for n={n}"));
+            }
+            if !p.is_finite() || !(0.0..=1.0).contains(p) {
+                return Err(format!("probability {p} out of [0,1] for ({u},{v})"));
+            }
+            if u > v {
+                std::mem::swap(u, v);
+            }
+        }
+        candidates.sort_unstable_by_key(|a| (a.0, a.1));
+        for w in candidates.windows(2) {
+            if (w[0].0, w[0].1) == (w[1].0, w[1].1) {
+                return Err(format!("duplicate candidate pair ({}, {})", w[0].0, w[0].1));
+            }
+        }
+        // Build the incidence CSR.
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &candidates {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut acc = 0;
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![(0u32, 0.0f64); acc];
+        for &(u, v, p) in &candidates {
+            adj[cursor[u as usize]] = (v, p);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, p);
+            cursor[v as usize] += 1;
+        }
+        Ok(Self {
+            n,
+            edges: candidates,
+            offsets,
+            adj,
+        })
+    }
+
+    /// The "certain" embedding of a deterministic graph: every edge gets
+    /// probability 1.
+    pub fn from_certain(g: &Graph) -> Self {
+        let candidates = g.edges().map(|(u, v)| (u, v, 1.0)).collect();
+        Self::new(g.num_vertices(), candidates).expect("certain graph is valid")
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of candidate pairs `|E_C|` (including any with `p = 0` or
+    /// `p = 1`).
+    #[inline]
+    pub fn num_candidates(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Candidate pairs in canonical order.
+    #[inline]
+    pub fn candidates(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// Candidate pairs incident to `v` as `(other, p)`.
+    #[inline]
+    pub fn incident(&self, v: u32) -> &[(u32, f64)] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Probability of the pair `(u, v)` (0 if not a candidate).
+    pub fn probability(&self, u: u32, v: u32) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        let pair = VertexPair::new(u, v);
+        match self
+            .edges
+            .binary_search_by(|&(a, b, _)| (a, b).cmp(&pair.as_tuple()))
+        {
+            Ok(i) => self.edges[i].2,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expected degree `μ_v = Σ_{e ∋ v} p(e)`.
+    pub fn expected_degree(&self, v: u32) -> f64 {
+        self.incident(v).iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Degree variance contribution `σ_v² = Σ_{e ∋ v} p(e)(1 − p(e))`.
+    pub fn degree_variance_term(&self, v: u32) -> f64 {
+        self.incident(v).iter().map(|&(_, p)| p * (1.0 - p)).sum()
+    }
+
+    /// Log-probability of a possible world given as the subset of
+    /// candidate indices that are present (Eq. 1). Indices must be sorted
+    /// and unique.
+    pub fn world_log_probability(&self, present: &[usize]) -> f64 {
+        debug_assert!(present.windows(2).all(|w| w[0] < w[1]));
+        let mut lp = 0.0;
+        let mut iter = present.iter().peekable();
+        for (i, &(_, _, p)) in self.edges.iter().enumerate() {
+            let included = iter.peek() == Some(&&i);
+            if included {
+                iter.next();
+                lp += p.ln(); // -inf if p = 0: impossible world
+            } else {
+                lp += (1.0 - p).ln();
+            }
+        }
+        lp
+    }
+
+    /// Total expected number of edges `Σ_e p(e)`.
+    pub fn total_probability_mass(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, p)| p).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The uncertain graph of paper Figure 1(b), reconstructed from
+    /// Table 1 (see DESIGN.md).
+    pub(crate) fn figure1b() -> UncertainGraph {
+        UncertainGraph::new(
+            4,
+            vec![
+                (0, 1, 0.7), // (v1, v2)
+                (0, 2, 0.9), // (v1, v3)
+                (0, 3, 0.8), // (v1, v4)
+                (1, 2, 0.8), // (v2, v3)
+                (1, 3, 0.1), // (v2, v4)
+                (2, 3, 0.0), // (v3, v4): fully removed edge
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let g = figure1b();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_candidates(), 6);
+        assert_eq!(g.probability(0, 1), 0.7);
+        assert_eq!(g.probability(1, 0), 0.7);
+        assert_eq!(g.probability(2, 3), 0.0);
+        assert_eq!(g.incident(0).len(), 3);
+    }
+
+    #[test]
+    fn expected_degrees_of_figure1b() {
+        let g = figure1b();
+        assert!((g.expected_degree(0) - 2.4).abs() < 1e-12);
+        assert!((g.expected_degree(1) - 1.6).abs() < 1e-12);
+        assert!((g.expected_degree(2) - 1.7).abs() < 1e-12);
+        assert!((g.expected_degree(3) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_certain_round_trip() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let ug = UncertainGraph::from_certain(&g);
+        assert_eq!(ug.num_candidates(), 2);
+        assert_eq!(ug.probability(0, 1), 1.0);
+        assert_eq!(ug.probability(0, 2), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(UncertainGraph::new(3, vec![(0, 0, 0.5)]).is_err());
+        assert!(UncertainGraph::new(3, vec![(0, 5, 0.5)]).is_err());
+        assert!(UncertainGraph::new(3, vec![(0, 1, 1.5)]).is_err());
+        assert!(UncertainGraph::new(3, vec![(0, 1, f64::NAN)]).is_err());
+        assert!(UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 0, 0.7)]).is_err());
+    }
+
+    #[test]
+    fn canonicalises_orientation() {
+        let g = UncertainGraph::new(3, vec![(2, 0, 0.3)]).unwrap();
+        assert_eq!(g.candidates(), &[(0, 2, 0.3)]);
+        assert_eq!(g.probability(2, 0), 0.3);
+    }
+
+    #[test]
+    fn world_log_probability_matches_eq1() {
+        let g = UncertainGraph::new(3, vec![(0, 1, 0.5), (0, 2, 0.25), (1, 2, 1.0)]).unwrap();
+        // World containing candidates 0 and 2 only.
+        let lp = g.world_log_probability(&[0, 2]);
+        let expect = (0.5f64).ln() + (0.75f64).ln() + (1.0f64).ln();
+        assert!((lp - expect).abs() < 1e-12);
+        // Excluding the certain edge (index 2) is impossible.
+        assert_eq!(g.world_log_probability(&[0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mass_and_variance_terms() {
+        let g = figure1b();
+        assert!((g.total_probability_mass() - 3.3).abs() < 1e-12);
+        let v0 = 0.7 * 0.3 + 0.9 * 0.1 + 0.8 * 0.2;
+        assert!((g.degree_variance_term(0) - v0).abs() < 1e-12);
+    }
+}

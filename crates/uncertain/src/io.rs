@@ -1,0 +1,174 @@
+//! I/O for uncertain graphs: whitespace-separated `u v p` triples, one
+//! candidate pair per line — the natural publication format for the
+//! paper's released artifacts (the uncertain graph *is* the thing a data
+//! owner ships).
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::graph::UncertainGraph;
+
+/// Errors from uncertain-edge-list parsing.
+#[derive(Debug)]
+pub enum UncertainIoError {
+    Io(std::io::Error),
+    Parse { line: usize, content: String },
+    Invalid(String),
+}
+
+impl std::fmt::Display for UncertainIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UncertainIoError::Io(e) => write!(f, "I/O error: {e}"),
+            UncertainIoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+            UncertainIoError::Invalid(msg) => write!(f, "invalid uncertain graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UncertainIoError {}
+
+impl From<std::io::Error> for UncertainIoError {
+    fn from(e: std::io::Error) -> Self {
+        UncertainIoError::Io(e)
+    }
+}
+
+/// Reads an uncertain graph over `0..n` vertices from `u v p` lines
+/// (`#`/`%` comments and blank lines skipped). `n` is inferred as
+/// `max(id) + 1` unless `min_vertices` raises it.
+pub fn read_uncertain_edge_list<R: BufRead>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<UncertainGraph, UncertainIoError> {
+    let mut candidates: Vec<(u32, u32, f64)> = Vec::new();
+    let mut max_id: Option<u32> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parsed = (|| {
+            let u: u32 = parts.next()?.parse().ok()?;
+            let v: u32 = parts.next()?.parse().ok()?;
+            let p: f64 = parts.next()?.parse().ok()?;
+            Some((u, v, p))
+        })();
+        let (u, v, p) = parsed.ok_or_else(|| UncertainIoError::Parse {
+            line: lineno + 1,
+            content: line.clone(),
+        })?;
+        max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+        candidates.push((u, v, p));
+    }
+    let n = max_id.map_or(0, |m| m as usize + 1).max(min_vertices);
+    UncertainGraph::new(n, candidates).map_err(UncertainIoError::Invalid)
+}
+
+/// Loads an uncertain graph from a file path.
+pub fn load_uncertain_edge_list<P: AsRef<Path>>(
+    path: P,
+    min_vertices: usize,
+) -> Result<UncertainGraph, UncertainIoError> {
+    let file = std::fs::File::open(path)?;
+    read_uncertain_edge_list(std::io::BufReader::new(file), min_vertices)
+}
+
+/// Writes the uncertain graph as `u v p` lines (canonical order, full
+/// float precision so a round trip is loss-free).
+pub fn write_uncertain_edge_list<W: Write>(
+    g: &UncertainGraph,
+    writer: W,
+) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# uncertain graph: {} vertices, {} candidate pairs", g.num_vertices(), g.num_candidates())?;
+    for &(u, v, p) in g.candidates() {
+        // {:?} prints the shortest representation that round-trips f64.
+        writeln!(w, "{u}\t{v}\t{p:?}")?;
+    }
+    w.flush()
+}
+
+/// Saves the uncertain graph to a file path.
+pub fn save_uncertain_edge_list<P: AsRef<Path>>(
+    g: &UncertainGraph,
+    path: P,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_uncertain_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let input = "# header\n0 1 0.7\n1 2 0.25\n";
+        let g = read_uncertain_edge_list(input.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.probability(0, 1), 0.7);
+        assert_eq!(g.probability(1, 2), 0.25);
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated() {
+        let input = "0 1 1.0\n";
+        let g = read_uncertain_edge_list(input.as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let input = "0 1 1.5\n";
+        assert!(matches!(
+            read_uncertain_edge_list(input.as_bytes(), 0),
+            Err(UncertainIoError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let input = "0 1\n";
+        match read_uncertain_edge_list(input.as_bytes(), 0) {
+            Err(UncertainIoError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let g = UncertainGraph::new(
+            4,
+            vec![(0, 1, 0.123456789012345), (1, 2, 1.0), (2, 3, 1e-9)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_uncertain_edge_list(&g, &mut buf).unwrap();
+        let back = read_uncertain_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("obfugraph_uio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ug.txt");
+        let g = UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.75)]).unwrap();
+        save_uncertain_edge_list(&g, &path).unwrap();
+        let back = load_uncertain_edge_list(&path, 0).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_uncertain_edge_list("".as_bytes(), 5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_candidates(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Uncertain graphs: possible-world semantics, sampling estimators and
+//! exact expectations (paper Sections 3 and 6).
+//!
+//! An uncertain graph `G̃ = (V, p)` assigns an existence probability to a
+//! set of candidate vertex pairs; every other pair is a certain non-edge.
+//! `G̃` induces a distribution over *possible worlds* — certain graphs
+//! `W = (V, E_W)` with `E_W ⊆ E_C` — with probability
+//! `Pr(W) = Π_{e∈E_W} p(e) · Π_{e∈E_C\E_W} (1 − p(e))` (Eq. 1).
+//!
+//! Statistics of `G̃` are expectations over possible worlds (Eq. 8),
+//! computed either exactly (linear degree statistics, Section 6.2; plus a
+//! closed-form expected degree variance that the paper leaves out) or by
+//! Monte-Carlo sampling with Hoeffding error control (Lemma 2/Corollary 1).
+
+pub mod degree_dist;
+pub mod estimator;
+pub mod expected;
+pub mod graph;
+pub mod io;
+pub mod queries;
+pub mod sampling;
+pub mod statistics;
+pub mod triangles;
+
+pub use degree_dist::{degree_distribution_exact, degree_distribution_normal, DegreeDistMethod};
+pub use estimator::{estimate_statistic, EstimateSummary};
+pub use expected::{expected_average_degree, expected_degree_variance, expected_num_edges};
+pub use graph::UncertainGraph;
+pub use io::{load_uncertain_edge_list, read_uncertain_edge_list, save_uncertain_edge_list, write_uncertain_edge_list};
+pub use queries::{distance_distribution, knn_majority_distance, reliability};
+pub use sampling::WorldSampler;
+pub use triangles::{expected_center_paths, expected_ratio_clustering, expected_triangles};
+pub use statistics::{evaluate_uncertain, evaluate_world, StatSuite, UtilityConfig};

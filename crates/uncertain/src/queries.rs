@@ -1,0 +1,311 @@
+//! Query primitives over uncertain graphs.
+//!
+//! The paper's practical-relevance argument (Sections 1 and 6) leans on
+//! the uncertain-graph querying literature — reliability queries (Jin et
+//! al.), distance-constraint reachability, and k-nearest-neighbour
+//! queries under probabilistic distances (Potamias et al.). This module
+//! implements the standard sampled versions of those primitives over
+//! [`UncertainGraph`], with Hoeffding error control where the estimate is
+//! a bounded mean.
+
+use rand::Rng;
+
+use obf_graph::traversal::{bfs_distances_into, UNREACHABLE};
+use obf_stats::hoeffding::hoeffding_bound;
+
+use crate::graph::UncertainGraph;
+
+/// Result of a sampled reliability (two-terminal connectivity) query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityEstimate {
+    /// Estimated probability that the two vertices are connected.
+    pub probability: f64,
+    /// Number of sampled worlds.
+    pub samples: usize,
+    /// Hoeffding bound on `Pr(|true - estimate| >= 0.05)`.
+    pub error_bound_5pct: f64,
+}
+
+/// Estimates the probability that `s` and `t` are path-connected in a
+/// random possible world (two-terminal reliability), by sampling `r`
+/// worlds.
+pub fn reliability<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    s: u32,
+    t: u32,
+    r: usize,
+    rng: &mut R,
+) -> ReliabilityEstimate {
+    assert!(r > 0, "need at least one sample");
+    assert!(
+        (s as usize) < g.num_vertices() && (t as usize) < g.num_vertices(),
+        "query vertices out of range"
+    );
+    let mut hits = 0usize;
+    let mut dist = Vec::new();
+    let mut queue = Vec::new();
+    for _ in 0..r {
+        let world = g.sample_world(rng);
+        bfs_distances_into(&world, s, &mut dist, &mut queue);
+        if dist[t as usize] != UNREACHABLE {
+            hits += 1;
+        }
+    }
+    ReliabilityEstimate {
+        probability: hits as f64 / r as f64,
+        samples: r,
+        error_bound_5pct: hoeffding_bound(0.0, 1.0, r, 0.05),
+    }
+}
+
+/// Distribution of the `s`–`t` shortest-path distance over sampled
+/// possible worlds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceDistributionQuery {
+    /// `pmf[d]` = fraction of worlds where `dist(s, t) = d`.
+    pub pmf: Vec<f64>,
+    /// Fraction of worlds where `s` and `t` are disconnected.
+    pub disconnected: f64,
+    pub samples: usize,
+}
+
+impl DistanceDistributionQuery {
+    /// Median distance over connected worlds (`None` if never connected).
+    pub fn median_distance(&self) -> Option<f64> {
+        let connected: f64 = self.pmf.iter().sum();
+        if connected <= 0.0 {
+            return None;
+        }
+        let target = connected / 2.0;
+        let mut acc = 0.0;
+        for (d, &p) in self.pmf.iter().enumerate() {
+            acc += p;
+            if acc >= target {
+                return Some(d as f64);
+            }
+        }
+        Some((self.pmf.len() - 1) as f64)
+    }
+
+    /// The *majority distance* (mode of the pmf), a robust uncertain-graph
+    /// distance (Potamias et al.).
+    pub fn majority_distance(&self) -> Option<usize> {
+        self.pmf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(d, _)| d)
+    }
+
+    /// Expected distance conditioned on connectivity.
+    pub fn expected_connected_distance(&self) -> Option<f64> {
+        let connected: f64 = self.pmf.iter().sum();
+        if connected <= 0.0 {
+            return None;
+        }
+        Some(
+            self.pmf
+                .iter()
+                .enumerate()
+                .map(|(d, &p)| d as f64 * p)
+                .sum::<f64>()
+                / connected,
+        )
+    }
+}
+
+/// Samples the `s`–`t` distance distribution over `r` possible worlds.
+pub fn distance_distribution<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    s: u32,
+    t: u32,
+    r: usize,
+    rng: &mut R,
+) -> DistanceDistributionQuery {
+    assert!(r > 0, "need at least one sample");
+    let mut counts: Vec<usize> = Vec::new();
+    let mut disconnected = 0usize;
+    let mut dist = Vec::new();
+    let mut queue = Vec::new();
+    for _ in 0..r {
+        let world = g.sample_world(rng);
+        bfs_distances_into(&world, s, &mut dist, &mut queue);
+        match dist[t as usize] {
+            UNREACHABLE => disconnected += 1,
+            d => {
+                let d = d as usize;
+                if d >= counts.len() {
+                    counts.resize(d + 1, 0);
+                }
+                counts[d] += 1;
+            }
+        }
+    }
+    DistanceDistributionQuery {
+        pmf: counts.iter().map(|&c| c as f64 / r as f64).collect(),
+        disconnected: disconnected as f64 / r as f64,
+        samples: r,
+    }
+}
+
+/// k-nearest neighbours of `s` by majority distance: the `k` vertices
+/// whose sampled distance pmf has the smallest majority distance (ties
+/// broken by reliability, then id). Vertices never connected to `s` are
+/// excluded.
+pub fn knn_majority_distance<R: Rng + ?Sized>(
+    g: &UncertainGraph,
+    s: u32,
+    k: usize,
+    r: usize,
+    rng: &mut R,
+) -> Vec<(u32, usize, f64)> {
+    assert!(r > 0, "need at least one sample");
+    let n = g.num_vertices();
+    // One BFS per world covers all targets at once.
+    let mut counts: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut reach: Vec<usize> = vec![0; n];
+    let mut dist = Vec::new();
+    let mut queue = Vec::new();
+    for _ in 0..r {
+        let world = g.sample_world(rng);
+        bfs_distances_into(&world, s, &mut dist, &mut queue);
+        for (v, &d) in dist.iter().enumerate() {
+            if v as u32 == s || d == UNREACHABLE {
+                continue;
+            }
+            let d = d as usize;
+            if d >= counts[v].len() {
+                counts[v].resize(d + 1, 0);
+            }
+            counts[v][d] += 1;
+            reach[v] += 1;
+        }
+    }
+    let mut scored: Vec<(u32, usize, f64)> = (0..n as u32)
+        .filter(|&v| v != s && reach[v as usize] > 0)
+        .map(|v| {
+            let c = &counts[v as usize];
+            let majority = c
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &cnt)| cnt)
+                .map(|(d, _)| d)
+                .unwrap_or(usize::MAX);
+            let reliability = reach[v as usize] as f64 / r as f64;
+            (v, majority, reliability)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.1.cmp(&b.1)
+            .then(b.2.total_cmp(&a.2))
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chain(p: f64) -> UncertainGraph {
+        // 0 -p- 1 -p- 2
+        UncertainGraph::new(3, vec![(0, 1, p), (1, 2, p)]).unwrap()
+    }
+
+    #[test]
+    fn reliability_of_series_edges() {
+        // P(0 ~ 2) = p² for a 2-edge chain.
+        let g = chain(0.6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = reliability(&g, 0, 2, 20_000, &mut rng);
+        assert!((est.probability - 0.36).abs() < 0.02, "{}", est.probability);
+        assert!(est.error_bound_5pct < 1e-10);
+    }
+
+    #[test]
+    fn reliability_certain_edges() {
+        let g = chain(1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(reliability(&g, 0, 2, 10, &mut rng).probability, 1.0);
+        let g = chain(0.0);
+        assert_eq!(reliability(&g, 0, 2, 10, &mut rng).probability, 0.0);
+    }
+
+    #[test]
+    fn reliability_parallel_paths() {
+        // Two disjoint 1-edge paths between 0 and 1 cannot be expressed in
+        // a simple graph; use a diamond: 0-1 via 2 and via 3, p = 0.5 each
+        // edge. P(connected) = 1 - (1 - 0.25)² = 0.4375.
+        let g = UncertainGraph::new(
+            4,
+            vec![(0, 2, 0.5), (2, 1, 0.5), (0, 3, 0.5), (3, 1, 0.5)],
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let est = reliability(&g, 0, 1, 40_000, &mut rng);
+        assert!((est.probability - 0.4375).abs() < 0.01, "{}", est.probability);
+    }
+
+    #[test]
+    fn distance_distribution_of_triangle_shortcut() {
+        // 0-1 direct with p=0.6; 0-2-1 always present: distance is 1 with
+        // p=0.6, else 2.
+        let g = UncertainGraph::new(3, vec![(0, 1, 0.6), (0, 2, 1.0), (2, 1, 1.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let q = distance_distribution(&g, 0, 1, 20_000, &mut rng);
+        assert!((q.pmf[1] - 0.6).abs() < 0.02);
+        assert!((q.pmf[2] - 0.4).abs() < 0.02);
+        assert_eq!(q.disconnected, 0.0);
+        assert_eq!(q.median_distance(), Some(1.0));
+        let ecd = q.expected_connected_distance().unwrap();
+        assert!((ecd - 1.4).abs() < 0.03);
+    }
+
+    #[test]
+    fn majority_distance_picks_mode() {
+        let g = UncertainGraph::new(3, vec![(0, 1, 0.2), (0, 2, 1.0), (2, 1, 1.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let q = distance_distribution(&g, 0, 1, 5_000, &mut rng);
+        assert_eq!(q.majority_distance(), Some(2));
+    }
+
+    #[test]
+    fn disconnected_pair_reported() {
+        let g = UncertainGraph::new(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let q = distance_distribution(&g, 0, 3, 100, &mut rng);
+        assert_eq!(q.disconnected, 1.0);
+        assert_eq!(q.median_distance(), None);
+        assert_eq!(q.expected_connected_distance(), None);
+    }
+
+    #[test]
+    fn knn_orders_by_majority_distance() {
+        // Star around 0 with certain spokes to 1,2; a fringe vertex 3
+        // behind 1.
+        let g = UncertainGraph::new(
+            4,
+            vec![(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0)],
+        )
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let knn = knn_majority_distance(&g, 0, 3, 200, &mut rng);
+        assert_eq!(knn.len(), 3);
+        assert_eq!(knn[0].1, 1); // distance-1 neighbours first
+        assert_eq!(knn[1].1, 1);
+        assert_eq!(knn[2], (3, 2, 1.0));
+    }
+
+    #[test]
+    fn knn_excludes_unreachable() {
+        let g = UncertainGraph::new(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let knn = knn_majority_distance(&g, 0, 10, 50, &mut rng);
+        assert_eq!(knn.len(), 1);
+        assert_eq!(knn[0].0, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Sampling possible worlds (paper Section 6.1).
+//!
+//! A possible world is drawn by including each candidate pair `e`
+//! independently with probability `p(e)`; the result is an ordinary
+//! certain [`Graph`] on which any statistic can be evaluated.
+
+use rand::Rng;
+
+use obf_graph::{Graph, GraphBuilder};
+
+use crate::graph::UncertainGraph;
+
+/// Convenience world-sampling interface over an [`UncertainGraph`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorldSampler<'a> {
+    graph: &'a UncertainGraph,
+}
+
+impl<'a> WorldSampler<'a> {
+    /// Creates a sampler borrowing the uncertain graph.
+    pub fn new(graph: &'a UncertainGraph) -> Self {
+        Self { graph }
+    }
+
+    /// Draws one possible world.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        sample_world(self.graph, rng)
+    }
+
+    /// Draws `r` independent possible worlds.
+    pub fn sample_many<R: Rng + ?Sized>(&self, r: usize, rng: &mut R) -> Vec<Graph> {
+        (0..r).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draws one possible world of `g` (Eq. 1 semantics: each candidate
+/// independently with its probability).
+pub fn sample_world<R: Rng + ?Sized>(g: &UncertainGraph, rng: &mut R) -> Graph {
+    let mut b = GraphBuilder::with_capacity(
+        g.num_vertices(),
+        (g.total_probability_mass().ceil() as usize).max(16),
+    );
+    for &(u, v, p) in g.candidates() {
+        // Branching on the cheap cases first: most probabilities in an
+        // obfuscated graph are near 0 or 1.
+        if p >= 1.0 || (p > 0.0 && rng.gen::<f64>() < p) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+impl UncertainGraph {
+    /// Draws one possible world (method form of [`sample_world`]).
+    pub fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        sample_world(self, rng)
+    }
+
+    /// Draws `r` independent possible worlds.
+    pub fn sample_worlds<R: Rng + ?Sized>(&self, r: usize, rng: &mut R) -> Vec<Graph> {
+        WorldSampler::new(self).sample_many(r, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn figure1b() -> UncertainGraph {
+        UncertainGraph::new(
+            4,
+            vec![
+                (0, 1, 0.7),
+                (0, 2, 0.9),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.1),
+                (2, 3, 0.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn certain_graph_sampling_is_identity() {
+        let g = obf_graph::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let ug = UncertainGraph::from_certain(&g);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let w = ug.sample_world(&mut rng);
+            assert_eq!(w, g);
+        }
+    }
+
+    #[test]
+    fn zero_probability_pairs_never_appear() {
+        let ug = figure1b();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let w = ug.sample_world(&mut rng);
+            assert!(!w.has_edge(2, 3));
+        }
+    }
+
+    #[test]
+    fn edge_frequency_matches_probability() {
+        let ug = figure1b();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = 20_000;
+        let mut count01 = 0usize;
+        let mut count13 = 0usize;
+        for _ in 0..r {
+            let w = ug.sample_world(&mut rng);
+            if w.has_edge(0, 1) {
+                count01 += 1;
+            }
+            if w.has_edge(1, 3) {
+                count13 += 1;
+            }
+        }
+        assert!((count01 as f64 / r as f64 - 0.7).abs() < 0.02);
+        assert!((count13 as f64 / r as f64 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn expected_edges_match_mass() {
+        let ug = figure1b();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let r = 20_000;
+        let total: usize = (0..r).map(|_| ug.sample_world(&mut rng).num_edges()).sum();
+        let avg = total as f64 / r as f64;
+        assert!((avg - ug.total_probability_mass()).abs() < 0.05, "avg={avg}");
+    }
+
+    #[test]
+    fn sample_many_returns_r_worlds() {
+        let ug = figure1b();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let worlds = ug.sample_worlds(7, &mut rng);
+        assert_eq!(worlds.len(), 7);
+        for w in &worlds {
+            assert_eq!(w.num_vertices(), 4);
+        }
+    }
+}

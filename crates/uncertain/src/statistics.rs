@@ -1,0 +1,349 @@
+//! The full statistic suite of the paper's utility evaluation
+//! (Tables 4–6): ten scalar statistics per graph, evaluated on sampled
+//! possible worlds, plus the vector statistics behind Figures 2 and 3.
+//!
+//! | symbol     | meaning                         | source                |
+//! |------------|---------------------------------|-----------------------|
+//! | `S_NE`     | number of edges                 | exact per world       |
+//! | `S_AD`     | average degree                  | exact per world       |
+//! | `S_MD`     | maximal degree                  | exact per world       |
+//! | `S_DV`     | degree variance                 | exact per world       |
+//! | `S_PL`     | power-law exponent              | log-binned fit        |
+//! | `S_APD`    | average pairwise distance       | HyperANF or exact BFS |
+//! | `S_DiamLB` | diameter lower bound            | HyperANF or exact BFS |
+//! | `S_EDiam`  | effective diameter (90%)        | HyperANF or exact BFS |
+//! | `S_CL`     | connectivity length             | HyperANF or exact BFS |
+//! | `S_CC`     | clustering coefficient          | exact per world       |
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use obf_graph::distance::exact_distance_distribution;
+use obf_graph::triangles::global_clustering_coefficient;
+use obf_graph::{DegreeStats, Graph};
+use obf_hyperanf::{hyper_anf, HyperAnfConfig};
+
+use crate::graph::UncertainGraph;
+
+/// How to obtain distance statistics per world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceEngine {
+    /// All-pairs BFS — exact, `O(n·m)` per world; for small graphs and
+    /// validation.
+    Exact,
+    /// HyperANF with `2^b` registers (the paper's approach for large
+    /// graphs).
+    HyperAnf { b: u32 },
+}
+
+/// Configuration for world evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtilityConfig {
+    pub distance: DistanceEngine,
+    /// Base seed for the per-world HyperANF hash functions.
+    pub seed: u64,
+    /// Number of worker threads for `evaluate_uncertain` (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for UtilityConfig {
+    fn default() -> Self {
+        Self {
+            distance: DistanceEngine::HyperAnf { b: 6 },
+            seed: 0xD15,
+            threads: default_threads(),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The ten scalar statistics of the paper's evaluation, for one (certain)
+/// graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatSuite {
+    pub num_edges: f64,
+    pub average_degree: f64,
+    pub max_degree: f64,
+    pub degree_variance: f64,
+    pub power_law_exponent: f64,
+    pub average_distance: f64,
+    pub diameter_lb: f64,
+    pub effective_diameter: f64,
+    pub connectivity_length: f64,
+    pub clustering_coefficient: f64,
+}
+
+impl StatSuite {
+    /// Column labels matching Tables 4–6.
+    pub const NAMES: [&'static str; 10] = [
+        "S_NE", "S_AD", "S_MD", "S_DV", "S_PL", "S_APD", "S_DiamLB", "S_EDiam", "S_CL", "S_CC",
+    ];
+
+    /// The statistics as an array in the `NAMES` order.
+    pub fn as_array(&self) -> [f64; 10] {
+        [
+            self.num_edges,
+            self.average_degree,
+            self.max_degree,
+            self.degree_variance,
+            self.power_law_exponent,
+            self.average_distance,
+            self.diameter_lb,
+            self.effective_diameter,
+            self.connectivity_length,
+            self.clustering_coefficient,
+        ]
+    }
+
+    /// Average, over the ten statistics, of the relative absolute
+    /// difference to `truth` — the "rel.err" column of Tables 4 and 6.
+    pub fn mean_relative_error(&self, truth: &StatSuite) -> f64 {
+        let est = self.as_array();
+        let real = truth.as_array();
+        let mut acc = 0.0;
+        for (e, t) in est.iter().zip(&real) {
+            acc += obf_stats::describe::relative_error(*e, *t);
+        }
+        acc / est.len() as f64
+    }
+}
+
+/// Evaluates the full statistic suite on one certain graph.
+pub fn evaluate_world(g: &Graph, cfg: &UtilityConfig) -> StatSuite {
+    let deg = DegreeStats::of(g);
+    let (apd, diam_lb, ediam, cl) = match cfg.distance {
+        DistanceEngine::Exact => {
+            let s = exact_distance_distribution(g).stats();
+            (
+                s.average_distance,
+                s.diameter as f64,
+                s.effective_diameter,
+                s.connectivity_length,
+            )
+        }
+        DistanceEngine::HyperAnf { b } => {
+            let anf_cfg = HyperAnfConfig {
+                b,
+                seed: cfg.seed,
+                ..HyperAnfConfig::default()
+            };
+            let dd = hyper_anf(g, &anf_cfg).distance_distribution();
+            let s = dd.stats();
+            (
+                s.average_distance,
+                s.diameter_lower_bound as f64,
+                s.effective_diameter,
+                s.connectivity_length,
+            )
+        }
+    };
+    StatSuite {
+        num_edges: deg.num_edges,
+        average_degree: deg.average_degree,
+        max_degree: deg.max_degree,
+        degree_variance: deg.degree_variance,
+        power_law_exponent: deg.power_law_exponent,
+        average_distance: apd,
+        diameter_lb: diam_lb,
+        effective_diameter: ediam,
+        connectivity_length: cl,
+        clustering_coefficient: global_clustering_coefficient(g),
+    }
+}
+
+/// Samples `r` possible worlds of `g` and evaluates the statistic suite on
+/// each (Section 6.1/7.2 methodology: 100 worlds in the paper). Worlds are
+/// processed in parallel when `cfg.threads > 1`; results are returned in
+/// world order and are deterministic for a fixed `seed`.
+pub fn evaluate_uncertain(
+    g: &UncertainGraph,
+    r: usize,
+    seed: u64,
+    cfg: &UtilityConfig,
+) -> Vec<StatSuite> {
+    // Pre-draw independent world seeds so parallelism cannot change the
+    // sampled worlds.
+    let mut seeder = SmallRng::seed_from_u64(seed);
+    let world_seeds: Vec<u64> = (0..r).map(|_| seeder.gen()).collect();
+    let threads = cfg.threads.max(1).min(r.max(1));
+    if threads <= 1 {
+        return world_seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = SmallRng::seed_from_u64(s);
+                let world = g.sample_world(&mut rng);
+                evaluate_world(&world, &per_world_cfg(cfg, s))
+            })
+            .collect();
+    }
+    let mut out: Vec<Option<StatSuite>> = vec![None; r];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out_mutex = parking_lot::Mutex::new(&mut out);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= r {
+                    break;
+                }
+                let s = world_seeds[i];
+                let mut rng = SmallRng::seed_from_u64(s);
+                let world = g.sample_world(&mut rng);
+                let suite = evaluate_world(&world, &per_world_cfg(cfg, s));
+                out_mutex.lock()[i] = Some(suite);
+            });
+        }
+    })
+    .expect("world evaluation thread panicked");
+    out.into_iter().map(|s| s.expect("all worlds filled")).collect()
+}
+
+fn per_world_cfg(cfg: &UtilityConfig, world_seed: u64) -> UtilityConfig {
+    UtilityConfig {
+        seed: cfg.seed ^ world_seed,
+        ..*cfg
+    }
+}
+
+/// Per-world vector statistics for the boxplots of Figures 2 and 3.
+#[derive(Debug, Clone)]
+pub struct VectorStats {
+    /// Fraction of vertices with each degree (`S_DD`).
+    pub degree_fractions: Vec<f64>,
+    /// Fraction of connected pairs at each distance (`S_PDD`).
+    pub distance_fractions: Vec<f64>,
+}
+
+/// Evaluates the vector statistics on one certain graph.
+pub fn evaluate_world_vectors(g: &Graph, cfg: &UtilityConfig) -> VectorStats {
+    let degree_fractions = obf_graph::degstats::degree_histogram(g).fractions();
+    let distance_fractions = match cfg.distance {
+        DistanceEngine::Exact => exact_distance_distribution(g).fractions(),
+        DistanceEngine::HyperAnf { b } => {
+            let anf_cfg = HyperAnfConfig {
+                b,
+                seed: cfg.seed,
+                ..HyperAnfConfig::default()
+            };
+            hyper_anf(g, &anf_cfg).distance_distribution().fractions()
+        }
+    };
+    VectorStats {
+        degree_fractions,
+        distance_fractions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+
+    fn exact_cfg() -> UtilityConfig {
+        UtilityConfig {
+            distance: DistanceEngine::Exact,
+            seed: 1,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn suite_on_path_graph() {
+        let g = generators::path(4);
+        let s = evaluate_world(&g, &exact_cfg());
+        assert_eq!(s.num_edges, 3.0);
+        assert!((s.average_degree - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2.0);
+        assert!((s.average_distance - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.diameter_lb, 3.0);
+        assert_eq!(s.clustering_coefficient, 0.0);
+    }
+
+    #[test]
+    fn suite_on_complete_graph() {
+        let g = generators::complete(5);
+        let s = evaluate_world(&g, &exact_cfg());
+        assert_eq!(s.num_edges, 10.0);
+        assert!((s.clustering_coefficient - 1.0).abs() < 1e-12);
+        assert_eq!(s.average_distance, 1.0);
+    }
+
+    #[test]
+    fn hyperanf_engine_close_to_exact() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::erdos_renyi_gnm(400, 1200, &mut rng);
+        let exact = evaluate_world(&g, &exact_cfg());
+        let approx = evaluate_world(
+            &g,
+            &UtilityConfig {
+                distance: DistanceEngine::HyperAnf { b: 8 },
+                seed: 3,
+                threads: 1,
+            },
+        );
+        assert!((exact.average_distance - approx.average_distance).abs() < 0.25);
+        // Non-distance statistics are identical.
+        assert_eq!(exact.num_edges, approx.num_edges);
+        assert_eq!(exact.clustering_coefficient, approx.clustering_coefficient);
+    }
+
+    #[test]
+    fn uncertain_evaluation_deterministic_and_parallel_consistent() {
+        let base = generators::erdos_renyi_gnm(80, 160, &mut SmallRng::seed_from_u64(1));
+        let cands: Vec<(u32, u32, f64)> = base.edges().map(|(u, v)| (u, v, 0.7)).collect();
+        let ug = UncertainGraph::new(80, cands).unwrap();
+        let serial = evaluate_uncertain(
+            &ug,
+            6,
+            42,
+            &UtilityConfig {
+                threads: 1,
+                ..exact_cfg()
+            },
+        );
+        let parallel = evaluate_uncertain(
+            &ug,
+            6,
+            42,
+            &UtilityConfig {
+                threads: 4,
+                ..exact_cfg()
+            },
+        );
+        assert_eq!(serial.len(), 6);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mean_relative_error_zero_against_self() {
+        let g = generators::complete(6);
+        let s = evaluate_world(&g, &exact_cfg());
+        assert_eq!(s.mean_relative_error(&s), 0.0);
+    }
+
+    #[test]
+    fn mean_relative_error_positive_when_different() {
+        let a = evaluate_world(&generators::complete(6), &exact_cfg());
+        let b = evaluate_world(&generators::path(6), &exact_cfg());
+        assert!(a.mean_relative_error(&b) > 0.1);
+    }
+
+    #[test]
+    fn vector_stats_shapes() {
+        let g = generators::path(5);
+        let v = evaluate_world_vectors(&g, &exact_cfg());
+        // Degrees 1 and 2 present.
+        assert!((v.degree_fractions[1] - 0.4).abs() < 1e-12);
+        assert!((v.degree_fractions[2] - 0.6).abs() < 1e-12);
+        // Distance fractions sum to 1.
+        let sum: f64 = v.distance_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! Exact expected triangle statistics on uncertain graphs.
+//!
+//! The clustering coefficient itself (Section 6.4) is a ratio of two
+//! dependent random variables, so the paper estimates it by sampling; but
+//! the *expected triangle count* `E[T₃] = Σ_{(u,v,w)} p(u,v)·p(v,w)·p(u,w)`
+//! and the expected centre-path count have closed forms by linearity of
+//! expectation, because every possible world includes each candidate pair
+//! independently. These exact values are useful for validating the
+//! sampling pipeline and as fast utility diagnostics.
+
+use crate::graph::UncertainGraph;
+
+/// Exact `E[T₃]`: sum over candidate triangles of the product of the
+/// three pair probabilities. Runs on the candidate graph's sorted
+/// incidence lists, like the certain-graph triangle counter.
+pub fn expected_triangles(g: &UncertainGraph) -> f64 {
+    let n = g.num_vertices() as u32;
+    let mut total = 0.0f64;
+    for u in 0..n {
+        let inc_u = g.incident(u);
+        for &(v, p_uv) in inc_u.iter().filter(|&&(v, _)| v > u) {
+            if p_uv == 0.0 {
+                continue;
+            }
+            // Common incident candidates w > v of u and v.
+            let inc_v = g.incident(v);
+            let (mut i, mut j) = (0, 0);
+            while i < inc_u.len() && j < inc_v.len() {
+                let (wu, p_uw) = inc_u[i];
+                let (wv, p_vw) = inc_v[j];
+                match wu.cmp(&wv) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if wu > v {
+                            total += p_uv * p_uw * p_vw;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Exact expected number of centre-paths `E[Σ_v C(d_v, 2)]`:
+/// `Σ_v Σ_{e≠f ∋ v} p_e p_f / 2` — pairs of distinct incident candidates
+/// both present.
+pub fn expected_center_paths(g: &UncertainGraph) -> f64 {
+    let mut total = 0.0f64;
+    for v in 0..g.num_vertices() as u32 {
+        let inc = g.incident(v);
+        let sum: f64 = inc.iter().map(|&(_, p)| p).sum();
+        let sum_sq: f64 = inc.iter().map(|&(_, p)| p * p).sum();
+        total += (sum * sum - sum_sq) / 2.0;
+    }
+    total
+}
+
+/// First-order ("expected-ratio") approximation of the paper's clustering
+/// coefficient: `E[T₃] / (E[paths] − 2·E[T₃])`. This is *not* `E[S_CC]`
+/// (the expectation of a ratio differs from the ratio of expectations);
+/// it is a cheap deterministic diagnostic that tracks the sampled value
+/// closely on non-degenerate graphs.
+pub fn expected_ratio_clustering(g: &UncertainGraph) -> f64 {
+    let t3 = expected_triangles(g);
+    let t2 = expected_center_paths(g) - 2.0 * t3;
+    if t2 <= 0.0 {
+        0.0
+    } else {
+        t3 / t2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn certain_triangle_counts_match() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::erdos_renyi_gnm(200, 900, &mut rng);
+        let ug = UncertainGraph::from_certain(&g);
+        let exact = obf_graph::triangles::triangle_count(&g) as f64;
+        assert!((expected_triangles(&ug) - exact).abs() < 1e-6);
+        let paths = obf_graph::triangles::center_paths(&g) as f64;
+        assert!((expected_center_paths(&ug) - paths).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_uncertain_triangle() {
+        let ug = UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3)]).unwrap();
+        assert!((expected_triangles(&ug) - 0.5 * 0.4 * 0.3).abs() < 1e-12);
+        // Expected centre paths: at each vertex the product of its two
+        // incident probabilities.
+        let expect = 0.5 * 0.3 + 0.5 * 0.4 + 0.4 * 0.3;
+        assert!((expected_center_paths(&ug) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let base = generators::erdos_renyi_gnm(80, 400, &mut rng);
+        let cands: Vec<(u32, u32, f64)> = base
+            .edges()
+            .map(|(u, v)| (u, v, rng.gen::<f64>()))
+            .collect();
+        let ug = UncertainGraph::new(80, cands).unwrap();
+        let exact = expected_triangles(&ug);
+        let r = 4_000;
+        let mc: f64 = (0..r)
+            .map(|_| obf_graph::triangles::triangle_count(&ug.sample_world(&mut rng)) as f64)
+            .sum::<f64>()
+            / r as f64;
+        assert!(
+            (exact - mc).abs() < 0.05 * exact.max(5.0),
+            "exact={exact} mc={mc}"
+        );
+    }
+
+    #[test]
+    fn zero_probability_edges_contribute_nothing() {
+        let ug = UncertainGraph::new(3, vec![(0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.0)]).unwrap();
+        assert_eq!(expected_triangles(&ug), 0.0);
+        assert!(expected_center_paths(&ug) > 0.0);
+    }
+
+    #[test]
+    fn expected_ratio_clustering_tracks_sampling() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let base = generators::community_model(300, 3.0, 3, 10, 0.9, 0.3, &mut rng);
+        let cands: Vec<(u32, u32, f64)> = base.edges().map(|(u, v)| (u, v, 0.85)).collect();
+        let ug = UncertainGraph::new(300, cands).unwrap();
+        let approx = expected_ratio_clustering(&ug);
+        let r = 300;
+        let mc: f64 = (0..r)
+            .map(|_| {
+                obf_graph::triangles::global_clustering_coefficient(&ug.sample_world(&mut rng))
+            })
+            .sum::<f64>()
+            / r as f64;
+        assert!((approx - mc).abs() < 0.05, "approx={approx} mc={mc}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let ug = UncertainGraph::new(0, vec![]).unwrap();
+        assert_eq!(expected_triangles(&ug), 0.0);
+        assert_eq!(expected_ratio_clustering(&ug), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the uncertain-graph substrate.
+
+use obf_uncertain::degree_dist::{normal_cells, poisson_binomial};
+use obf_uncertain::expected::{
+    expected_average_degree, expected_degree_variance, expected_num_edges,
+};
+use obf_uncertain::UncertainGraph;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_uncertain(max_n: usize) -> impl Strategy<Value = UncertainGraph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..=1.0), 0..4 * n).prop_map(
+            move |triples| {
+                let mut seen = std::collections::HashSet::new();
+                let mut cands = Vec::new();
+                for (u, v, p) in triples {
+                    if u == v {
+                        continue;
+                    }
+                    let key = (u.min(v), u.max(v));
+                    if seen.insert(key) {
+                        cands.push((key.0, key.1, p));
+                    }
+                }
+                UncertainGraph::new(n, cands).unwrap()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expected_degrees_sum_to_twice_mass(ug in arb_uncertain(30)) {
+        let total: f64 = (0..ug.num_vertices() as u32)
+            .map(|v| ug.expected_degree(v))
+            .sum();
+        prop_assert!((total - 2.0 * ug.total_probability_mass()).abs() < 1e-9);
+        prop_assert!(
+            (expected_average_degree(&ug) * ug.num_vertices() as f64 - total).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn expected_variance_nonnegative(ug in arb_uncertain(30)) {
+        prop_assert!(expected_degree_variance(&ug) >= -1e-9);
+    }
+
+    #[test]
+    fn world_edges_bounded_by_candidates(ug in arb_uncertain(25), seed in 0u64..400) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = ug.sample_world(&mut rng);
+        prop_assert!(w.num_edges() <= ug.num_candidates());
+        // Certain candidates always appear.
+        for &(u, v, p) in ug.candidates() {
+            if p >= 1.0 {
+                prop_assert!(w.has_edge(u, v));
+            }
+            if p <= 0.0 {
+                prop_assert!(!w.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_edges_match_expectation(ug in arb_uncertain(16), seed in 0u64..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = 600;
+        let total: usize = (0..r).map(|_| ug.sample_world(&mut rng).num_edges()).sum();
+        let mc = total as f64 / r as f64;
+        let exact = expected_num_edges(&ug);
+        // 5-sigma band: Var <= mass/4 per edge.
+        let sd = (ug.num_candidates() as f64 / 4.0 / r as f64).sqrt().max(1e-6);
+        prop_assert!((mc - exact).abs() < 5.0 * sd + 0.05, "mc={} exact={}", mc, exact);
+    }
+
+    #[test]
+    fn normal_cells_match_poisson_binomial_moments(
+        probs in proptest::collection::vec(0.05f64..0.95, 30..120)
+    ) {
+        let exact = poisson_binomial(&probs);
+        let approx = normal_cells(&probs);
+        let mean = |d: &[f64]| d.iter().enumerate().map(|(k, &p)| k as f64 * p).sum::<f64>();
+        prop_assert!((mean(&exact) - mean(&approx)).abs() < 0.5);
+    }
+
+    #[test]
+    fn io_round_trip(ug in arb_uncertain(20)) {
+        let mut buf = Vec::new();
+        obf_uncertain::write_uncertain_edge_list(&ug, &mut buf).unwrap();
+        let back =
+            obf_uncertain::read_uncertain_edge_list(&buf[..], ug.num_vertices()).unwrap();
+        prop_assert_eq!(ug, back);
+    }
+}

@@ -1,0 +1,74 @@
+//! Degree-based re-identification attack against three releases of the
+//! same graph: the raw graph, a sparsified release, and an uncertain
+//! (obfuscated) release — reproducing the privacy story behind Figure 4.
+//!
+//! The adversary knows the degree of a target vertex in the original
+//! graph and computes a posterior over the published vertices; the
+//! entropy of that posterior (expressed as an equivalent crowd size
+//! `2^H`) is the target's protection.
+//!
+//! ```bash
+//! cargo run --release --example adversary_attack
+//! ```
+
+use obfugraph::baselines::{random_sparsification, sparsification_anonymity};
+use obfugraph::core::adversary::{vertex_obfuscation_levels, AdversaryTable};
+use obfugraph::core::{obfuscate, ObfuscationParams};
+use obfugraph::uncertain::degree_dist::DegreeDistMethod;
+use obfugraph::uncertain::UncertainGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[i]
+}
+
+fn report(label: &str, mut levels: Vec<f64>) {
+    levels.sort_by(f64::total_cmp);
+    println!(
+        "{:<28} median crowd {:>8.1}   10th pct {:>8.2}   min {:>8.2}",
+        label,
+        percentile(&levels, 0.5),
+        percentile(&levels, 0.1),
+        levels[0],
+    );
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = obfugraph::datasets::y360_like(5_000, 17);
+    println!(
+        "target network: n = {}, m = {}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // 1. Raw release: protection = size of the target's degree crowd.
+    let certain = UncertainGraph::from_certain(&g);
+    let table = AdversaryTable::build(&certain, DegreeDistMethod::Exact);
+    report("raw release", vertex_obfuscation_levels(&g, &table, 0));
+
+    // 2. Sparsified release (heavy noise, Bonchi et al. baseline).
+    let p = 0.5;
+    let spars = random_sparsification(&g, p, &mut rng);
+    report(
+        &format!("sparsified (p = {p})"),
+        sparsification_anonymity(&g, &spars, p),
+    );
+
+    // 3. Uncertain release at (k = 20, eps = 0.01).
+    let params = ObfuscationParams::new(20, 1e-2).with_seed(23);
+    let res = obfuscate(&g, &params).expect("obfuscation");
+    let table = AdversaryTable::build(&res.graph, DegreeDistMethod::Auto { threshold: 64 });
+    report(
+        "uncertain (k = 20, eps = 1e-2)",
+        vertex_obfuscation_levels(&g, &table, 0),
+    );
+
+    println!(
+        "\nThe uncertain release guarantees a crowd of >= 20 for 99% of \
+         vertices while\nchanging far less of the graph than sparsification \
+         (see the table6 binary\nfor the utility side of this comparison)."
+    );
+}

@@ -1,0 +1,67 @@
+//! The degree-trail attack on sequential releases (paper Section 8's open
+//! question, after Medforth & Wang): an evolving network is published
+//! twice; the adversary tracks a target's degree across snapshots and
+//! intersects the matching candidate sets. Uncertain releases blunt the
+//! attack by replacing each snapshot's degrees with distributions.
+//!
+//! ```bash
+//! cargo run --release --example sequential_release
+//! ```
+
+use obfugraph::baselines::{
+    degree_trail_candidates, uncertain_trail_crowd,
+};
+use obfugraph::core::{obfuscate, ObfuscationParams};
+use obfugraph::graph::GraphBuilder;
+use obfugraph::uncertain::degree_dist::DegreeDistMethod;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let n = 2_000;
+    // Snapshot 1: a scale-free network.
+    let g1 = obfugraph::graph::generators::barabasi_albert(n, 3, &mut rng);
+    // Snapshot 2: the same network three months later — 5% new edges.
+    let mut b = GraphBuilder::with_capacity(n, g1.num_edges() + n / 10);
+    b.extend_edges(g1.edges());
+    for _ in 0..g1.num_edges() / 20 {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    let g2 = b.build();
+
+    // The adversary targets a mid-degree user and knows their degrees in
+    // both snapshots.
+    let target = (0..n as u32)
+        .find(|&v| g1.degree(v) == 9)
+        .expect("a degree-9 vertex exists");
+    let trail = vec![g1.degree(target), g2.degree(target)];
+    println!("target degree trail across releases: {trail:?}");
+
+    // Attack on raw releases.
+    let survivors = degree_trail_candidates(&[g1.clone(), g2.clone()], &trail);
+    println!(
+        "raw releases:       {} candidates survive (snapshot 1 alone: {})",
+        survivors.len(),
+        degree_trail_candidates(std::slice::from_ref(&g1), &trail[..1]).len()
+    );
+
+    // Attack on uncertain releases of both snapshots.
+    let params = ObfuscationParams::new(20, 0.01).with_seed(5);
+    let u1 = obfuscate(&g1, &params).expect("obfuscation of snapshot 1");
+    let u2 = obfuscate(&g2, &params.with_seed(6)).expect("obfuscation of snapshot 2");
+    let crowd = uncertain_trail_crowd(
+        &[u1.graph, u2.graph],
+        &trail,
+        DegreeDistMethod::Auto { threshold: 64 },
+    );
+    println!("uncertain releases: effective crowd 2^H = {crowd:.1}");
+    println!(
+        "\nPublishing uncertain graphs keeps the degree-trail posterior spread over\n\
+         a crowd instead of collapsing to a handful of candidates."
+    );
+}

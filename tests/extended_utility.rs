@@ -1,0 +1,89 @@
+//! Extended utility statistics (assortativity, k-core structure,
+//! PageRank) across the obfuscation pipeline — the SecGraph-style checks
+//! beyond the paper's ten statistics.
+
+use obfugraph::core::{obfuscate, ObfuscationParams};
+use obfugraph::datasets;
+use obfugraph::graph::{core_numbers, degeneracy, degree_assortativity, pagerank};
+use obfugraph::uncertain::{expected_ratio_clustering, expected_triangles};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn low_k_obfuscation_preserves_extended_structure() {
+    let g = datasets::dblp_like(1_500, 19);
+    let mut params = ObfuscationParams::new(5, 0.05).with_seed(2);
+    params.delta = 1e-3;
+    params.t = 3;
+    let res = obfuscate(&g, &params).expect("obfuscation");
+
+    let mut rng = SmallRng::seed_from_u64(77);
+    let worlds = res.graph.sample_worlds(8, &mut rng);
+
+    // Degeneracy stays in the same band.
+    let orig_degen = degeneracy(&g) as f64;
+    let mean_degen: f64 =
+        worlds.iter().map(|w| degeneracy(w) as f64).sum::<f64>() / worlds.len() as f64;
+    assert!(
+        (mean_degen - orig_degen).abs() <= orig_degen * 0.5 + 1.0,
+        "degeneracy {orig_degen} -> {mean_degen}"
+    );
+
+    // Assortativity keeps its sign region (within a tolerance band).
+    let orig_assort = degree_assortativity(&g);
+    let mean_assort: f64 =
+        worlds.iter().map(degree_assortativity).sum::<f64>() / worlds.len() as f64;
+    assert!(
+        (mean_assort - orig_assort).abs() < 0.3,
+        "assortativity {orig_assort} -> {mean_assort}"
+    );
+
+    // PageRank mass of the top-decile original vertices stays dominant.
+    let pr_orig = pagerank(&g, 0.85, 40);
+    let mut by_rank: Vec<usize> = (0..g.num_vertices()).collect();
+    by_rank.sort_by(|&a, &b| pr_orig[b].total_cmp(&pr_orig[a]));
+    let top: Vec<usize> = by_rank[..g.num_vertices() / 10].to_vec();
+    let top_mass_orig: f64 = top.iter().map(|&v| pr_orig[v]).sum();
+    let mut top_mass_worlds = 0.0;
+    for w in &worlds {
+        let pr = pagerank(w, 0.85, 40);
+        top_mass_worlds += top.iter().map(|&v| pr[v]).sum::<f64>();
+    }
+    top_mass_worlds /= worlds.len() as f64;
+    assert!(
+        top_mass_worlds > 0.6 * top_mass_orig,
+        "top-decile PageRank mass {top_mass_orig} -> {top_mass_worlds}"
+    );
+}
+
+#[test]
+fn expected_triangles_track_certain_count_at_low_k() {
+    let g = datasets::dblp_like(1_200, 23);
+    let mut params = ObfuscationParams::new(4, 0.05).with_seed(3);
+    params.delta = 1e-3;
+    params.t = 2;
+    let res = obfuscate(&g, &params).expect("obfuscation");
+    let orig = obfugraph::graph::triangles::triangle_count(&g) as f64;
+    let expected = expected_triangles(&res.graph);
+    assert!(
+        (expected - orig).abs() < 0.35 * orig,
+        "triangles {orig} -> E = {expected}"
+    );
+    let ratio_cc = expected_ratio_clustering(&res.graph);
+    let orig_cc = obfugraph::graph::triangles::global_clustering_coefficient(&g);
+    assert!((ratio_cc - orig_cc).abs() < 0.5 * orig_cc + 0.05);
+}
+
+#[test]
+fn core_numbers_monotone_under_sparsification() {
+    // Removing edges can only lower core numbers — a structural sanity
+    // check tying extras to the baselines.
+    let g = datasets::flickr_like(800, 29);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let spars = obfugraph::baselines::random_sparsification(&g, 0.5, &mut rng);
+    let orig = core_numbers(&g);
+    let after = core_numbers(&spars);
+    for v in 0..g.num_vertices() {
+        assert!(after[v] <= orig[v], "core number rose at {v}");
+    }
+}
