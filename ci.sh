@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local CI gauntlet for the obfugraph workspace. Run from the repo root.
+#
+# Mirrors what a hosted pipeline would run; every step must pass. Usage:
+#   ./ci.sh          # full run
+#   ./ci.sh fast     # skip the release build (debug test cycle only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "fast" ]]; then
+    step "cargo build --release"
+    cargo build --release --workspace
+fi
+
+step "cargo test"
+cargo test --workspace -q
+
+step "cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+if [[ "${1:-}" != "fast" ]]; then
+    step "benches compile"
+    cargo bench --no-run --workspace -q
+fi
+
+printf '\nCI OK\n'

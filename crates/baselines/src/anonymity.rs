@@ -105,7 +105,8 @@ fn truncated_binomial_pmf(n: usize, p: f64) -> Vec<f64> {
     if n == 0 || p <= 0.0 {
         return vec![1.0];
     }
-    let full_needed = n.min(((n as f64 * p) + 12.0 * (n as f64 * p * (1.0 - p)).sqrt() + 16.0) as usize);
+    let full_needed =
+        n.min(((n as f64 * p) + 12.0 * (n as f64 * p * (1.0 - p)).sqrt() + 16.0) as usize);
     // Recurrence from j = 0 upward is stable for small p.
     let q: f64 = 1.0 - p;
     let mut pmf = Vec::with_capacity(full_needed + 1);

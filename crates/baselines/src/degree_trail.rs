@@ -33,12 +33,7 @@ pub fn degree_trail_candidates(releases: &[Graph], trail: &[usize]) -> Vec<u32> 
         assert_eq!(r.num_vertices(), n, "releases must share the vertex set");
     }
     (0..n as u32)
-        .filter(|&v| {
-            releases
-                .iter()
-                .zip(trail)
-                .all(|(g, &d)| g.degree(v) == d)
-        })
+        .filter(|&v| releases.iter().zip(trail).all(|(g, &d)| g.degree(v) == d))
         .collect()
 }
 
@@ -131,8 +126,7 @@ mod tests {
         let g2 = Graph::from_edges(4, &[(1, 0), (1, 2), (1, 3)]);
         let u1 = UncertainGraph::from_certain(&g1);
         let u2 = UncertainGraph::from_certain(&g2);
-        let posterior =
-            uncertain_trail_posterior(&[u1, u2], &[2, 1], DegreeDistMethod::Exact);
+        let posterior = uncertain_trail_posterior(&[u1, u2], &[2, 1], DegreeDistMethod::Exact);
         assert!((posterior[2] - 1.0).abs() < 1e-12);
         assert!(posterior[0] == 0.0 && posterior[1] == 0.0 && posterior[3] == 0.0);
     }
@@ -146,11 +140,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let g = generators::barabasi_albert(300, 2, &mut rng);
         let certain = UncertainGraph::from_certain(&g);
-        let soft = UncertainGraph::new(
-            300,
-            g.edges().map(|(u, v)| (u, v, 0.8)).collect(),
-        )
-        .unwrap();
+        let soft = UncertainGraph::new(300, g.edges().map(|(u, v)| (u, v, 0.8)).collect()).unwrap();
         let mut total_certain = 0.0;
         let mut total_soft = 0.0;
         for target in (0..300u32).step_by(37) {

@@ -15,6 +15,22 @@
 //! * [`liu_terzi`] — k-degree anonymity by deterministic edge additions
 //!   (Liu & Terzi, SIGMOD 2008), the deterministic comparator discussed in
 //!   the related work; included as an extension baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use obf_baselines::random_sparsification;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(3);
+//! let g = obf_graph::generators::erdos_renyi_gnp(50, 0.2, &mut rng);
+//!
+//! // Sparsification keeps the vertex set and drops ~half the edges.
+//! let published = random_sparsification(&g, 0.5, &mut rng);
+//! assert_eq!(published.num_vertices(), g.num_vertices());
+//! assert!(published.num_edges() <= g.num_edges());
+//! ```
 
 pub mod anonymity;
 pub mod degree_trail;

@@ -63,9 +63,8 @@ pub fn anonymize_degree_sequence(degrees: &[usize], k: usize) -> AnonymizedSeque
     for i in 0..n {
         prefix[i + 1] = prefix[i] + sorted[i];
     }
-    let group_cost = |i: usize, j: usize| -> usize {
-        (j - i + 1) * sorted[i] - (prefix[j + 1] - prefix[i])
-    };
+    let group_cost =
+        |i: usize, j: usize| -> usize { (j - i + 1) * sorted[i] - (prefix[j + 1] - prefix[i]) };
 
     // dp[j] = min cost anonymizing sorted[0..j]; group sizes in k..=2k-1
     // (groups of >= 2k can always be split without extra cost).
@@ -193,9 +192,7 @@ fn realize_additions(g: &Graph, initial_deficit: &[usize], probes: usize) -> KDe
     let mut added_edges = 0usize;
 
     loop {
-        let mut by_deficit: Vec<u32> = (0..n as u32)
-            .filter(|&v| deficit[v as usize] > 0)
-            .collect();
+        let mut by_deficit: Vec<u32> = (0..n as u32).filter(|&v| deficit[v as usize] > 0).collect();
         if by_deficit.is_empty() {
             break;
         }
@@ -315,7 +312,11 @@ mod tests {
             let mut degrees: Vec<usize> = (0..n).map(|_| rng.gen_range(0..10)).collect();
             let out = anonymize_degree_sequence(&degrees, k);
             degrees.sort_unstable_by(|a, b| b.cmp(a));
-            assert_eq!(out.total_increase, brute(&degrees, k), "degrees={degrees:?} k={k}");
+            assert_eq!(
+                out.total_increase,
+                brute(&degrees, k),
+                "degrees={degrees:?} k={k}"
+            );
         }
     }
 
@@ -327,10 +328,7 @@ mod tests {
         for (u, v) in g.edges() {
             assert!(out.graph.has_edge(u, v));
         }
-        assert_eq!(
-            out.graph.num_edges(),
-            g.num_edges() + out.added_edges
-        );
+        assert_eq!(out.graph.num_edges(), g.num_edges() + out.added_edges);
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Property-based tests of the baseline mechanisms.
 
 use obf_baselines::{
-    anonymity_curve, anonymize_degree_sequence, eps_for_k, k_for_eps,
-    perturbation_add_probability, random_perturbation, random_sparsification,
-    sparsification_anonymity,
+    anonymity_curve, anonymize_degree_sequence, eps_for_k, k_for_eps, perturbation_add_probability,
+    random_perturbation, random_sparsification, sparsification_anonymity,
 };
 use obf_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;

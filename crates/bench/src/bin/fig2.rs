@@ -17,7 +17,14 @@ fn main() {
         &[(20, 1e-3), (100, 1e-4)]
     };
     for &(k, eps) in settings {
-        match vector_figure(&cfg, Dataset::Dblp, k, eps, VectorKind::DistanceDistribution, 16) {
+        match vector_figure(
+            &cfg,
+            Dataset::Dblp,
+            k,
+            eps,
+            VectorKind::DistanceDistribution,
+            16,
+        ) {
             Ok(fig) => {
                 let rows: Vec<Vec<String>> = fig
                     .boxes

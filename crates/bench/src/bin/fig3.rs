@@ -16,7 +16,14 @@ fn main() {
         &[(20, 1e-3), (100, 1e-4)]
     };
     for &(k, eps) in settings {
-        match vector_figure(&cfg, Dataset::Dblp, k, eps, VectorKind::DegreeDistribution, 9) {
+        match vector_figure(
+            &cfg,
+            Dataset::Dblp,
+            k,
+            eps,
+            VectorKind::DegreeDistribution,
+            9,
+        ) {
             Ok(fig) => {
                 let rows: Vec<Vec<String>> = fig
                     .boxes

@@ -19,12 +19,7 @@ fn main() {
         vec![(Dataset::Dblp, vec![(5, 1e-2)], 0.04, 0.64)]
     } else {
         vec![
-            (
-                Dataset::Dblp,
-                vec![(60, 1e-3), (20, 1e-4)],
-                0.04,
-                0.64,
-            ),
+            (Dataset::Dblp, vec![(60, 1e-3), (20, 1e-4)], 0.04, 0.64),
             (Dataset::Flickr, vec![(20, 1e-4)], 0.32, 0.64),
         ]
     };
@@ -49,7 +44,10 @@ fn main() {
         println!(
             "{}",
             render(
-                &format!("Figure 4: vertices with anonymity level <= k ({})", ds.name()),
+                &format!(
+                    "Figure 4: vertices with anonymity level <= k ({})",
+                    ds.name()
+                ),
                 &header_refs,
                 &rows
             )

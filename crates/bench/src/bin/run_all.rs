@@ -1,7 +1,7 @@
 //! Runs every table/figure experiment in sequence (one-shot reproduction
 //! driver). Respects the same `OBF_*` environment knobs as the individual
 //! binaries. Sibling binaries are preferred when already built (e.g. via
-//! `cargo build --release -p obf-bench`); otherwise each is run through
+//! `cargo build --release -p obf_bench`); otherwise each is run through
 //! `cargo run`.
 
 use std::process::Command;
@@ -19,7 +19,7 @@ fn main() {
             Command::new(&sibling).status()
         } else {
             Command::new("cargo")
-                .args(["run", "-q", "--release", "-p", "obf-bench", "--bin", exe])
+                .args(["run", "-q", "--release", "-p", "obf_bench", "--bin", exe])
                 .status()
         }
         .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));

@@ -27,7 +27,11 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render("Table 2: minimal sigma", &["dataset", "k", "eps", "sigma"], &rows)
+        render(
+            "Table 2: minimal sigma",
+            &["dataset", "k", "eps", "sigma"],
+            &rows
+        )
     );
     obf_bench::write_tsv("table2.tsv", &["dataset", "k", "eps", "sigma"], &rows);
 }

@@ -34,13 +34,27 @@ fn main() {
         "{}",
         render(
             "Table 3: throughput",
-            &["dataset", "k", "eps", "edges/sec", "seconds", "generate_calls"],
+            &[
+                "dataset",
+                "k",
+                "eps",
+                "edges/sec",
+                "seconds",
+                "generate_calls"
+            ],
             &rows
         )
     );
     obf_bench::write_tsv(
         "table3.tsv",
-        &["dataset", "k", "eps", "edges_per_sec", "seconds", "generate_calls"],
+        &[
+            "dataset",
+            "k",
+            "eps",
+            "edges_per_sec",
+            "seconds",
+            "generate_calls",
+        ],
         &rows,
     );
 }

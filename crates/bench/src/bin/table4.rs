@@ -38,7 +38,10 @@ fn main() {
     println!(
         "{}",
         render(
-            &format!("Table 4: sample means (eps = {eps:.0e}, {} worlds)", cfg.worlds),
+            &format!(
+                "Table 4: sample means (eps = {eps:.0e}, {} worlds)",
+                cfg.worlds
+            ),
             &header,
             &rows
         )

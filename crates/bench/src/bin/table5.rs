@@ -29,7 +29,10 @@ fn main() {
     println!(
         "{}",
         render(
-            &format!("Table 5: relative SEM (eps = {eps:.0e}, {} worlds)", cfg.worlds),
+            &format!(
+                "Table 5: relative SEM (eps = {eps:.0e}, {} worlds)",
+                cfg.worlds
+            ),
             &header,
             &rows
         )

@@ -13,7 +13,11 @@ use obf_uncertain::statistics::StatSuite;
 fn main() {
     let cfg = HarnessConfig::from_env();
     eprintln!("[config: {cfg:?}]");
-    let jobs: Vec<(Dataset, Option<(f64, usize, f64)>, Option<(f64, usize, f64)>)> = if cfg.fast {
+    let jobs: Vec<(
+        Dataset,
+        Option<(f64, usize, f64)>,
+        Option<(f64, usize, f64)>,
+    )> = if cfg.fast {
         vec![(Dataset::Dblp, None, Some((0.64, 5, 1e-2)))]
     } else {
         vec![

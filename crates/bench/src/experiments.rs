@@ -525,8 +525,7 @@ pub fn table6_calibrated(
     });
 
     for (sparsify, name) in [(true, "rand.spars."), (false, "rand.pert.")] {
-        let Some(p) = obf_baselines::calibrate_p(&g, sparsify, k, eps, 0.98, 0.01, cfg.seed)
-        else {
+        let Some(p) = obf_baselines::calibrate_p(&g, sparsify, k, eps, 0.98, 0.01, cfg.seed) else {
             rows.push(ComparisonRow {
                 rel_err: f64::INFINITY,
                 label: format!("{name} (no p matches (k={k}, eps={eps:.0e}))"),

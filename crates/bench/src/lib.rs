@@ -10,6 +10,18 @@
 //!   as in the paper).
 //! * `OBF_DELTA=<f64>` — binary-search resolution of Algorithm 1.
 //! * `OBF_SEED=<u64>` — master seed.
+//!
+//! # Example
+//!
+//! ```
+//! use obf_bench::HarnessConfig;
+//! use obf_datasets::Dataset;
+//!
+//! let cfg = HarnessConfig { scale: 0.05, worlds: 5, delta: 1e-3, seed: 1, fast: true };
+//! let g = cfg.dataset(Dataset::Dblp);
+//! assert_eq!(g.num_vertices(), cfg.dataset_size(Dataset::Dblp));
+//! assert_eq!(cfg.obf_params(20, 1e-2).k, 20);
+//! ```
 
 pub mod experiments;
 pub mod table;

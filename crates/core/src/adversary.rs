@@ -100,16 +100,15 @@ impl AdversaryTable {
         }
         let mut out = vec![0.0f64; omegas.len()];
         let chunk = omegas.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, idx) in out.chunks_mut(chunk).zip(omegas.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (o, &w) in slot.iter_mut().zip(idx) {
                         *o = self.entropy(w);
                     }
                 });
             }
-        })
-        .expect("entropy worker panicked");
+        });
         out
     }
 }
@@ -133,12 +132,7 @@ impl ObfuscationCheck {
     /// graph, the entropy of `Y_{deg_G(v)}` must reach `log₂ k`.
     ///
     /// `original` and `published` must have the same vertex set.
-    pub fn run(
-        original: &Graph,
-        published: &AdversaryTable,
-        k: usize,
-        threads: usize,
-    ) -> Self {
+    pub fn run(original: &Graph, published: &AdversaryTable, k: usize, threads: usize) -> Self {
         assert_eq!(
             original.num_vertices(),
             published.num_vertices(),

@@ -138,10 +138,7 @@ pub enum ObfuscationError {
     BadParameter(String),
     /// No (k, ε)-obfuscation found even after doubling `σ_u`
     /// `max_doublings` times; the paper resolves such cases by raising `c`.
-    NoUpperBound {
-        last_sigma: f64,
-        best_eps: f64,
-    },
+    NoUpperBound { last_sigma: f64, best_eps: f64 },
 }
 
 impl std::fmt::Display for ObfuscationError {
@@ -287,9 +284,7 @@ pub fn generate_obfuscation_with_excluded(
         // Line 14: per-pair σ(e) (Eq. 7), proportional to pair uniqueness.
         let pair_uniqueness: Vec<f64> = ec
             .iter()
-            .map(|p| {
-                (uniq.of(p.lo()) + uniq.of(p.hi())) / 2.0
-            })
+            .map(|p| (uniq.of(p.lo()) + uniq.of(p.hi())) / 2.0)
             .collect();
         let uniq_total: f64 = pair_uniqueness.iter().sum();
 
@@ -332,9 +327,7 @@ pub fn generate_obfuscation_with_excluded(
         });
 
         // Line 21: keep the best trial meeting ε.
-        if eps_trial <= params.eps
-            && best.as_ref().is_none_or(|(e, _)| eps_trial < *e)
-        {
+        if eps_trial <= params.eps && best.as_ref().is_none_or(|(e, _)| eps_trial < *e) {
             best = Some((eps_trial, ug));
         }
     }
@@ -402,7 +395,10 @@ fn select_candidates(
 
 /// Algorithm 1: finds the minimal `σ` for which Algorithm 2 produces a
 /// (k, ε)-obfuscation, via doubling and binary search.
-pub fn obfuscate(g: &Graph, params: &ObfuscationParams) -> Result<ObfuscationResult, ObfuscationError> {
+pub fn obfuscate(
+    g: &Graph,
+    params: &ObfuscationParams,
+) -> Result<ObfuscationResult, ObfuscationError> {
     params.validate(g.num_vertices())?;
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut generate_calls = 0u32;
@@ -546,8 +542,7 @@ mod tests {
         let scores = CommonnessScores::from_values(&per_vertex, &property, sigma);
         let uniq = scores.vertex_uniqueness(&per_vertex);
         let h_size = ((params.eps / 2.0) * g.num_vertices() as f64).ceil() as usize;
-        let h: std::collections::HashSet<u32> =
-            uniq.top_unique(h_size).into_iter().collect();
+        let h: std::collections::HashSet<u32> = uniq.top_unique(h_size).into_iter().collect();
 
         let out = generate_obfuscation(&g, &params, sigma, &mut rng);
         if let Some(ug) = out.graph {
@@ -560,11 +555,8 @@ mod tests {
                 }
             }
             // Removed edges: E \ E_C must avoid H too.
-            let in_ec: std::collections::HashSet<(u32, u32)> = ug
-                .candidates()
-                .iter()
-                .map(|&(u, v, _)| (u, v))
-                .collect();
+            let in_ec: std::collections::HashSet<(u32, u32)> =
+                ug.candidates().iter().map(|&(u, v, _)| (u, v)).collect();
             for (u, v) in g.edges() {
                 if !in_ec.contains(&(u, v)) {
                     assert!(

@@ -232,7 +232,7 @@ mod tests {
         let u = s.vertex_uniqueness(&per_vertex);
         let top = u.top_unique(1);
         assert_eq!(top, vec![0]); // the hub
-        // Deterministic tie-break on the leaves.
+                                  // Deterministic tie-break on the leaves.
         let top3 = u.top_unique(3);
         assert_eq!(top3, vec![0, 1, 2]);
     }

@@ -17,6 +17,22 @@
 //!    binary search for the minimal global `σ`.
 //! 3. [`adversary`] — the matrices `X_v(ω)` and `Y_ω(v)` (Eqs. 2–3) and
 //!    the entropy test that certifies (k, ε)-obfuscation (Section 4).
+//!
+//! # Example
+//!
+//! ```
+//! use obf_core::{obfuscate, ObfuscationParams};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let g = obf_graph::generators::barabasi_albert(300, 3, &mut rng);
+//!
+//! let params = ObfuscationParams::new(5, 0.05).with_seed(7);
+//! let out = obfuscate(&g, &params).expect("obfuscation found");
+//! assert!(out.eps_achieved <= 0.05);
+//! assert_eq!(out.graph.num_vertices(), g.num_vertices());
+//! ```
 
 pub mod adversary;
 pub mod algorithm;
@@ -25,8 +41,8 @@ pub mod property;
 
 pub use adversary::{AdversaryTable, ObfuscationCheck};
 pub use algorithm::{
-    generate_obfuscation, generate_obfuscation_with_excluded, obfuscate, GenerateOutcome, ObfuscationError, ObfuscationParams,
-    ObfuscationResult, TrialStats,
+    generate_obfuscation, generate_obfuscation_with_excluded, obfuscate, GenerateOutcome,
+    ObfuscationError, ObfuscationParams, ObfuscationResult, TrialStats,
 };
 pub use commonness::{CommonnessScores, UniquenessScores};
 pub use property::{DegreeProperty, VertexProperty};

@@ -13,6 +13,17 @@
 //! and qualitatively matched clustering — at a configurable scale
 //! (DESIGN.md §4 records the substitution rationale). Real edge lists can
 //! be substituted via [`DatasetSpec::from_edge_list`].
+//!
+//! # Example
+//!
+//! ```
+//! use obf_datasets::dblp_like;
+//!
+//! // Seeded and deterministic: the same call yields the same graph.
+//! let g = dblp_like(500, 7);
+//! assert_eq!(g.num_vertices(), 500);
+//! assert_eq!(g.num_edges(), dblp_like(500, 7).num_edges());
+//! ```
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -182,7 +193,10 @@ mod tests {
         let dblp = global_clustering_coefficient(&dblp_like(4000, 2));
         let flickr = global_clustering_coefficient(&flickr_like(2500, 2));
         let y360 = global_clustering_coefficient(&y360_like(4000, 2));
-        assert!(dblp > flickr && flickr > y360, "dblp={dblp} flickr={flickr} y360={y360}");
+        assert!(
+            dblp > flickr && flickr > y360,
+            "dblp={dblp} flickr={flickr} y360={y360}"
+        );
         assert!(dblp > 0.15, "dblp clustering too low: {dblp}");
         assert!(y360 < 0.1, "y360 clustering too high: {y360}");
     }
@@ -234,11 +248,7 @@ mod tests {
         for ds in Dataset::ALL {
             let g = DatasetSpec::synthetic(ds, 2000, 4).graph;
             let giant = obf_graph::largest_component_size(&g);
-            assert!(
-                giant as f64 > 0.95 * 2000.0,
-                "{}: giant={giant}",
-                ds.name()
-            );
+            assert!(giant as f64 > 0.95 * 2000.0, "{}: giant={giant}", ds.name());
         }
     }
 }

@@ -145,10 +145,10 @@ pub fn holme_kim<R: Rng + ?Sized>(n: usize, m_attach: usize, p_triad: f64, rng: 
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     let m0 = m_attach + 1;
     let add = |b: &mut GraphBuilder,
-                   adj: &mut Vec<Vec<u32>>,
-                   endpoints: &mut Vec<u32>,
-                   u: u32,
-                   v: u32| {
+               adj: &mut Vec<Vec<u32>>,
+               endpoints: &mut Vec<u32>,
+               u: u32,
+               v: u32| {
         b.add_edge(u, v);
         adj[u as usize].push(v);
         adj[v as usize].push(u);
@@ -208,7 +208,10 @@ pub fn team_model<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Graph {
     assert!(n >= 2, "need at least two vertices");
-    assert!(2 <= min_size && min_size <= max_size, "need 2 <= min_size <= max_size");
+    assert!(
+        2 <= min_size && min_size <= max_size,
+        "need 2 <= min_size <= max_size"
+    );
     assert!(max_size <= n, "team size exceeds vertex count");
     assert!((0.0..=1.0).contains(&closure), "closure must be in [0,1]");
     let mut b = GraphBuilder::new(n);
@@ -509,10 +512,7 @@ mod tests {
         let g = barabasi_albert(n, m_attach, &mut rng);
         // Clique edges + m_attach per added vertex.
         let m0 = m_attach + 1;
-        assert_eq!(
-            g.num_edges(),
-            m0 * (m0 - 1) / 2 + (n - m0) * m_attach
-        );
+        assert_eq!(g.num_edges(), m0 * (m0 - 1) / 2 + (n - m0) * m_attach);
         assert_eq!(crate::components::num_components(&g), 1);
         g.validate().unwrap();
     }
@@ -545,7 +545,10 @@ mod tests {
         let cc_dense = crate::triangles::global_clustering_coefficient(&dense);
         let cc_sparse = crate::triangles::global_clustering_coefficient(&sparse);
         assert!(cc_dense > 0.25, "cc_dense={cc_dense}");
-        assert!(cc_dense > 2.0 * cc_sparse, "dense={cc_dense} sparse={cc_sparse}");
+        assert!(
+            cc_dense > 2.0 * cc_sparse,
+            "dense={cc_dense} sparse={cc_sparse}"
+        );
         dense.validate().unwrap();
     }
 

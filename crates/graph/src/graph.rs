@@ -10,7 +10,6 @@ use crate::VertexPair;
 /// A simple undirected graph (no self loops, no parallel edges) stored as
 /// compressed sparse rows with sorted neighbour lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
     offsets: Vec<usize>,

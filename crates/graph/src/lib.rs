@@ -5,6 +5,21 @@
 //! that the paper's utility evaluation needs (Section 6): degrees,
 //! components, triangles / clustering coefficient, and exact shortest-path
 //! distance distributions for validation of the HyperANF estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use obf_graph::{bfs_distances, triangle_count, Graph};
+//!
+//! // A triangle with a pendant vertex.
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.degree(2), 3);
+//! assert_eq!(triangle_count(&g), 1);
+//!
+//! let d = bfs_distances(&g, 0);
+//! assert_eq!(d[3], 2); // 0 → 2 → 3
+//! ```
 
 pub mod alias;
 pub mod builder;
@@ -23,8 +38,8 @@ pub use alias::AliasTable;
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component_size, num_components, UnionFind};
 pub use degstats::DegreeStats;
-pub use extras::{core_numbers, degeneracy, degree_assortativity, pagerank};
 pub use distance::{exact_distance_distribution, sampled_distance_distribution, DistanceStats};
+pub use extras::{core_numbers, degeneracy, degree_assortativity, pagerank};
 pub use graph::Graph;
 pub use hashers::{splitmix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use traversal::{bfs_distances, bfs_from};

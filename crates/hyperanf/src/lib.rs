@@ -13,6 +13,25 @@
 //! Because the estimator is probabilistic, the paper repeats executions
 //! and jackknifes the derived statistics; [`estimate_with_error`] does the
 //! same here using [`obf_stats::jackknife`].
+//!
+//! # Example
+//!
+//! ```
+//! use obf_graph::{splitmix64, Graph};
+//! use obf_hyperanf::{exact_neighbourhood_function, HyperLogLog};
+//!
+//! // N(0) counts the vertices themselves.
+//! let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+//! let nf = exact_neighbourhood_function(&g);
+//! assert_eq!(nf[0], 5.0);
+//!
+//! // The underlying HyperLogLog counter estimates set cardinality.
+//! let mut hll = HyperLogLog::new(10);
+//! for i in 0..10_000u64 {
+//!     hll.add_hash(splitmix64(i));
+//! }
+//! assert!((hll.estimate() - 10_000.0).abs() / 10_000.0 < 0.1);
+//! ```
 
 pub mod exact;
 pub mod hll;

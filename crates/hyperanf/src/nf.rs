@@ -191,7 +191,9 @@ pub fn hyper_anf(g: &Graph, config: &HyperAnfConfig) -> NeighbourhoodFunction {
     let mut next = cur.clone();
 
     let estimate_total = |regs: &[u8]| -> f64 {
-        (0..n).map(|v| estimate_registers(&regs[v * m..(v + 1) * m])).sum()
+        (0..n)
+            .map(|v| estimate_registers(&regs[v * m..(v + 1) * m]))
+            .sum()
     };
 
     let mut nf = vec![estimate_total(&cur)];
@@ -303,9 +305,13 @@ mod tests {
         let g = generators::barabasi_albert(800, 3, &mut rng);
         let exact = exact_distance_distribution(&g).stats();
         let approx = estimate_distance_stats(&g, &config(8, 11));
-        let rel = (approx.average_distance - exact.average_distance).abs()
-            / exact.average_distance;
-        assert!(rel < 0.1, "approx={} exact={}", approx.average_distance, exact.average_distance);
+        let rel = (approx.average_distance - exact.average_distance).abs() / exact.average_distance;
+        assert!(
+            rel < 0.1,
+            "approx={} exact={}",
+            approx.average_distance,
+            exact.average_distance
+        );
     }
 
     #[test]
@@ -330,7 +336,12 @@ mod tests {
         let approx = estimate_distance_stats(&g, &config(8, 17));
         let rel = (approx.connectivity_length - exact.connectivity_length).abs()
             / exact.connectivity_length;
-        assert!(rel < 0.1, "approx={} exact={}", approx.connectivity_length, exact.connectivity_length);
+        assert!(
+            rel < 0.1,
+            "approx={} exact={}",
+            approx.connectivity_length,
+            exact.connectivity_length
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn hoeffding_bound(a: f64, b: f64, r: usize, eps: f64) -> f64 {
 pub fn hoeffding_sample_size(a: f64, b: f64, eps: f64, delta: f64) -> usize {
     assert!(b >= a, "invalid statistic range [{a}, {b}]");
     assert!(eps > 0.0, "eps must be positive");
-    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&delta) && delta > 0.0,
+        "delta must be in (0,1)"
+    );
     if b == a {
         return 1;
     }

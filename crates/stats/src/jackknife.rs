@@ -53,7 +53,10 @@ mod tests {
         assert!((est - 5.0).abs() < 1e-12);
         // For the mean, jackknife SE equals s/sqrt(n).
         let classical = crate::describe::sample_std(&xs) / (xs.len() as f64).sqrt();
-        assert!((se - classical).abs() < 1e-12, "se={se} classical={classical}");
+        assert!(
+            (se - classical).abs() < 1e-12,
+            "se={se} classical={classical}"
+        );
     }
 
     #[test]

@@ -19,6 +19,22 @@
 //! * [`histogram`] — integer-valued histograms and distribution utilities.
 //! * [`entropy`] — Shannon entropy in bits, the measure behind
 //!   (k, ε)-obfuscation (Definition 2).
+//!
+//! # Example
+//!
+//! ```
+//! use obf_stats::{entropy_bits, hoeffding_bound, TruncatedNormal};
+//!
+//! // A fair coin carries exactly one bit of entropy.
+//! assert!((entropy_bits(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+//!
+//! // Lemma 2: error probability of a 100-sample mean of [0, 1] values.
+//! assert!(hoeffding_bound(0.0, 1.0, 100, 0.2) < 0.1);
+//!
+//! // The paper's R_sigma noise distribution has support [0, 1].
+//! let r = TruncatedNormal::new(0.1);
+//! assert!((0.0..=1.0).contains(&r.inv_cdf(0.99)));
+//! ```
 
 pub mod describe;
 pub mod entropy;

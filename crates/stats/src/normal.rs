@@ -248,7 +248,18 @@ mod tests {
 
     #[test]
     fn inv_cdf_round_trips() {
-        for &p in &[1e-10, 1e-6, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0 - 1e-9] {
+        for &p in &[
+            1e-10,
+            1e-6,
+            0.01,
+            0.1,
+            0.25,
+            0.5,
+            0.75,
+            0.9,
+            0.99,
+            1.0 - 1e-9,
+        ] {
             let z = std_norm_inv_cdf(p);
             let back = std_norm_cdf(z);
             assert!(

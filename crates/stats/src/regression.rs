@@ -43,7 +43,11 @@ impl LinearFit {
                 e * e
             })
             .sum();
-        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
         Some(Self {
             slope,
             intercept,
@@ -93,7 +97,13 @@ mod tests {
 
     #[test]
     fn skips_nonpositive_points() {
-        let pts = [(0.0, 1.0), (-1.0, 2.0), (1.0, 1.0), (10.0, 0.1), (100.0, 0.01)];
+        let pts = [
+            (0.0, 1.0),
+            (-1.0, 2.0),
+            (1.0, 1.0),
+            (10.0, 0.1),
+            (100.0, 0.01),
+        ];
         let fit = fit_power_law(&pts).unwrap();
         assert_eq!(fit.n, 3);
         assert!((fit.slope + 1.0).abs() < 1e-9);

@@ -80,12 +80,14 @@ pub fn load_uncertain_edge_list<P: AsRef<Path>>(
 
 /// Writes the uncertain graph as `u v p` lines (canonical order, full
 /// float precision so a round trip is loss-free).
-pub fn write_uncertain_edge_list<W: Write>(
-    g: &UncertainGraph,
-    writer: W,
-) -> std::io::Result<()> {
+pub fn write_uncertain_edge_list<W: Write>(g: &UncertainGraph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# uncertain graph: {} vertices, {} candidate pairs", g.num_vertices(), g.num_candidates())?;
+    writeln!(
+        w,
+        "# uncertain graph: {} vertices, {} candidate pairs",
+        g.num_vertices(),
+        g.num_candidates()
+    )?;
     for &(u, v, p) in g.candidates() {
         // {:?} prints the shortest representation that round-trips f64.
         writeln!(w, "{u}\t{v}\t{p:?}")?;

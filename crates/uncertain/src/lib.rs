@@ -11,6 +11,24 @@
 //! computed either exactly (linear degree statistics, Section 6.2; plus a
 //! closed-form expected degree variance that the paper leaves out) or by
 //! Monte-Carlo sampling with Hoeffding error control (Lemma 2/Corollary 1).
+//!
+//! # Example
+//!
+//! ```
+//! use obf_uncertain::{expected_num_edges, UncertainGraph};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // One certain edge and one fifty-fifty candidate.
+//! let ug = UncertainGraph::new(3, vec![(0, 1, 1.0), (1, 2, 0.5)]).unwrap();
+//! assert!((expected_num_edges(&ug) - 1.5).abs() < 1e-12);
+//!
+//! // Possible worlds always contain the certain edge.
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let world = ug.sample_world(&mut rng);
+//! assert!(world.has_edge(0, 1));
+//! assert!(world.num_edges() <= 2);
+//! ```
 
 pub mod degree_dist;
 pub mod estimator;
@@ -26,8 +44,11 @@ pub use degree_dist::{degree_distribution_exact, degree_distribution_normal, Deg
 pub use estimator::{estimate_statistic, EstimateSummary};
 pub use expected::{expected_average_degree, expected_degree_variance, expected_num_edges};
 pub use graph::UncertainGraph;
-pub use io::{load_uncertain_edge_list, read_uncertain_edge_list, save_uncertain_edge_list, write_uncertain_edge_list};
+pub use io::{
+    load_uncertain_edge_list, read_uncertain_edge_list, save_uncertain_edge_list,
+    write_uncertain_edge_list,
+};
 pub use queries::{distance_distribution, knn_majority_distance, reliability};
 pub use sampling::WorldSampler;
-pub use triangles::{expected_center_paths, expected_ratio_clustering, expected_triangles};
 pub use statistics::{evaluate_uncertain, evaluate_world, StatSuite, UtilityConfig};
+pub use triangles::{expected_center_paths, expected_ratio_clustering, expected_triangles};

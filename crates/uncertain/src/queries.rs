@@ -196,11 +196,7 @@ pub fn knn_majority_distance<R: Rng + ?Sized>(
             (v, majority, reliability)
         })
         .collect();
-    scored.sort_by(|a, b| {
-        a.1.cmp(&b.1)
-            .then(b.2.total_cmp(&a.2))
-            .then(a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored
 }
@@ -240,14 +236,15 @@ mod tests {
         // Two disjoint 1-edge paths between 0 and 1 cannot be expressed in
         // a simple graph; use a diamond: 0-1 via 2 and via 3, p = 0.5 each
         // edge. P(connected) = 1 - (1 - 0.25)² = 0.4375.
-        let g = UncertainGraph::new(
-            4,
-            vec![(0, 2, 0.5), (2, 1, 0.5), (0, 3, 0.5), (3, 1, 0.5)],
-        )
-        .unwrap();
+        let g = UncertainGraph::new(4, vec![(0, 2, 0.5), (2, 1, 0.5), (0, 3, 0.5), (3, 1, 0.5)])
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let est = reliability(&g, 0, 1, 40_000, &mut rng);
-        assert!((est.probability - 0.4375).abs() < 0.01, "{}", est.probability);
+        assert!(
+            (est.probability - 0.4375).abs() < 0.01,
+            "{}",
+            est.probability
+        );
     }
 
     #[test]
@@ -287,11 +284,7 @@ mod tests {
     fn knn_orders_by_majority_distance() {
         // Star around 0 with certain spokes to 1,2; a fringe vertex 3
         // behind 1.
-        let g = UncertainGraph::new(
-            4,
-            vec![(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0)],
-        )
-        .unwrap();
+        let g = UncertainGraph::new(4, vec![(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0)]).unwrap();
         let mut rng = SmallRng::seed_from_u64(7);
         let knn = knn_majority_distance(&g, 0, 3, 200, &mut rng);
         assert_eq!(knn.len(), 3);

@@ -131,7 +131,10 @@ mod tests {
         let r = 20_000;
         let total: usize = (0..r).map(|_| ug.sample_world(&mut rng).num_edges()).sum();
         let avg = total as f64 / r as f64;
-        assert!((avg - ug.total_probability_mass()).abs() < 0.05, "avg={avg}");
+        assert!(
+            (avg - ug.total_probability_mass()).abs() < 0.05,
+            "avg={avg}"
+        );
     }
 
     #[test]

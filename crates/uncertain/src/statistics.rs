@@ -183,10 +183,10 @@ pub fn evaluate_uncertain(
     }
     let mut out: Vec<Option<StatSuite>> = vec![None; r];
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_mutex = parking_lot::Mutex::new(&mut out);
-    crossbeam::scope(|scope| {
+    let out_mutex = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= r {
                     break;
@@ -195,12 +195,13 @@ pub fn evaluate_uncertain(
                 let mut rng = SmallRng::seed_from_u64(s);
                 let world = g.sample_world(&mut rng);
                 let suite = evaluate_world(&world, &per_world_cfg(cfg, s));
-                out_mutex.lock()[i] = Some(suite);
+                out_mutex.lock().expect("world writer poisoned")[i] = Some(suite);
             });
         }
-    })
-    .expect("world evaluation thread panicked");
-    out.into_iter().map(|s| s.expect("all worlds filled")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("all worlds filled"))
+        .collect()
 }
 
 fn per_world_cfg(cfg: &UtilityConfig, world_seed: u64) -> UtilityConfig {

@@ -3,6 +3,10 @@
 //! receiving side reproduces the owner's statistics from the published
 //! artifact alone.
 //!
+//! Illustrates the utility evaluation of paper Section 7.2 (Tables 4–5):
+//! the ten-statistic suite compared between the original graph and
+//! sampled possible worlds of the release.
+//!
 //! ```bash
 //! cargo run --release --example publish_social_graph
 //! ```
@@ -40,7 +44,9 @@ fn main() {
     let ucfg = UtilityConfig {
         distance: DistanceEngine::HyperAnf { b: 6 },
         seed: 99,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     };
     let suites = evaluate_uncertain(&published.graph, 50, 2024, &ucfg);
     let n = suites.len() as f64;
@@ -52,10 +58,26 @@ fn main() {
     let rows: [(&str, fn(&StatSuite) -> f64, f64); 6] = [
         ("edges", |s| s.num_edges, truth.num_edges),
         ("avg degree", |s| s.average_degree, truth.average_degree),
-        ("degree variance", |s| s.degree_variance, truth.degree_variance),
-        ("avg distance", |s| s.average_distance, truth.average_distance),
-        ("effective diameter", |s| s.effective_diameter, truth.effective_diameter),
-        ("clustering coeff", |s| s.clustering_coefficient, truth.clustering_coefficient),
+        (
+            "degree variance",
+            |s| s.degree_variance,
+            truth.degree_variance,
+        ),
+        (
+            "avg distance",
+            |s| s.average_distance,
+            truth.average_distance,
+        ),
+        (
+            "effective diameter",
+            |s| s.effective_diameter,
+            truth.effective_diameter,
+        ),
+        (
+            "clustering coeff",
+            |s| s.clustering_coefficient,
+            truth.clustering_coefficient,
+        ),
     ];
     for (name, f, t) in rows {
         println!("{:<22}{:>12.4}{:>12.4}", name, mean(f), t);

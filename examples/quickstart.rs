@@ -1,6 +1,10 @@
 //! Quickstart: obfuscate a small social graph and analyze the published
 //! uncertain graph.
 //!
+//! Illustrates the paper's core pipeline end to end: Algorithm 1/2 from
+//! Section 5 produce the (k, ε)-obfuscated release, and the Section 6
+//! estimators recover expected statistics from the published artifact.
+//!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```

@@ -8,9 +8,7 @@
 //! cargo run --release --example sequential_release
 //! ```
 
-use obfugraph::baselines::{
-    degree_trail_candidates, uncertain_trail_crowd,
-};
+use obfugraph::baselines::{degree_trail_candidates, uncertain_trail_crowd};
 use obfugraph::core::{obfuscate, ObfuscationParams};
 use obfugraph::graph::GraphBuilder;
 use obfugraph::uncertain::degree_dist::DegreeDistMethod;

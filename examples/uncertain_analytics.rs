@@ -28,9 +28,18 @@ fn main() {
     let ug = UncertainGraph::new(3_000, candidates).unwrap();
 
     // Exact expectations (Section 6.2 + the closed-form degree variance).
-    println!("exact  E[edges]            = {:.2}", expected_num_edges(&ug));
-    println!("exact  E[avg degree]       = {:.4}", expected_average_degree(&ug));
-    println!("exact  E[degree variance]  = {:.4}", expected_degree_variance(&ug));
+    println!(
+        "exact  E[edges]            = {:.2}",
+        expected_num_edges(&ug)
+    );
+    println!(
+        "exact  E[avg degree]       = {:.4}",
+        expected_average_degree(&ug)
+    );
+    println!(
+        "exact  E[degree variance]  = {:.4}",
+        expected_degree_variance(&ug)
+    );
 
     // Exact expected degree distribution (the quantity Figure 3 samples).
     let dd = degree_distribution_exact(&ug);

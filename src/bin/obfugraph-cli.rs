@@ -179,10 +179,18 @@ mod tests {
 
     #[test]
     fn parse_flags_and_positionals() {
-        let args: Vec<String> = ["obfuscate", "in.txt", "out.up", "--k", "10", "--eps", "0.05"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "obfuscate",
+            "in.txt",
+            "out.up",
+            "--k",
+            "10",
+            "--eps",
+            "0.05",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let (pos, flags) = parse_args(&args).unwrap();
         assert_eq!(pos, vec!["obfuscate", "in.txt", "out.up"]);
         assert_eq!(flags.get("k").unwrap(), "10");
@@ -193,7 +201,10 @@ mod tests {
 
     #[test]
     fn missing_flag_value_rejected() {
-        let args: Vec<String> = ["evaluate", "--worlds"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["evaluate", "--worlds"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(parse_args(&args).is_err());
     }
 

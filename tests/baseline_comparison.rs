@@ -2,9 +2,7 @@
 //! matched level of identity obfuscation, publishing an uncertain graph
 //! preserves utility better than random sparsification.
 
-use obfugraph::baselines::{
-    eps_for_k, k_for_eps, random_sparsification, sparsification_anonymity,
-};
+use obfugraph::baselines::{eps_for_k, k_for_eps, random_sparsification, sparsification_anonymity};
 use obfugraph::core::adversary::{vertex_obfuscation_levels, AdversaryTable};
 use obfugraph::core::{obfuscate, ObfuscationParams};
 use obfugraph::datasets;

@@ -59,7 +59,11 @@ fn expected_edge_count_stays_close_to_original() {
     let res = obfuscate(&g, &fast_params(5, 0.02, 3)).expect("obfuscation");
     let expected = expected_num_edges(&res.graph);
     let rel = (expected - g.num_edges() as f64).abs() / g.num_edges() as f64;
-    assert!(rel < 0.15, "expected {expected} vs {} (rel {rel})", g.num_edges());
+    assert!(
+        rel < 0.15,
+        "expected {expected} vs {} (rel {rel})",
+        g.num_edges()
+    );
     let ad = expected_average_degree(&res.graph);
     assert!((ad - g.average_degree()).abs() / g.average_degree() < 0.15);
 }
@@ -75,8 +79,11 @@ fn utility_suite_close_for_low_k() {
     let original = evaluate_world(&g, &ucfg);
     let res = obfuscate(&g, &fast_params(5, 0.05, 4)).expect("obfuscation");
     let suites = evaluate_uncertain(&res.graph, 10, 11, &ucfg);
-    let mean_err: f64 =
-        suites.iter().map(|s| s.mean_relative_error(&original)).sum::<f64>() / suites.len() as f64;
+    let mean_err: f64 = suites
+        .iter()
+        .map(|s| s.mean_relative_error(&original))
+        .sum::<f64>()
+        / suites.len() as f64;
     // The paper reports rel.err well below 15% for k = 20 on graphs 200x
     // larger; at this scale and k = 5 the suite should stay within 35%.
     assert!(mean_err < 0.35, "mean rel err = {mean_err}");
@@ -94,7 +101,11 @@ fn higher_k_costs_more_utility() {
     let err_for = |k: usize| {
         let res = obfuscate(&g, &fast_params(k, 0.05, 5)).expect("obfuscation");
         let suites = evaluate_uncertain(&res.graph, 8, 21, &ucfg);
-        suites.iter().map(|s| s.mean_relative_error(&original)).sum::<f64>() / suites.len() as f64
+        suites
+            .iter()
+            .map(|s| s.mean_relative_error(&original))
+            .sum::<f64>()
+            / suites.len() as f64
     };
     let low = err_for(3);
     let high = err_for(30);

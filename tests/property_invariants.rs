@@ -12,16 +12,15 @@ use rand::SeedableRng;
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2usize..max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..4 * n)
-            .prop_map(move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v) in edges {
-                    if u != v {
-                        b.add_edge(u, v);
-                    }
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..4 * n).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
                 }
-                b.build()
-            })
+            }
+            b.build()
+        })
     })
 }
 

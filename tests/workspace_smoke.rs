@@ -1,0 +1,138 @@
+//! Workspace-metadata smoke test: fails fast if a future manifest edit
+//! drops a package, a bench harness entry, or a figure/table binary from
+//! the workspace.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    let mut c = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()));
+    c.current_dir(env!("CARGO_MANIFEST_DIR"));
+    c
+}
+
+/// `cargo metadata` for the workspace this test was compiled from.
+fn metadata_json() -> String {
+    let out = cargo()
+        .args(["metadata", "--format-version", "1", "--no-deps"])
+        .output()
+        .expect("run cargo metadata");
+    assert!(
+        out.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("metadata is UTF-8")
+}
+
+/// True if some occurrence of `"name":"<name>"` has `"kind":["<kind>"]`
+/// nearby (within the same small JSON object, in either field order) —
+/// i.e. a target of that kind and name is registered. Substring-based on
+/// purpose (no JSON dependency available offline), but tolerant of field
+/// reordering, and `"kind"` proximity rules out matching a mere package
+/// or dependency name.
+fn target_registered(meta: &str, kind: &str, name: &str) -> bool {
+    let name_key = format!("\"name\":\"{name}\"");
+    let kind_key = format!("\"kind\":[\"{kind}\"]");
+    let mut from = 0;
+    while let Some(pos) = meta[from..].find(&name_key) {
+        let at = from + pos;
+        let lo = at.saturating_sub(200);
+        let hi = (at + name_key.len() + 200).min(meta.len());
+        if meta[lo..hi].contains(&kind_key) {
+            return true;
+        }
+        from = at + name_key.len();
+    }
+    false
+}
+
+#[test]
+fn all_packages_present() {
+    // The facade, the eight implementation crates, and the three vendored
+    // shims must all resolve as workspace members. `cargo pkgid` is the
+    // contractual check: it fails for names that are not in the graph.
+    for name in [
+        "obfugraph",
+        "obf_graph",
+        "obf_stats",
+        "obf_hyperanf",
+        "obf_uncertain",
+        "obf_core",
+        "obf_baselines",
+        "obf_datasets",
+        "obf_bench",
+        "rand",
+        "proptest",
+        "criterion",
+    ] {
+        let out = cargo()
+            .args(["pkgid", "-p", name])
+            .output()
+            .expect("run cargo pkgid");
+        assert!(
+            out.status.success(),
+            "package `{name}` missing from workspace: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn bench_targets_registered() {
+    let meta = metadata_json();
+    // The six criterion benches must be registered as `bench` targets
+    // (their harness = false stanzas are what this guards).
+    for bench in [
+        "obfuscation",
+        "hyperanf",
+        "sampling",
+        "baselines",
+        "ablation",
+        "degree_dp",
+    ] {
+        assert!(
+            target_registered(&meta, "bench", bench),
+            "bench target `{bench}` not registered in obf_bench"
+        );
+    }
+}
+
+#[test]
+fn figure_and_table_binaries_registered() {
+    let meta = metadata_json();
+    for bin in [
+        "fig2",
+        "fig3",
+        "fig4",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "run_all",
+        "obfugraph-cli",
+    ] {
+        assert!(
+            target_registered(&meta, "bin", bin),
+            "binary target `{bin}` not registered"
+        );
+    }
+}
+
+#[test]
+fn examples_registered() {
+    let meta = metadata_json();
+    for example in [
+        "quickstart",
+        "publish_social_graph",
+        "uncertain_analytics",
+        "adversary_attack",
+        "sequential_release",
+    ] {
+        assert!(
+            target_registered(&meta, "example", example),
+            "example target `{example}` not registered"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small randomized-testing harness exposing the `proptest 1.x` API subset
+//! its test suites use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range / tuple / [`Just`] / [`collection::vec`] /
+//! [`any`] strategies, [`ProptestConfig`], and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! macros.
+//!
+//! Semantics match upstream with one deliberate simplification: failing
+//! cases are reported with their generated inputs but are **not shrunk**.
+//! Generation is deterministic (a fixed seed), so failures reproduce.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! let strat = (1u32..10, proptest::collection::vec(0.0f64..1.0, 2..5));
+//! let mut rng = proptest::new_rng();
+//! let (k, xs) = strat.generate(&mut rng);
+//! assert!((1..10).contains(&k));
+//! assert!(xs.len() >= 2 && xs.len() < 5);
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Error raised inside a `proptest!` case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions were not met (`prop_assume!`); the case is
+    /// discarded without counting against the budget.
+    Reject,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Creates the deterministic RNG used to generate test cases.
+pub fn new_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Everything needed by a typical `use proptest::prelude::*;` consumer.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Declares randomized property tests.
+///
+/// Supports the upstream form: an optional
+/// `#![proptest_config(expr)]` inner attribute followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strat = ($($strat,)+);
+                let mut rng = $crate::new_rng();
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < config.cases {
+                    let ($($pat,)+) = $crate::Strategy::generate(&strat, &mut rng);
+                    let outcome: $crate::TestCaseResult =
+                        (move || { $body; ::core::result::Result::Ok(()) })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects,
+                                "proptest: too many prop_assume! rejections \
+                                 ({rejected}) in {}", stringify!($name),
+                            );
+                        }
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {}\n  (case {} of {}; \
+                                 deterministic seed, re-run to reproduce)",
+                                msg, passed + rejected + 1, config.cases,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
