@@ -29,6 +29,26 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 if [[ "${1:-}" != "fast" ]]; then
     step "benches compile"
     cargo bench --no-run --workspace -q
+
+    # Thread-matrix smoke: the parallel engine must produce bit-identical
+    # experiment output for every thread count (fixed seed). Run the
+    # table3 and fig2 binaries at reduced scale with 1 and 4 threads and
+    # diff the deterministic TSV columns (table3's wall-clock columns 4-5
+    # are excluded; everything in fig2 is deterministic).
+    step "thread-matrix determinism (table3 + fig2 at reduced scale)"
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    for t in 1 4; do
+        OBF_FAST=1 ./target/release/table3 --threads "$t" >/dev/null 2>&1
+        cut -f1-3,6 results/table3.tsv > "$tmpdir/table3_t$t"
+        OBF_FAST=1 ./target/release/fig2 --threads "$t" >/dev/null 2>&1
+        cp results/fig2_k5.tsv "$tmpdir/fig2_t$t"
+    done
+    diff "$tmpdir/table3_t1" "$tmpdir/table3_t4" \
+        || { echo "table3 output differs between --threads 1 and 4"; exit 1; }
+    diff "$tmpdir/fig2_t1" "$tmpdir/fig2_t4" \
+        || { echo "fig2 output differs between --threads 1 and 4"; exit 1; }
+    echo "thread matrix OK: outputs identical for --threads 1 vs 4"
 fi
 
 printf '\nCI OK\n'

@@ -12,12 +12,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use obf_core::{obfuscate, ObfuscationParams};
 use obf_datasets::dblp_like;
+use obf_graph::Parallelism;
 
 fn base_params() -> ObfuscationParams {
     let mut p = ObfuscationParams::new(10, 0.05).with_seed(17);
     p.delta = 1e-3;
     p.t = 2;
-    p.threads = 1;
+    p.parallelism = Parallelism::sequential();
     p
 }
 

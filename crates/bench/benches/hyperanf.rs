@@ -17,6 +17,7 @@ fn bench_hyperanf_registers(c: &mut Criterion) {
                 b: b_param,
                 seed: 9,
                 max_iterations: 256,
+                ..HyperAnfConfig::default()
             };
             bch.iter(|| hyper_anf(&g, &cfg));
         });
@@ -37,6 +38,7 @@ fn bench_exact_vs_anf(c: &mut Criterion) {
                 b: 6,
                 seed: 9,
                 max_iterations: 256,
+                ..HyperAnfConfig::default()
             };
             b.iter(|| hyper_anf(g, &cfg).distance_distribution().stats());
         });

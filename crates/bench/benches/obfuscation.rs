@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use obf_core::{generate_obfuscation, obfuscate, ObfuscationParams};
 use obf_datasets::dblp_like;
+use obf_graph::Parallelism;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -12,7 +13,7 @@ fn params(k: usize, eps: f64) -> ObfuscationParams {
     let mut p = ObfuscationParams::new(k, eps).with_seed(7);
     p.delta = 1e-3; // keep the search short for benchmarking
     p.t = 2;
-    p.threads = 1; // single-threaded: measure algorithmic cost
+    p.parallelism = Parallelism::sequential(); // measure algorithmic cost
     p
 }
 

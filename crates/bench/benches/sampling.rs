@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use obf_datasets::dblp_like;
+use obf_graph::Parallelism;
 use obf_uncertain::statistics::{evaluate_world, DistanceEngine, UtilityConfig};
 use obf_uncertain::UncertainGraph;
 use rand::rngs::SmallRng;
@@ -37,7 +38,7 @@ fn bench_world_statistics(c: &mut Criterion) {
         let cfg = UtilityConfig {
             distance: engine,
             seed: 1,
-            threads: 1,
+            parallelism: Parallelism::sequential(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| evaluate_world(&g, cfg));

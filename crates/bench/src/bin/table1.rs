@@ -4,6 +4,7 @@
 use obf_bench::experiments::{figure1, table1_rows};
 use obf_bench::table::render;
 use obf_core::adversary::{AdversaryTable, ObfuscationCheck};
+use obf_graph::Parallelism;
 use obf_uncertain::degree_dist::DegreeDistMethod;
 
 fn main() {
@@ -18,7 +19,7 @@ fn main() {
     for omega in [3usize, 1, 2] {
         println!("  H(Y_deg={omega}) = {:.3} bits", t.entropy(omega));
     }
-    let check = ObfuscationCheck::run(&g, &t, 3, 1);
+    let check = ObfuscationCheck::run(&g, &t, 3, &Parallelism::sequential());
     println!(
         "\n(k=3) obfuscation: {}/{} vertices fail -> ({}, {})-obfuscation",
         check.failed_vertices,

@@ -26,14 +26,13 @@ use rand::SeedableRng;
 use crate::HarnessConfig;
 
 /// Utility-evaluation configuration used by all experiments: HyperANF for
-/// distance statistics (as in the paper), parallel worlds.
+/// distance statistics (as in the paper), worlds sharded across the
+/// harness's worker threads.
 pub fn utility_config(cfg: &HarnessConfig) -> UtilityConfig {
     UtilityConfig {
         distance: DistanceEngine::HyperAnf { b: 6 },
         seed: cfg.seed ^ 0xD1,
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        parallelism: cfg.parallelism(),
     }
 }
 
@@ -369,9 +368,10 @@ pub fn figure4(
     let mut curves = Vec::new();
 
     // Original graph: levels = crowd sizes.
+    let par = cfg.parallelism();
     let certain = UncertainGraph::from_certain(&g);
-    let table = AdversaryTable::build(&certain, DegreeDistMethod::Exact);
-    let levels = vertex_obfuscation_levels(&g, &table, 0);
+    let table = AdversaryTable::build_par(&certain, DegreeDistMethod::Exact, &par);
+    let levels = vertex_obfuscation_levels(&g, &table, &par);
     curves.push(Curve {
         label: "original".into(),
         points: anonymity_curve(&levels, k_max),
@@ -379,8 +379,12 @@ pub fn figure4(
 
     for &(k, eps) in obf_settings {
         if let Ok((res, _)) = obfuscate_with_fallback(&g, cfg.obf_params(k, eps)) {
-            let table = AdversaryTable::build(&res.graph, DegreeDistMethod::Auto { threshold: 64 });
-            let levels = vertex_obfuscation_levels(&g, &table, 0);
+            let table = AdversaryTable::build_par(
+                &res.graph,
+                DegreeDistMethod::Auto { threshold: 64 },
+                &par,
+            );
+            let levels = vertex_obfuscation_levels(&g, &table, &par);
             curves.push(Curve {
                 label: format!("obf k={k} eps={eps:.0e}"),
                 points: anonymity_curve(&levels, k_max),
@@ -564,6 +568,7 @@ mod tests {
             delta: 1e-2,
             seed: 99,
             fast: true,
+            threads: 2,
         }
     }
 

@@ -10,6 +10,14 @@
 //!   as in the paper).
 //! * `OBF_DELTA=<f64>` — binary-search resolution of Algorithm 1.
 //! * `OBF_SEED=<u64>` — master seed.
+//! * `OBF_THREADS=<usize>` — worker threads for the parallel engine
+//!   (default: all hardware threads). Every binary also accepts a
+//!   `--threads <N>` argument, which overrides the environment.
+//!
+//! For a fixed seed the tables are identical at every thread count — the
+//! sharded loops merge partial results in a fixed chunk order (see
+//! [`obf_graph::Parallelism`]); `ci.sh` diffs a `--threads 1` run
+//! against a `--threads 4` run to enforce this.
 //!
 //! # Example
 //!
@@ -17,10 +25,11 @@
 //! use obf_bench::HarnessConfig;
 //! use obf_datasets::Dataset;
 //!
-//! let cfg = HarnessConfig { scale: 0.05, worlds: 5, delta: 1e-3, seed: 1, fast: true };
+//! let cfg = HarnessConfig { scale: 0.05, worlds: 5, delta: 1e-3, seed: 1, fast: true, threads: 2 };
 //! let g = cfg.dataset(Dataset::Dblp);
 //! assert_eq!(g.num_vertices(), cfg.dataset_size(Dataset::Dblp));
 //! assert_eq!(cfg.obf_params(20, 1e-2).k, 20);
+//! assert_eq!(cfg.parallelism().threads(), 2);
 //! ```
 
 pub mod experiments;
@@ -28,7 +37,7 @@ pub mod table;
 
 use obf_core::ObfuscationParams;
 use obf_datasets::{Dataset, DatasetSpec};
-use obf_graph::Graph;
+use obf_graph::{Graph, Parallelism};
 
 /// Runtime configuration for all experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -38,23 +47,35 @@ pub struct HarnessConfig {
     pub delta: f64,
     pub seed: u64,
     pub fast: bool,
+    /// Worker threads for the parallel engine (1 = sequential).
+    pub threads: usize,
 }
 
 impl HarnessConfig {
-    /// Reads the configuration from the environment.
+    /// Reads the configuration from the environment, then lets a
+    /// `--threads <N>` command-line argument override `OBF_THREADS`.
     pub fn from_env() -> Self {
         let fast = std::env::var("OBF_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
         let scale = env_f64("OBF_SCALE", if fast { 0.1 } else { 1.0 });
         let worlds = env_usize("OBF_WORLDS", if fast { 10 } else { 100 });
         let delta = env_f64("OBF_DELTA", if fast { 1e-3 } else { 1e-6 });
         let seed = env_u64("OBF_SEED", 0xC0FFEE);
+        let threads = arg_usize("--threads")
+            .unwrap_or_else(|| env_usize("OBF_THREADS", Parallelism::available().threads()))
+            .max(1);
         Self {
             scale,
             worlds,
             delta,
             seed,
             fast,
+            threads,
         }
+    }
+
+    /// The sharding configuration the experiments hand to the engine.
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::new(self.threads)
     }
 
     /// The dataset sizes used under this configuration.
@@ -70,7 +91,9 @@ impl HarnessConfig {
     /// Obfuscation parameters matching the paper's setup (`c = 2`,
     /// `q = 0.01`, `t = 5`), with this harness's search resolution.
     pub fn obf_params(&self, k: usize, eps: f64) -> ObfuscationParams {
-        let mut p = ObfuscationParams::new(k, eps).with_seed(self.seed ^ 0x0b);
+        let mut p = ObfuscationParams::new(k, eps)
+            .with_seed(self.seed ^ 0x0b)
+            .with_threads(self.threads);
         p.delta = self.delta;
         if self.fast {
             p.t = 2;
@@ -91,6 +114,35 @@ impl HarnessConfig {
             (vec![20, 60, 100], vec![1e-2, 1e-3, 1e-4])
         }
     }
+}
+
+/// `--name <value>` (or `--name=<value>`) from the process arguments.
+/// A present-but-unparseable value aborts loudly rather than silently
+/// falling back — a bench run recorded under the wrong thread count
+/// would corrupt the Table 3 comparison.
+fn arg_usize(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_arg_usize(&args, name)
+}
+
+fn parse_arg_usize(args: &[String], name: &str) -> Option<usize> {
+    let eq_prefix = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        let raw = if a == name {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("flag {name} needs a value"))
+                .as_str()
+        } else if let Some(v) = a.strip_prefix(&eq_prefix) {
+            v
+        } else {
+            continue;
+        };
+        return Some(
+            raw.parse()
+                .unwrap_or_else(|_| panic!("invalid value {raw:?} for {name}")),
+        );
+    }
+    None
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -146,6 +198,35 @@ mod tests {
         assert_eq!(env_u64("OBF_DOES_NOT_EXIST", 9), 9);
     }
 
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_arg_accepts_both_forms() {
+        assert_eq!(
+            parse_arg_usize(&argv(&["bin", "--threads", "4"]), "--threads"),
+            Some(4)
+        );
+        assert_eq!(
+            parse_arg_usize(&argv(&["bin", "--threads=8"]), "--threads"),
+            Some(8)
+        );
+        assert_eq!(parse_arg_usize(&argv(&["bin"]), "--threads"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn threads_arg_rejects_garbage() {
+        let _ = parse_arg_usize(&argv(&["bin", "--threads", "1x"]), "--threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn threads_arg_rejects_missing_value() {
+        let _ = parse_arg_usize(&argv(&["bin", "--threads"]), "--threads");
+    }
+
     #[test]
     fn config_scales_datasets() {
         let cfg = HarnessConfig {
@@ -154,6 +235,7 @@ mod tests {
             delta: 1e-3,
             seed: 1,
             fast: true,
+            threads: 1,
         };
         assert_eq!(cfg.dataset_size(Dataset::Dblp), 200);
         let g = cfg.dataset(Dataset::Dblp);
@@ -168,11 +250,13 @@ mod tests {
             delta: 1e-4,
             seed: 1,
             fast: false,
+            threads: 3,
         };
         let p = cfg.obf_params(20, 1e-3);
         assert_eq!(p.delta, 1e-4);
         assert_eq!(p.k, 20);
         assert_eq!(p.c, 2.0);
         assert_eq!(p.q, 0.01);
+        assert_eq!(p.parallelism.threads(), 3);
     }
 }

@@ -6,7 +6,7 @@
 //! is the posterior over published vertices for a target with original
 //! degree `ω`; its entropy certifies k-obfuscation (Definition 2).
 
-use obf_graph::Graph;
+use obf_graph::{Graph, Parallelism};
 use obf_stats::entropy::{entropy_bits_normalized, obfuscation_level};
 use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
 use obf_uncertain::UncertainGraph;
@@ -21,11 +21,35 @@ pub struct AdversaryTable {
 }
 
 impl AdversaryTable {
-    /// Builds the table for all vertices of `g`.
+    /// Builds the table for all vertices of `g`, sequentially.
+    /// Equivalent to [`AdversaryTable::build_par`] with
+    /// [`Parallelism::sequential`].
     pub fn build(g: &UncertainGraph, method: DegreeDistMethod) -> Self {
-        let rows = (0..g.num_vertices() as u32)
-            .map(|v| vertex_degree_distribution(g, v, method))
-            .collect();
+        Self::build_par(g, method, &Parallelism::sequential())
+    }
+
+    /// Builds the table with each worker thread owning contiguous vertex
+    /// ranges. The per-vertex Poisson-binomial DP (Lemma 1) is `O(ℓ_v²)`
+    /// and rows are independent, so this is the dominant parallel win of
+    /// Algorithm 2's Definition 2 check. Output is identical for every
+    /// thread count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obf_core::AdversaryTable;
+    /// use obf_graph::Parallelism;
+    /// use obf_uncertain::{degree_dist::DegreeDistMethod, UncertainGraph};
+    ///
+    /// let ug = UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.25)]).unwrap();
+    /// let seq = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+    /// let par = AdversaryTable::build_par(&ug, DegreeDistMethod::Exact, &Parallelism::new(4));
+    /// assert_eq!(seq.row(1), par.row(1));
+    /// ```
+    pub fn build_par(g: &UncertainGraph, method: DegreeDistMethod, par: &Parallelism) -> Self {
+        let rows = par.map_collect(g.num_vertices(), |v| {
+            vertex_degree_distribution(g, v as u32, method)
+        });
         Self { rows }
     }
 
@@ -91,25 +115,69 @@ impl AdversaryTable {
         }
     }
 
-    /// Entropies for many property values at once, optionally in parallel.
-    /// Output is parallel to `omegas`.
-    pub fn entropies(&self, omegas: &[usize], threads: usize) -> Vec<f64> {
-        let threads = threads.max(1).min(omegas.len().max(1));
-        if threads <= 1 || omegas.len() < 4 {
-            return omegas.iter().map(|&w| self.entropy(w)).collect();
+    /// Entropies `H(Y_ω)` for many property values at once, sharded over
+    /// contiguous vertex ranges.
+    ///
+    /// Each chunk of vertices contributes partial column sums
+    /// `(Σ_v X_v(ω), Σ_v X_v(ω)·log₂ X_v(ω))` for every requested `ω`;
+    /// the partials are merged in chunk order and finalised with the same
+    /// `H = log₂ W − (Σ x log₂ x)/W` identity as
+    /// [`entropy_bits_normalized`], so the result is bit-identical for
+    /// every thread count (see [`Parallelism`]). Output is parallel to
+    /// `omegas`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obf_core::AdversaryTable;
+    /// use obf_graph::Parallelism;
+    /// use obf_uncertain::{degree_dist::DegreeDistMethod, UncertainGraph};
+    ///
+    /// let ug = UncertainGraph::new(4, vec![(0, 1, 0.6), (1, 2, 0.4), (2, 3, 0.9)]).unwrap();
+    /// let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+    /// let seq = t.entropies(&[0, 1, 2], &Parallelism::sequential());
+    /// let par = t.entropies(&[0, 1, 2], &Parallelism::new(4));
+    /// assert_eq!(seq, par);
+    /// ```
+    pub fn entropies(&self, omegas: &[usize], par: &Parallelism) -> Vec<f64> {
+        if omegas.is_empty() {
+            return Vec::new();
         }
-        let mut out = vec![0.0f64; omegas.len()];
-        let chunk = omegas.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (slot, idx) in out.chunks_mut(chunk).zip(omegas.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (o, &w) in slot.iter_mut().zip(idx) {
-                        *o = self.entropy(w);
+        // Per-chunk partial sums over a contiguous vertex range.
+        let partials = par.map_chunks(self.rows.len(), |range| {
+            let mut mass = vec![0.0f64; omegas.len()];
+            let mut xlogx = vec![0.0f64; omegas.len()];
+            for row in &self.rows[range] {
+                for (j, &omega) in omegas.iter().enumerate() {
+                    let x = row.get(omega).copied().unwrap_or(0.0);
+                    if x > 0.0 {
+                        mass[j] += x;
+                        xlogx[j] += x * x.log2();
                     }
-                });
+                }
             }
+            (mass, xlogx)
         });
-        out
+        // Merge in chunk order: the reduction tree is fixed regardless of
+        // which worker computed which chunk.
+        let mut mass = vec![0.0f64; omegas.len()];
+        let mut xlogx = vec![0.0f64; omegas.len()];
+        for (chunk_mass, chunk_xlogx) in partials {
+            for j in 0..omegas.len() {
+                mass[j] += chunk_mass[j];
+                xlogx[j] += chunk_xlogx[j];
+            }
+        }
+        mass.iter()
+            .zip(&xlogx)
+            .map(|(&w, &acc)| {
+                if w <= 0.0 {
+                    0.0
+                } else {
+                    (w.log2() - acc / w).max(0.0)
+                }
+            })
+            .collect()
     }
 }
 
@@ -129,10 +197,13 @@ pub struct ObfuscationCheck {
 
 impl ObfuscationCheck {
     /// Runs the Definition 2 test: for every vertex `v` of the original
-    /// graph, the entropy of `Y_{deg_G(v)}` must reach `log₂ k`.
+    /// graph, the entropy of `Y_{deg_G(v)}` must reach `log₂ k`. The
+    /// entropy columns are sharded across `par`'s worker threads (see
+    /// [`AdversaryTable::entropies`]); the verdict is bit-identical for
+    /// every thread count.
     ///
     /// `original` and `published` must have the same vertex set.
-    pub fn run(original: &Graph, published: &AdversaryTable, k: usize, threads: usize) -> Self {
+    pub fn run(original: &Graph, published: &AdversaryTable, k: usize, par: &Parallelism) -> Self {
         assert_eq!(
             original.num_vertices(),
             published.num_vertices(),
@@ -151,7 +222,7 @@ impl ObfuscationCheck {
         let mut distinct: Vec<usize> = degrees.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        let entropies = published.entropies(&distinct, threads);
+        let entropies = published.entropies(&distinct, par);
         let threshold = (k as f64).log2();
         let entropy_by_degree: Vec<(usize, f64)> =
             distinct.iter().copied().zip(entropies).collect();
@@ -176,18 +247,19 @@ impl ObfuscationCheck {
 }
 
 /// Per-vertex obfuscation levels `2^H(Y_{deg_G(v)})` for the anonymity
-/// curves of Figure 4.
+/// curves of Figure 4, with the entropy columns sharded across `par`'s
+/// worker threads.
 pub fn vertex_obfuscation_levels(
     original: &Graph,
     published: &AdversaryTable,
-    threads: usize,
+    par: &Parallelism,
 ) -> Vec<f64> {
     let n = original.num_vertices();
     let degrees: Vec<usize> = (0..n as u32).map(|v| original.degree(v)).collect();
     let mut distinct: Vec<usize> = degrees.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    let entropies = published.entropies(&distinct, threads);
+    let entropies = published.entropies(&distinct, par);
     let max_deg = distinct.last().copied().unwrap_or(0);
     let mut level = vec![0.0f64; max_deg + 1];
     for (&d, &h) in distinct.iter().zip(&entropies) {
@@ -257,7 +329,7 @@ mod tests {
         // provides a (3, 0.25)-obfuscation".
         let (g, ug) = paper_pair();
         let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
-        let check = ObfuscationCheck::run(&g, &t, 3, 1);
+        let check = ObfuscationCheck::run(&g, &t, 3, &Parallelism::sequential());
         assert_eq!(check.failed_vertices, 1); // v1 (degree 3)
         assert!((check.eps_achieved - 0.25).abs() < 1e-12);
         assert!(check.satisfies(0.25));
@@ -291,16 +363,32 @@ mod tests {
         let (_, ug) = paper_pair();
         let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
         let omegas: Vec<usize> = (0..4).collect();
-        let serial = t.entropies(&omegas, 1);
-        let parallel = t.entropies(&omegas, 4);
-        // `entropies` falls back to serial for short inputs; force the
-        // parallel path with a longer input.
-        let many: Vec<usize> = (0..64).map(|i| i % 4).collect();
-        let par_many = t.entropies(&many, 4);
-        for (i, &w) in many.iter().enumerate() {
-            assert_eq!(par_many[i], serial[w]);
+        // Chunk size 1 forces multiple chunks even on this 4-vertex graph.
+        let serial = t.entropies(&omegas, &Parallelism::sequential().with_chunk_size(1));
+        for threads in [2, 4] {
+            let par = Parallelism::new(threads).with_chunk_size(1);
+            assert_eq!(serial, t.entropies(&omegas, &par), "threads={threads}");
         }
-        assert_eq!(serial, parallel);
+        // The chunked accumulation agrees with the single-column formula.
+        for &w in &omegas {
+            assert!((serial[w] - t.entropy(w)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let (_, ug) = paper_pair();
+        let seq = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        for threads in [2, 4] {
+            let par = AdversaryTable::build_par(
+                &ug,
+                DegreeDistMethod::Exact,
+                &Parallelism::new(threads).with_chunk_size(1),
+            );
+            for v in 0..4u32 {
+                assert_eq!(seq.row(v), par.row(v), "threads={threads} v={v}");
+            }
+        }
     }
 
     #[test]
@@ -335,7 +423,7 @@ mod tests {
     fn obfuscation_levels_per_vertex() {
         let (g, ug) = paper_pair();
         let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
-        let levels = vertex_obfuscation_levels(&g, &t, 1);
+        let levels = vertex_obfuscation_levels(&g, &t, &Parallelism::sequential());
         assert_eq!(levels.len(), 4);
         // v1 has degree 3: level 2^0.469 ≈ 1.38.
         assert!((levels[0] - 2f64.powf(t.entropy(3))).abs() < 1e-12);
@@ -348,7 +436,7 @@ mod tests {
         let g = Graph::empty(0);
         let ug = UncertainGraph::new(0, vec![]).unwrap();
         let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
-        let check = ObfuscationCheck::run(&g, &t, 5, 1);
+        let check = ObfuscationCheck::run(&g, &t, 5, &Parallelism::sequential());
         assert_eq!(check.eps_achieved, 0.0);
     }
 
@@ -358,6 +446,6 @@ mod tests {
         let g = Graph::empty(3);
         let ug = UncertainGraph::new(2, vec![]).unwrap();
         let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
-        let _ = ObfuscationCheck::run(&g, &t, 2, 1);
+        let _ = ObfuscationCheck::run(&g, &t, 2, &Parallelism::sequential());
     }
 }

@@ -14,7 +14,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use obf_graph::{AliasTable, FxHashSet, Graph, VertexPair};
+use obf_graph::{AliasTable, FxHashSet, Graph, Parallelism, VertexPair};
 use obf_stats::TruncatedNormal;
 use obf_uncertain::degree_dist::DegreeDistMethod;
 use obf_uncertain::UncertainGraph;
@@ -50,8 +50,10 @@ pub struct ObfuscationParams {
     pub seed: u64,
     /// Per-vertex degree-distribution method for the adversary table.
     pub method: DegreeDistMethod,
-    /// Worker threads for the entropy columns.
-    pub threads: usize,
+    /// Sharding configuration for the adversary-table rows and entropy
+    /// columns (Definition 2's check). The published graph is identical
+    /// for every thread count (see [`Parallelism`]).
+    pub parallelism: Parallelism,
 }
 
 impl ObfuscationParams {
@@ -68,15 +70,19 @@ impl ObfuscationParams {
             max_doublings: 16,
             seed: 0x0bf5,
             method: DegreeDistMethod::Auto { threshold: 64 },
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            parallelism: Parallelism::available(),
         }
     }
 
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the worker-thread count of [`ObfuscationParams::parallelism`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallelism = self.parallelism.with_threads(threads);
         self
     }
 
@@ -315,9 +321,11 @@ pub fn generate_obfuscation_with_excluded(
         }
         let ug = UncertainGraph::new(n, candidates).expect("valid candidate set");
 
-        // Line 20: ε' = fraction of vertices not k-obfuscated.
-        let table = AdversaryTable::build(&ug, params.method);
-        let check = ObfuscationCheck::run(g, &table, params.k, params.threads);
+        // Line 20: ε' = fraction of vertices not k-obfuscated. Both the
+        // X_v(ω) rows and the Y_ω entropy columns are sharded over
+        // contiguous vertex ranges — the Algorithm 2 hot path.
+        let table = AdversaryTable::build_par(&ug, params.method, &params.parallelism);
+        let check = ObfuscationCheck::run(g, &table, params.k, &params.parallelism);
         let eps_trial = check.eps_achieved;
         trials.push(TrialStats {
             eps_achieved: eps_trial,
@@ -466,10 +474,9 @@ mod tests {
 
     fn test_params(k: usize, eps: f64) -> ObfuscationParams {
         // Faster search for tests: coarser delta, fewer trials.
-        let mut p = ObfuscationParams::new(k, eps).with_seed(42);
+        let mut p = ObfuscationParams::new(k, eps).with_seed(42).with_threads(2);
         p.delta = 1e-3;
         p.t = 3;
-        p.threads = 2;
         p
     }
 
@@ -483,7 +490,7 @@ mod tests {
         assert!(res.sigma > 0.0);
         // The certificate must hold when re-verified from scratch.
         let table = AdversaryTable::build(&res.graph, DegreeDistMethod::Exact);
-        let check = ObfuscationCheck::run(&g, &table, 10, 1);
+        let check = ObfuscationCheck::run(&g, &table, 10, &Parallelism::sequential());
         assert!(
             check.eps_achieved <= 0.05 + 1e-12,
             "recheck eps = {}",

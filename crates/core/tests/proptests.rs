@@ -3,7 +3,7 @@
 use obf_core::adversary::{AdversaryTable, ObfuscationCheck};
 use obf_core::commonness::CommonnessScores;
 use obf_core::property::{DegreeProperty, VertexProperty};
-use obf_graph::{Graph, GraphBuilder};
+use obf_graph::{Graph, GraphBuilder, Parallelism};
 use obf_uncertain::degree_dist::DegreeDistMethod;
 use obf_uncertain::UncertainGraph;
 use proptest::prelude::*;
@@ -65,7 +65,7 @@ proptest! {
         // at least k members.
         let ug = UncertainGraph::from_certain(&g);
         let table = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
-        let check = ObfuscationCheck::run(&g, &table, k, 1);
+        let check = ObfuscationCheck::run(&g, &table, k, &Parallelism::sequential());
         let hist = obf_graph::degstats::degree_histogram(&g);
         let expected_failures = (0..g.num_vertices() as u32)
             .filter(|&v| (hist.count(g.degree(v)) as usize) < k)
@@ -91,6 +91,40 @@ proptest! {
         let vals = DegreeProperty.values(&g);
         for v in 0..g.num_vertices() as u32 {
             prop_assert_eq!(vals[v as usize], g.degree(v) as f64);
+        }
+    }
+
+    #[test]
+    fn sharded_adversary_check_bit_identical_across_threads(
+        g in arb_graph(30),
+        seed in 0u64..1000,
+    ) {
+        // The tentpole determinism guarantee: the sharded X_v(ω) rows,
+        // the Y_ω entropy columns, and the Definition 2 verdict are
+        // bit-identical to the sequential path for threads ∈ {1, 2, 4}.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let cands: Vec<(u32, u32, f64)> =
+            g.edges().map(|(u, v)| (u, v, rng.gen::<f64>())).collect();
+        let ug = UncertainGraph::new(g.num_vertices(), cands).unwrap();
+        let omegas: Vec<usize> = (0..g.max_degree() + 2).collect();
+
+        let seq_par = Parallelism::sequential().with_chunk_size(4);
+        let seq_table = AdversaryTable::build_par(&ug, DegreeDistMethod::Exact, &seq_par);
+        let seq_entropies = seq_table.entropies(&omegas, &seq_par);
+        let seq_check = ObfuscationCheck::run(&g, &seq_table, 3, &seq_par);
+
+        for threads in [2usize, 4] {
+            let par = Parallelism::new(threads).with_chunk_size(4);
+            let table = AdversaryTable::build_par(&ug, DegreeDistMethod::Exact, &par);
+            for v in 0..g.num_vertices() as u32 {
+                prop_assert_eq!(seq_table.row(v), table.row(v), "row {} threads {}", v, threads);
+            }
+            prop_assert_eq!(&seq_entropies, &table.entropies(&omegas, &par));
+            let check = ObfuscationCheck::run(&g, &table, 3, &par);
+            prop_assert_eq!(&seq_check.entropy_by_degree, &check.entropy_by_degree);
+            prop_assert_eq!(seq_check.eps_achieved, check.eps_achieved);
+            prop_assert_eq!(seq_check.failed_vertices, check.failed_vertices);
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod generators;
 pub mod graph;
 pub mod hashers;
 pub mod io;
+pub mod parallel;
 pub mod traversal;
 pub mod triangles;
 
@@ -42,6 +43,7 @@ pub use distance::{exact_distance_distribution, sampled_distance_distribution, D
 pub use extras::{core_numbers, degeneracy, degree_assortativity, pagerank};
 pub use graph::Graph;
 pub use hashers::{splitmix64, FxBuildHasher, FxHashMap, FxHashSet};
+pub use parallel::{stream_seed, Parallelism};
 pub use traversal::{bfs_distances, bfs_from};
 pub use triangles::{global_clustering_coefficient, local_clustering_coefficients, triangle_count};
 

@@ -1,7 +1,7 @@
 //! The HyperANF diffusion and the distance statistics derived from the
 //! neighbourhood function.
 
-use obf_graph::{splitmix64, Graph};
+use obf_graph::{splitmix64, Graph, Parallelism};
 use obf_stats::jackknife::jackknife;
 
 use crate::hll::{add_hash_to_registers, estimate_registers, union_registers};
@@ -18,6 +18,13 @@ pub struct HyperAnfConfig {
     /// Safety cap on diffusion rounds (the loop stops at the register
     /// fixpoint anyway, which is bounded by the diameter).
     pub max_iterations: usize,
+    /// Sharding of the register arena: each worker owns contiguous
+    /// vertex ranges of the diffusion and the size estimation. Defaults
+    /// to sequential because the utility pipeline already parallelises
+    /// one level up (across sampled worlds); set explicitly when running
+    /// a single large diffusion. Estimates are bit-identical for every
+    /// thread count (see [`Parallelism`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for HyperAnfConfig {
@@ -26,6 +33,7 @@ impl Default for HyperAnfConfig {
             b: 6,
             seed: 0x0bfu64,
             max_iterations: 512,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -179,38 +187,54 @@ pub struct DistanceScalars {
 pub fn hyper_anf(g: &Graph, config: &HyperAnfConfig) -> NeighbourhoodFunction {
     let n = g.num_vertices();
     let m = 1usize << config.b;
+    let par = config.parallelism;
     if n == 0 {
         return NeighbourhoodFunction { nf: vec![0.0], n };
     }
-    // Flat arenas: current and next registers for all vertices.
+    // Flat arenas: current and next registers for all vertices. Workers
+    // own disjoint contiguous vertex ranges of the arena.
     let mut cur = vec![0u8; n * m];
-    for v in 0..n {
-        let h = splitmix64(config.seed ^ splitmix64(v as u64));
-        add_hash_to_registers(&mut cur[v * m..(v + 1) * m], config.b, h);
-    }
+    par.for_chunks_mut(&mut cur, m, |first_v, regs| {
+        for (j, vregs) in regs.chunks_mut(m).enumerate() {
+            let h = splitmix64(config.seed ^ splitmix64((first_v + j) as u64));
+            add_hash_to_registers(vregs, config.b, h);
+        }
+    });
     let mut next = cur.clone();
 
+    // Per-chunk partial sums merged in chunk order keep the estimate
+    // bit-identical for every thread count.
     let estimate_total = |regs: &[u8]| -> f64 {
-        (0..n)
-            .map(|v| estimate_registers(&regs[v * m..(v + 1) * m]))
-            .sum()
+        par.map_chunks(n, |range| {
+            range
+                .map(|v| estimate_registers(&regs[v * m..(v + 1) * m]))
+                .sum::<f64>()
+        })
+        .iter()
+        .sum()
     };
 
     let mut nf = vec![estimate_total(&cur)];
     for _ in 0..config.max_iterations {
-        let mut changed = false;
-        // next = cur, then union in neighbours.
+        let changed = std::sync::atomic::AtomicBool::new(false);
+        // next = cur, then union in neighbours. Each worker writes only
+        // its own vertex range of `next` while reading the shared `cur`
+        // snapshot, so the union order per vertex never changes.
         next.copy_from_slice(&cur);
-        for v in 0..n as u32 {
-            let dst_range = (v as usize) * m..(v as usize + 1) * m;
-            // Split borrows: neighbours read from `cur`, write into `next`.
-            let dst = &mut next[dst_range];
-            for &u in g.neighbors(v) {
-                let src = &cur[(u as usize) * m..(u as usize + 1) * m];
-                changed |= union_registers(dst, src);
+        par.for_chunks_mut(&mut next, m, |first_v, regs| {
+            let mut chunk_changed = false;
+            for (j, dst) in regs.chunks_mut(m).enumerate() {
+                let v = (first_v + j) as u32;
+                for &u in g.neighbors(v) {
+                    let src = &cur[(u as usize) * m..(u as usize + 1) * m];
+                    chunk_changed |= union_registers(dst, src);
+                }
             }
-        }
-        if !changed {
+            if chunk_changed {
+                changed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        if !changed.into_inner() {
             break;
         }
         std::mem::swap(&mut cur, &mut next);
@@ -241,15 +265,18 @@ where
     F: Fn(&ApproxDistanceDistribution) -> f64,
 {
     assert!(runs >= 2, "need at least 2 runs for jackknifing");
-    let dists: Vec<ApproxDistanceDistribution> = (0..runs)
-        .map(|r| {
-            let cfg = HyperAnfConfig {
-                seed: splitmix64(config.seed.wrapping_add(r as u64 + 1)),
-                ..*config
-            };
-            hyper_anf(g, &cfg).distance_distribution()
-        })
-        .collect();
+    // Independent runs parallelise at the run level (each with its own
+    // index-derived seed); the inner diffusion stays sequential so the
+    // workers do not oversubscribe.
+    let runs_par = config.parallelism.with_chunk_size(1);
+    let dists: Vec<ApproxDistanceDistribution> = runs_par.map_collect(runs, |r| {
+        let cfg = HyperAnfConfig {
+            seed: splitmix64(config.seed.wrapping_add(r as u64 + 1)),
+            parallelism: Parallelism::sequential(),
+            ..*config
+        };
+        hyper_anf(g, &cfg).distance_distribution()
+    });
     jackknife(&dists, |subset| {
         let vals: Vec<f64> = subset.iter().map(&stat).collect();
         vals.iter().sum::<f64>() / vals.len() as f64
@@ -270,6 +297,7 @@ mod tests {
             b,
             seed,
             max_iterations: 256,
+            ..HyperAnfConfig::default()
         }
     }
 
@@ -399,5 +427,28 @@ mod tests {
         let a = hyper_anf(&g, &config(6, 77));
         let b = hyper_anf(&g, &config(6, 77));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_diffusion_bit_identical_across_threads() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::erdos_renyi_gnm(300, 700, &mut rng);
+        let seq = hyper_anf(
+            &g,
+            &HyperAnfConfig {
+                parallelism: Parallelism::sequential().with_chunk_size(16),
+                ..config(6, 21)
+            },
+        );
+        for threads in [2, 4] {
+            let par = hyper_anf(
+                &g,
+                &HyperAnfConfig {
+                    parallelism: Parallelism::new(threads).with_chunk_size(16),
+                    ..config(6, 21)
+                },
+            );
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 }

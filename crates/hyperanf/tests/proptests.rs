@@ -55,7 +55,7 @@ proptest! {
     fn nf_reaches_exact_fixpoint_support(g in arb_graph(24)) {
         // With high-precision registers on tiny graphs, the number of
         // diffusion rounds equals the exact effective diameter support.
-        let cfg = HyperAnfConfig { b: 10, seed: 3, max_iterations: 128 };
+        let cfg = HyperAnfConfig { b: 10, seed: 3, max_iterations: 128, ..HyperAnfConfig::default() };
         let est = hyper_anf(&g, &cfg);
         let exact = exact_neighbourhood_function(&g);
         prop_assert_eq!(est.nf.len(), exact.len());
@@ -67,7 +67,7 @@ proptest! {
 
     #[test]
     fn distance_distribution_conserves_pairs(g in arb_graph(24)) {
-        let cfg = HyperAnfConfig { b: 8, seed: 7, max_iterations: 128 };
+        let cfg = HyperAnfConfig { b: 8, seed: 7, max_iterations: 128, ..HyperAnfConfig::default() };
         let dd = hyper_anf(&g, &cfg).distance_distribution();
         let n = g.num_vertices() as f64;
         let total = dd.connected_pairs() + dd.unreachable_pairs;
@@ -79,7 +79,7 @@ proptest! {
 
     #[test]
     fn stats_are_finite_and_ordered(g in arb_graph(24)) {
-        let cfg = HyperAnfConfig { b: 8, seed: 11, max_iterations: 128 };
+        let cfg = HyperAnfConfig { b: 8, seed: 11, max_iterations: 128, ..HyperAnfConfig::default() };
         let s = hyper_anf(&g, &cfg).distance_distribution().stats();
         prop_assert!(s.average_distance.is_finite());
         prop_assert!(s.effective_diameter.is_finite());

@@ -1,0 +1,211 @@
+//! Mergeable running tallies for sharded Monte-Carlo aggregation.
+//!
+//! The parallel possible-world sampler (Section 6.1) evaluates a statistic
+//! on each world inside a worker shard; every shard accumulates a
+//! [`Tally`] and the shards are merged in chunk order afterwards. The
+//! Hoeffding machinery ([`crate::hoeffding`]) and the grouped jackknife
+//! ([`crate::jackknife::jackknife_groups`]) then consume the per-shard
+//! tallies directly, so no per-world value vector has to cross threads.
+
+/// Running `(count, Σx, Σx², min, max)` aggregate of a scalar sample.
+///
+/// Two tallies over disjoint sample sets merge exactly: counts and sums
+/// add, extrema combine. Merging in a fixed (chunk) order keeps the
+/// floating-point results identical for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use obf_stats::tally::Tally;
+///
+/// let mut left = Tally::new();
+/// let mut right = Tally::new();
+/// for x in [1.0, 2.0] {
+///     left.observe(x);
+/// }
+/// for x in [3.0, 4.0] {
+///     right.observe(x);
+/// }
+/// let merged = left.merged(&right);
+/// assert_eq!(merged.count(), 4);
+/// assert_eq!(merged.mean(), 2.5);
+/// assert_eq!(merged.min(), 1.0);
+/// assert_eq!(merged.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tally {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Tally {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tally {
+    /// The empty tally.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Tally of a slice of observations.
+    pub fn of(values: &[f64]) -> Self {
+        let mut t = Self::new();
+        for &x in values {
+            t.observe(x);
+        }
+        t
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds `other` into `self` (disjoint sample sets).
+    pub fn merge(&mut self, other: &Tally) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns the merge of `self` and `other` without mutating either.
+    pub fn merged(&self, other: &Tally) -> Tally {
+        let mut out = *self;
+        out.merge(other);
+        out
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean; 0 for an empty tally.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator, clamped at 0);
+    /// 0 when fewer than two observations.
+    pub fn sample_var(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        ((self.sum_sq - self.sum * self.sum / n) / (n - 1.0)).max(0.0)
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_var().sqrt()
+    }
+
+    /// Standard error of the mean; 0 when fewer than two observations.
+    pub fn sem(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.sample_std() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` for an empty tally).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` for an empty tally).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Merges per-shard tallies **in slice order** into one aggregate — the
+/// deterministic reduction used by the parallel sampler.
+pub fn merge_tallies(tallies: &[Tally]) -> Tally {
+    let mut out = Tally::new();
+    for t in tallies {
+        out.merge(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_describe_on_a_sample() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let t = Tally::of(&xs);
+        assert_eq!(t.count(), xs.len() as u64);
+        assert!((t.mean() - crate::describe::mean(&xs)).abs() < 1e-12);
+        assert!((t.sample_std() - crate::describe::sample_std(&xs)).abs() < 1e-12);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_pooled_observation() {
+        let xs = [0.5, 1.5, 2.5, 3.5, 4.5];
+        let pooled = Tally::of(&xs);
+        let split = Tally::of(&xs[..2]).merged(&Tally::of(&xs[2..]));
+        assert_eq!(pooled.count(), split.count());
+        assert!((pooled.mean() - split.mean()).abs() < 1e-12);
+        assert!((pooled.sample_var() - split.sample_var()).abs() < 1e-12);
+        assert_eq!(pooled.min(), split.min());
+        assert_eq!(pooled.max(), split.max());
+    }
+
+    #[test]
+    fn merge_order_is_fixed_by_the_caller() {
+        let a = Tally::of(&[1.0, 2.0]);
+        let b = Tally::of(&[30.0]);
+        let c = Tally::of(&[0.25, 0.75]);
+        let abc = merge_tallies(&[a, b, c]);
+        let manual = a.merged(&b).merged(&c);
+        assert_eq!(abc, manual);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let empty = Tally::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.sample_var(), 0.0);
+        assert_eq!(empty.sem(), 0.0);
+        let mut one = Tally::new();
+        one.observe(7.0);
+        assert_eq!(one.mean(), 7.0);
+        assert_eq!(one.sample_var(), 0.0);
+        // Merging the empty tally is the identity.
+        assert_eq!(one.merged(&empty), one);
+    }
+}

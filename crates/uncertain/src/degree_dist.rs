@@ -85,15 +85,17 @@ pub fn vertex_degree_distribution(
     v: u32,
     method: DegreeDistMethod,
 ) -> Vec<f64> {
-    let probs: Vec<f64> = g.incident(v).iter().map(|&(_, p)| p).collect();
+    // The SoA CSR stores the incident probabilities contiguously, so the
+    // DP reads the row in place — no per-vertex gather allocation.
+    let probs: &[f64] = g.incident_probs(v);
     match method {
-        DegreeDistMethod::Exact => poisson_binomial(&probs),
-        DegreeDistMethod::Normal => normal_cells(&probs),
+        DegreeDistMethod::Exact => poisson_binomial(probs),
+        DegreeDistMethod::Normal => normal_cells(probs),
         DegreeDistMethod::Auto { threshold } => {
             if probs.len() <= threshold {
-                poisson_binomial(&probs)
+                poisson_binomial(probs)
             } else {
-                normal_cells(&probs)
+                normal_cells(probs)
             }
         }
     }

@@ -3,20 +3,29 @@
 
 use rand::Rng;
 
-use obf_graph::Graph;
+use obf_graph::{Graph, Parallelism};
 use obf_stats::describe::Summary;
 use obf_stats::hoeffding::{hoeffding_bound, hoeffding_sample_size};
+use obf_stats::jackknife::jackknife_groups;
+use obf_stats::tally::{merge_tallies, Tally};
 
 use crate::graph::UncertainGraph;
+use crate::sampling::sample_indexed_world;
 
 /// Result of a sampling estimation: the per-world values plus their
-/// summary, and the a-priori Hoeffding guarantee for the sample size used.
+/// summary, the per-shard tallies, and the a-priori Hoeffding guarantee
+/// for the sample size used.
 #[derive(Debug, Clone)]
 pub struct EstimateSummary {
     /// Statistic value in each sampled world.
     pub values: Vec<f64>,
     /// Descriptive summary (mean = the estimate `S̄` of Eq. 9).
     pub summary: Summary,
+    /// Per-shard [`Tally`]s in world order — one singleton tally per
+    /// world for the parallel estimator, a single pooled tally for the
+    /// sequential one. [`jackknife_groups`] and `hoeffding_bound_tally`
+    /// consume these without touching the per-world values.
+    pub tallies: Vec<Tally>,
     /// `Pr(|E(S) − S̄| ≥ eps)` bound for the requested `eps`, if a range
     /// was supplied.
     pub error_bound: Option<f64>,
@@ -26,6 +35,16 @@ impl EstimateSummary {
     /// The point estimate `S̄`.
     pub fn estimate(&self) -> f64 {
         self.summary.mean
+    }
+
+    /// Delete-one-group jackknife `(estimate, standard_error)` over the
+    /// per-shard tallies; `None` when fewer than two shards are
+    /// available (e.g. the sequential estimator's single pooled tally).
+    pub fn jackknife(&self) -> Option<(f64, f64)> {
+        if self.tallies.iter().filter(|t| t.count() > 0).count() < 2 {
+            return None;
+        }
+        Some(jackknife_groups(&self.tallies))
     }
 }
 
@@ -49,8 +68,72 @@ where
     let summary = Summary::of(&values);
     let error_bound = range_eps.map(|(a, b, eps)| hoeffding_bound(a, b, r, eps));
     EstimateSummary {
+        tallies: vec![Tally::of(&values)],
         values,
         summary,
+        error_bound,
+    }
+}
+
+/// Parallel form of [`estimate_statistic`]: worker threads draw world
+/// `i` from the [`obf_graph::stream_seed`] stream, one world per work
+/// unit (whole worlds are expensive, so the fan-out ignores
+/// `par.chunk_size()` like `evaluate_uncertain` does), accumulating one
+/// [`Tally`] per world. The tallies merge in world order, so the
+/// estimate — like the per-world values — is identical for every thread
+/// count, and [`EstimateSummary::jackknife`] over the singleton tallies
+/// is the classical leave-one-out jackknife of the mean. The Hoeffding
+/// bound (Lemma 2) is attached exactly as in the sequential form.
+///
+/// # Examples
+///
+/// ```
+/// use obf_graph::Parallelism;
+/// use obf_uncertain::{estimator::estimate_statistic_par, UncertainGraph};
+///
+/// let ug = UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+/// let stat = |w: &obf_graph::Graph| w.num_edges() as f64;
+/// let seq = estimate_statistic_par(&ug, 64, 5, &Parallelism::sequential(), None, stat);
+/// let par = estimate_statistic_par(&ug, 64, 5, &Parallelism::new(4), None, stat);
+/// assert_eq!(seq.values, par.values);
+/// assert_eq!(seq.estimate(), par.estimate());
+/// ```
+pub fn estimate_statistic_par<F>(
+    g: &UncertainGraph,
+    r: usize,
+    master_seed: u64,
+    par: &Parallelism,
+    range_eps: Option<(f64, f64, f64)>,
+    stat: F,
+) -> EstimateSummary
+where
+    F: Fn(&Graph) -> f64 + Sync,
+{
+    assert!(r > 0, "need at least one sampled world");
+    let shards: Vec<(Vec<f64>, Tally)> = par.with_chunk_size(1).map_chunks(r, |range| {
+        let mut vals = Vec::with_capacity(range.len());
+        let mut tally = Tally::new();
+        for i in range {
+            let value = stat(&sample_indexed_world(g, master_seed, i));
+            tally.observe(value);
+            vals.push(value);
+        }
+        (vals, tally)
+    });
+    let mut values = Vec::with_capacity(r);
+    let mut tallies = Vec::with_capacity(shards.len());
+    for (vals, tally) in shards {
+        values.extend(vals);
+        tallies.push(tally);
+    }
+    let pooled = merge_tallies(&tallies);
+    debug_assert_eq!(pooled.count() as usize, r);
+    let summary = Summary::of(&values);
+    let error_bound = range_eps.map(|(a, b, eps)| hoeffding_bound(a, b, r, eps));
+    EstimateSummary {
+        values,
+        summary,
+        tallies,
         error_bound,
     }
 }
@@ -118,5 +201,64 @@ mod tests {
         let g = small_uncertain();
         let mut rng = SmallRng::seed_from_u64(3);
         let _ = estimate_statistic(&g, 0, &mut rng, None, |w| w.num_edges() as f64);
+    }
+
+    #[test]
+    fn parallel_estimator_bit_identical_across_threads() {
+        let g = small_uncertain();
+        let stat = |w: &obf_graph::Graph| w.num_edges() as f64;
+        let seq = estimate_statistic_par(
+            &g,
+            100,
+            11,
+            &Parallelism::sequential().with_chunk_size(16),
+            Some((0.0, 5.0, 0.5)),
+            stat,
+        );
+        for threads in [2, 4] {
+            let par = estimate_statistic_par(
+                &g,
+                100,
+                11,
+                &Parallelism::new(threads).with_chunk_size(16),
+                Some((0.0, 5.0, 0.5)),
+                stat,
+            );
+            assert_eq!(seq.values, par.values, "threads={threads}");
+            assert_eq!(seq.tallies, par.tallies, "threads={threads}");
+            assert_eq!(seq.estimate(), par.estimate());
+            assert_eq!(seq.error_bound, par.error_bound);
+        }
+        // The estimate is still statistically sound.
+        assert!((seq.estimate() - 2.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn per_shard_tallies_pool_to_the_summary() {
+        let g = small_uncertain();
+        let est = estimate_statistic_par(&g, 60, 3, &Parallelism::new(2), None, |w| {
+            w.num_edges() as f64
+        });
+        // One singleton tally per world, regardless of the chunk size.
+        assert_eq!(est.tallies.len(), 60);
+        let pooled = obf_stats::merge_tallies(&est.tallies);
+        assert_eq!(pooled.count(), 60);
+        assert!((pooled.mean() - est.summary.mean).abs() < 1e-12);
+        // The singleton-group jackknife is the classical leave-one-out
+        // jackknife: estimate = mean, SE = SEM.
+        let (jk_est, jk_se) = est.jackknife().expect("multiple shards");
+        assert!((jk_est - est.estimate()).abs() < 1e-9);
+        assert!((jk_se - pooled.sem()).abs() < 1e-9);
+        assert!(jk_se > 0.0);
+    }
+
+    #[test]
+    fn sequential_estimator_has_single_pooled_tally() {
+        let g = small_uncertain();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let est = estimate_statistic(&g, 50, &mut rng, None, |w| w.num_edges() as f64);
+        assert_eq!(est.tallies.len(), 1);
+        assert_eq!(est.tallies[0].count(), 50);
+        assert!(est.jackknife().is_none());
     }
 }

@@ -6,17 +6,25 @@ use obf_graph::{Graph, VertexPair};
 /// An uncertain graph `G̃ = (V, p)`: `n` vertices and a list of candidate
 /// pairs with existence probabilities; pairs not listed are certain
 /// non-edges (`p = 0`).
+///
+/// The incidence structure is stored as structure-of-arrays CSR —
+/// separate `offsets`/`targets`/`probs` arrays — so the sharded hot
+/// loops (the per-vertex Poisson-binomial rows of the adversary matrix,
+/// expected-triangle merges) stream each array with unit stride instead
+/// of skipping over interleaved `(u32, f64)` pairs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UncertainGraph {
     n: usize,
     /// Candidate pairs in canonical `(lo, hi)` order with probabilities in
     /// `[0, 1]`; sorted and deduplicated.
     edges: Vec<(u32, u32, f64)>,
-    /// CSR index over candidate pairs: `adj[offsets[v]..offsets[v+1]]`
-    /// lists `(other_endpoint, probability)` for every candidate pair
-    /// incident to `v`.
+    /// CSR row index: `targets[offsets[v]..offsets[v+1]]` (and the same
+    /// range of `probs`) describes the candidate pairs incident to `v`.
     offsets: Vec<usize>,
-    adj: Vec<(u32, f64)>,
+    /// Other endpoint of each incident candidate, concatenated by vertex.
+    targets: Vec<u32>,
+    /// Probability of each incident candidate, parallel to `targets`.
+    probs: Vec<f64>,
 }
 
 impl UncertainGraph {
@@ -59,18 +67,22 @@ impl UncertainGraph {
             offsets.push(acc);
         }
         let mut cursor = offsets.clone();
-        let mut adj = vec![(0u32, 0.0f64); acc];
+        let mut targets = vec![0u32; acc];
+        let mut probs = vec![0.0f64; acc];
         for &(u, v, p) in &candidates {
-            adj[cursor[u as usize]] = (v, p);
+            targets[cursor[u as usize]] = v;
+            probs[cursor[u as usize]] = p;
             cursor[u as usize] += 1;
-            adj[cursor[v as usize]] = (u, p);
+            targets[cursor[v as usize]] = u;
+            probs[cursor[v as usize]] = p;
             cursor[v as usize] += 1;
         }
         Ok(Self {
             n,
             edges: candidates,
             offsets,
-            adj,
+            targets,
+            probs,
         })
     }
 
@@ -100,11 +112,41 @@ impl UncertainGraph {
         &self.edges
     }
 
-    /// Candidate pairs incident to `v` as `(other, p)`.
+    /// Candidate pairs incident to `v` as `(other, p)` pairs, zipped from
+    /// the SoA arrays. Prefer [`UncertainGraph::incident_targets`] /
+    /// [`UncertainGraph::incident_probs`] in hot loops that only need one
+    /// of the two.
     #[inline]
-    pub fn incident(&self, v: u32) -> &[(u32, f64)] {
+    pub fn incident(&self, v: u32) -> impl ExactSizeIterator<Item = (u32, f64)> + '_ {
+        self.incident_targets(v)
+            .iter()
+            .copied()
+            .zip(self.incident_probs(v).iter().copied())
+    }
+
+    /// Other endpoints of the candidate pairs incident to `v` (sorted by
+    /// insertion order of the canonical candidate list).
+    #[inline]
+    pub fn incident_targets(&self, v: u32) -> &[u32] {
         let v = v as usize;
-        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Probabilities of the candidate pairs incident to `v`, parallel to
+    /// [`UncertainGraph::incident_targets`]. This is the row the
+    /// Poisson-binomial DP (Lemma 1) consumes — borrowing it directly
+    /// avoids a per-vertex allocation in the sharded adversary build.
+    #[inline]
+    pub fn incident_probs(&self, v: u32) -> &[f64] {
+        let v = v as usize;
+        &self.probs[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Number of candidate pairs incident to `v`.
+    #[inline]
+    pub fn incident_count(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// Probability of the pair `(u, v)` (0 if not a candidate).
@@ -124,12 +166,12 @@ impl UncertainGraph {
 
     /// Expected degree `μ_v = Σ_{e ∋ v} p(e)`.
     pub fn expected_degree(&self, v: u32) -> f64 {
-        self.incident(v).iter().map(|&(_, p)| p).sum()
+        self.incident_probs(v).iter().sum()
     }
 
     /// Degree variance contribution `σ_v² = Σ_{e ∋ v} p(e)(1 − p(e))`.
     pub fn degree_variance_term(&self, v: u32) -> f64 {
-        self.incident(v).iter().map(|&(_, p)| p * (1.0 - p)).sum()
+        self.incident_probs(v).iter().map(|&p| p * (1.0 - p)).sum()
     }
 
     /// Log-probability of a possible world given as the subset of
@@ -186,7 +228,11 @@ mod tests {
         assert_eq!(g.probability(0, 1), 0.7);
         assert_eq!(g.probability(1, 0), 0.7);
         assert_eq!(g.probability(2, 3), 0.0);
-        assert_eq!(g.incident(0).len(), 3);
+        assert_eq!(g.incident_count(0), 3);
+        assert_eq!(g.incident_targets(0), &[1, 2, 3]);
+        assert_eq!(g.incident_probs(0), &[0.7, 0.9, 0.8]);
+        let pairs: Vec<(u32, f64)> = g.incident(3).collect();
+        assert_eq!(pairs, vec![(0, 0.8), (1, 0.1), (2, 0.0)]);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod statistics;
 pub mod triangles;
 
 pub use degree_dist::{degree_distribution_exact, degree_distribution_normal, DegreeDistMethod};
-pub use estimator::{estimate_statistic, EstimateSummary};
+pub use estimator::{estimate_statistic, estimate_statistic_par, EstimateSummary};
 pub use expected::{expected_average_degree, expected_degree_variance, expected_num_edges};
 pub use graph::UncertainGraph;
 pub use io::{
@@ -49,6 +49,9 @@ pub use io::{
     write_uncertain_edge_list,
 };
 pub use queries::{distance_distribution, knn_majority_distance, reliability};
-pub use sampling::WorldSampler;
+pub use sampling::{sample_indexed_world, sample_worlds_par, WorldSampler};
 pub use statistics::{evaluate_uncertain, evaluate_world, StatSuite, UtilityConfig};
-pub use triangles::{expected_center_paths, expected_ratio_clustering, expected_triangles};
+pub use triangles::{
+    expected_center_paths, expected_center_paths_par, expected_ratio_clustering,
+    expected_triangles, expected_triangles_par,
+};

@@ -3,10 +3,17 @@
 //! A possible world is drawn by including each candidate pair `e`
 //! independently with probability `p(e)`; the result is an ordinary
 //! certain [`Graph`] on which any statistic can be evaluated.
+//!
+//! The parallel sampler ([`sample_worlds_par`]) gives world `i` its own
+//! RNG seeded from the [`stream_seed`] SplitMix-style stream, so the
+//! drawn worlds are a pure function of `(master_seed, i)`: the same
+//! worlds come out for every thread count, not just for a fixed
+//! `(seed, threads)` pair.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-use obf_graph::{Graph, GraphBuilder};
+use obf_graph::{stream_seed, Graph, GraphBuilder, Parallelism};
 
 use crate::graph::UncertainGraph;
 
@@ -31,6 +38,50 @@ impl<'a> WorldSampler<'a> {
     pub fn sample_many<R: Rng + ?Sized>(&self, r: usize, rng: &mut R) -> Vec<Graph> {
         (0..r).map(|_| self.sample(rng)).collect()
     }
+
+    /// Draws worlds `start..start + count` of the seed stream — the
+    /// shard-friendly form: a worker can produce any contiguous window of
+    /// the same world sequence that [`sample_worlds_par`] enumerates.
+    pub fn sample_stream(&self, master_seed: u64, start: usize, count: usize) -> Vec<Graph> {
+        (start..start + count)
+            .map(|i| sample_indexed_world(self.graph, master_seed, i))
+            .collect()
+    }
+}
+
+/// Draws the `index`-th world of the seed stream derived from
+/// `master_seed` — a pure function of `(graph, master_seed, index)`.
+pub fn sample_indexed_world(g: &UncertainGraph, master_seed: u64, index: usize) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(stream_seed(master_seed, index as u64));
+    sample_world(g, &mut rng)
+}
+
+/// Draws `r` independent possible worlds with each worker thread pulling
+/// one world at a time; world `i` is seeded from
+/// [`stream_seed`]`(master_seed, i)`, so the output is identical for
+/// every thread count. Whole worlds are expensive work items, so the
+/// fan-out always uses one world per work unit regardless of
+/// `par.chunk_size()` (matching `evaluate_uncertain`).
+///
+/// # Examples
+///
+/// ```
+/// use obf_graph::Parallelism;
+/// use obf_uncertain::{sampling::sample_worlds_par, UncertainGraph};
+///
+/// let ug = UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.5)]).unwrap();
+/// let seq = sample_worlds_par(&ug, 8, 42, &Parallelism::sequential());
+/// let par = sample_worlds_par(&ug, 8, 42, &Parallelism::new(4));
+/// assert_eq!(seq, par);
+/// ```
+pub fn sample_worlds_par(
+    g: &UncertainGraph,
+    r: usize,
+    master_seed: u64,
+    par: &Parallelism,
+) -> Vec<Graph> {
+    par.with_chunk_size(1)
+        .map_collect(r, |i| sample_indexed_world(g, master_seed, i))
 }
 
 /// Draws one possible world of `g` (Eq. 1 semantics: each candidate
@@ -146,5 +197,35 @@ mod tests {
         for w in &worlds {
             assert_eq!(w.num_vertices(), 4);
         }
+    }
+
+    #[test]
+    fn parallel_worlds_bit_identical_across_threads() {
+        let ug = figure1b();
+        let seq = sample_worlds_par(&ug, 20, 99, &obf_graph::Parallelism::sequential());
+        for threads in [2, 4] {
+            let par = sample_worlds_par(
+                &ug,
+                20,
+                99,
+                &obf_graph::Parallelism::new(threads).with_chunk_size(3),
+            );
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stream_windows_agree_with_full_stream() {
+        let ug = figure1b();
+        let all = sample_worlds_par(&ug, 10, 7, &obf_graph::Parallelism::sequential());
+        let sampler = WorldSampler::new(&ug);
+        let window = sampler.sample_stream(7, 4, 3);
+        assert_eq!(window.as_slice(), &all[4..7]);
+        // And the stream frequency still matches the probabilities.
+        let r = 4000;
+        let hits = (0..r)
+            .filter(|&i| sample_indexed_world(&ug, 1234, i).has_edge(0, 1))
+            .count();
+        assert!((hits as f64 / r as f64 - 0.7).abs() < 0.03);
     }
 }

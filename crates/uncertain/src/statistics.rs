@@ -15,15 +15,13 @@
 //! | `S_CL`     | connectivity length             | HyperANF or exact BFS |
 //! | `S_CC`     | clustering coefficient          | exact per world       |
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use obf_graph::distance::exact_distance_distribution;
 use obf_graph::triangles::global_clustering_coefficient;
-use obf_graph::{DegreeStats, Graph};
+use obf_graph::{stream_seed, DegreeStats, Graph, Parallelism};
 use obf_hyperanf::{hyper_anf, HyperAnfConfig};
 
 use crate::graph::UncertainGraph;
+use crate::sampling::sample_indexed_world;
 
 /// How to obtain distance statistics per world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +40,11 @@ pub struct UtilityConfig {
     pub distance: DistanceEngine,
     /// Base seed for the per-world HyperANF hash functions.
     pub seed: u64,
-    /// Number of worker threads for `evaluate_uncertain` (1 = serial).
-    pub threads: usize,
+    /// Sharding configuration: [`evaluate_uncertain`] distributes whole
+    /// worlds across workers; [`evaluate_world`] on a single graph hands
+    /// the threads to the HyperANF diffusion instead. Results are
+    /// identical for every thread count (see [`Parallelism`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for UtilityConfig {
@@ -51,15 +52,9 @@ impl Default for UtilityConfig {
         Self {
             distance: DistanceEngine::HyperAnf { b: 6 },
             seed: 0xD15,
-            threads: default_threads(),
+            parallelism: Parallelism::available(),
         }
     }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// The ten scalar statistics of the paper's evaluation, for one (certain)
@@ -130,6 +125,7 @@ pub fn evaluate_world(g: &Graph, cfg: &UtilityConfig) -> StatSuite {
             let anf_cfg = HyperAnfConfig {
                 b,
                 seed: cfg.seed,
+                parallelism: cfg.parallelism,
                 ..HyperAnfConfig::default()
             };
             let dd = hyper_anf(g, &anf_cfg).distance_distribution();
@@ -157,56 +153,51 @@ pub fn evaluate_world(g: &Graph, cfg: &UtilityConfig) -> StatSuite {
 }
 
 /// Samples `r` possible worlds of `g` and evaluates the statistic suite on
-/// each (Section 6.1/7.2 methodology: 100 worlds in the paper). Worlds are
-/// processed in parallel when `cfg.threads > 1`; results are returned in
-/// world order and are deterministic for a fixed `seed`.
+/// each (Section 6.1/7.2 methodology: 100 worlds in the paper). Each
+/// worker owns whole worlds; world `i` is drawn and evaluated from
+/// [`stream_seed`]`(seed, i)`, so the results — returned in world order —
+/// are identical for every thread count, not just for a fixed
+/// `(seed, threads)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use obf_graph::Parallelism;
+/// use obf_uncertain::statistics::{evaluate_uncertain, UtilityConfig};
+/// use obf_uncertain::UncertainGraph;
+///
+/// let ug = UncertainGraph::new(4, vec![(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.1)]).unwrap();
+/// let cfg = |threads| UtilityConfig {
+///     parallelism: Parallelism::new(threads),
+///     ..UtilityConfig::default()
+/// };
+/// let seq = evaluate_uncertain(&ug, 4, 7, &cfg(1));
+/// let par = evaluate_uncertain(&ug, 4, 7, &cfg(4));
+/// assert_eq!(seq, par);
+/// ```
 pub fn evaluate_uncertain(
     g: &UncertainGraph,
     r: usize,
     seed: u64,
     cfg: &UtilityConfig,
 ) -> Vec<StatSuite> {
-    // Pre-draw independent world seeds so parallelism cannot change the
-    // sampled worlds.
-    let mut seeder = SmallRng::seed_from_u64(seed);
-    let world_seeds: Vec<u64> = (0..r).map(|_| seeder.gen()).collect();
-    let threads = cfg.threads.max(1).min(r.max(1));
-    if threads <= 1 {
-        return world_seeds
-            .iter()
-            .map(|&s| {
-                let mut rng = SmallRng::seed_from_u64(s);
-                let world = g.sample_world(&mut rng);
-                evaluate_world(&world, &per_world_cfg(cfg, s))
-            })
-            .collect();
-    }
-    let mut out: Vec<Option<StatSuite>> = vec![None; r];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out_mutex = std::sync::Mutex::new(&mut out);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= r {
-                    break;
-                }
-                let s = world_seeds[i];
-                let mut rng = SmallRng::seed_from_u64(s);
-                let world = g.sample_world(&mut rng);
-                let suite = evaluate_world(&world, &per_world_cfg(cfg, s));
-                out_mutex.lock().expect("world writer poisoned")[i] = Some(suite);
-            });
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("all worlds filled"))
-        .collect()
+    // One world per work unit: evaluating a whole world dwarfs the chunk
+    // claim overhead, and the finest granularity balances ragged worlds.
+    let par = cfg.parallelism.with_chunk_size(1);
+    par.map_collect(r, |i| {
+        let world_seed = stream_seed(seed, i as u64);
+        let world = sample_indexed_world(g, seed, i);
+        evaluate_world(&world, &per_world_cfg(cfg, world_seed))
+    })
 }
 
+/// The per-world configuration: an independent HyperANF seed, and a
+/// sequential inner engine — the parallelism is spent one level up,
+/// across worlds.
 fn per_world_cfg(cfg: &UtilityConfig, world_seed: u64) -> UtilityConfig {
     UtilityConfig {
         seed: cfg.seed ^ world_seed,
+        parallelism: Parallelism::sequential(),
         ..*cfg
     }
 }
@@ -229,6 +220,7 @@ pub fn evaluate_world_vectors(g: &Graph, cfg: &UtilityConfig) -> VectorStats {
             let anf_cfg = HyperAnfConfig {
                 b,
                 seed: cfg.seed,
+                parallelism: cfg.parallelism,
                 ..HyperAnfConfig::default()
             };
             hyper_anf(g, &anf_cfg).distance_distribution().fractions()
@@ -244,12 +236,14 @@ pub fn evaluate_world_vectors(g: &Graph, cfg: &UtilityConfig) -> VectorStats {
 mod tests {
     use super::*;
     use obf_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     fn exact_cfg() -> UtilityConfig {
         UtilityConfig {
             distance: DistanceEngine::Exact,
             seed: 1,
-            threads: 1,
+            parallelism: Parallelism::sequential(),
         }
     }
 
@@ -284,7 +278,7 @@ mod tests {
             &UtilityConfig {
                 distance: DistanceEngine::HyperAnf { b: 8 },
                 seed: 3,
-                threads: 1,
+                parallelism: Parallelism::sequential(),
             },
         );
         assert!((exact.average_distance - approx.average_distance).abs() < 0.25);
@@ -298,27 +292,19 @@ mod tests {
         let base = generators::erdos_renyi_gnm(80, 160, &mut SmallRng::seed_from_u64(1));
         let cands: Vec<(u32, u32, f64)> = base.edges().map(|(u, v)| (u, v, 0.7)).collect();
         let ug = UncertainGraph::new(80, cands).unwrap();
-        let serial = evaluate_uncertain(
-            &ug,
-            6,
-            42,
-            &UtilityConfig {
-                threads: 1,
-                ..exact_cfg()
-            },
-        );
-        let parallel = evaluate_uncertain(
-            &ug,
-            6,
-            42,
-            &UtilityConfig {
-                threads: 4,
-                ..exact_cfg()
-            },
-        );
-        assert_eq!(serial.len(), 6);
-        for (a, b) in serial.iter().zip(&parallel) {
-            assert_eq!(a, b);
+        let serial = evaluate_uncertain(&ug, 6, 42, &exact_cfg());
+        for threads in [2, 4] {
+            let parallel = evaluate_uncertain(
+                &ug,
+                6,
+                42,
+                &UtilityConfig {
+                    parallelism: Parallelism::new(threads),
+                    ..exact_cfg()
+                },
+            );
+            assert_eq!(serial.len(), 6);
+            assert_eq!(serial, parallel, "threads={threads}");
         }
     }
 

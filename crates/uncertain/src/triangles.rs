@@ -8,55 +8,93 @@
 //! independently. These exact values are useful for validating the
 //! sampling pipeline and as fast utility diagnostics.
 
+use obf_graph::Parallelism;
+
 use crate::graph::UncertainGraph;
 
 /// Exact `E[T₃]`: sum over candidate triangles of the product of the
-/// three pair probabilities. Runs on the candidate graph's sorted
-/// incidence lists, like the certain-graph triangle counter.
+/// three pair probabilities. Sequential form of
+/// [`expected_triangles_par`].
 pub fn expected_triangles(g: &UncertainGraph) -> f64 {
-    let n = g.num_vertices() as u32;
-    let mut total = 0.0f64;
-    for u in 0..n {
-        let inc_u = g.incident(u);
-        for &(v, p_uv) in inc_u.iter().filter(|&&(v, _)| v > u) {
-            if p_uv == 0.0 {
-                continue;
-            }
-            // Common incident candidates w > v of u and v.
-            let inc_v = g.incident(v);
-            let (mut i, mut j) = (0, 0);
-            while i < inc_u.len() && j < inc_v.len() {
-                let (wu, p_uw) = inc_u[i];
-                let (wv, p_vw) = inc_v[j];
-                match wu.cmp(&wv) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        if wu > v {
-                            total += p_uv * p_uw * p_vw;
+    expected_triangles_par(g, &Parallelism::sequential())
+}
+
+/// Exact `E[T₃]`, sharded over contiguous vertex ranges: each chunk sums
+/// the triangles whose smallest vertex lies in the chunk, and the partial
+/// sums merge in chunk order — bit-identical for every thread count (see
+/// [`Parallelism`]). Runs on the candidate graph's sorted SoA incidence
+/// lists, like the certain-graph triangle counter.
+///
+/// # Examples
+///
+/// ```
+/// use obf_graph::Parallelism;
+/// use obf_uncertain::triangles::{expected_triangles, expected_triangles_par};
+/// use obf_uncertain::UncertainGraph;
+///
+/// let ug = UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.4), (0, 2, 0.3)]).unwrap();
+/// let seq = expected_triangles(&ug);
+/// assert_eq!(seq, expected_triangles_par(&ug, &Parallelism::new(4)));
+/// assert!((seq - 0.5 * 0.4 * 0.3).abs() < 1e-12);
+/// ```
+pub fn expected_triangles_par(g: &UncertainGraph, par: &Parallelism) -> f64 {
+    let partials = par.map_chunks(g.num_vertices(), |range| {
+        let mut chunk_total = 0.0f64;
+        for u in range {
+            let u = u as u32;
+            let tu = g.incident_targets(u);
+            let pu = g.incident_probs(u);
+            for (&v, &p_uv) in tu.iter().zip(pu) {
+                if v <= u || p_uv == 0.0 {
+                    continue;
+                }
+                // Common incident candidates w > v of u and v, by
+                // merging the two sorted target lists.
+                let tv = g.incident_targets(v);
+                let pv = g.incident_probs(v);
+                let (mut i, mut j) = (0, 0);
+                while i < tu.len() && j < tv.len() {
+                    match tu[i].cmp(&tv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            if tu[i] > v {
+                                chunk_total += p_uv * pu[i] * pv[j];
+                            }
+                            i += 1;
+                            j += 1;
                         }
-                        i += 1;
-                        j += 1;
                     }
                 }
             }
         }
-    }
-    total
+        chunk_total
+    });
+    partials.iter().sum()
 }
 
 /// Exact expected number of centre-paths `E[Σ_v C(d_v, 2)]`:
 /// `Σ_v Σ_{e≠f ∋ v} p_e p_f / 2` — pairs of distinct incident candidates
-/// both present.
+/// both present. Sequential form of [`expected_center_paths_par`].
 pub fn expected_center_paths(g: &UncertainGraph) -> f64 {
-    let mut total = 0.0f64;
-    for v in 0..g.num_vertices() as u32 {
-        let inc = g.incident(v);
-        let sum: f64 = inc.iter().map(|&(_, p)| p).sum();
-        let sum_sq: f64 = inc.iter().map(|&(_, p)| p * p).sum();
-        total += (sum * sum - sum_sq) / 2.0;
-    }
-    total
+    expected_center_paths_par(g, &Parallelism::sequential())
+}
+
+/// Exact expected centre-paths, sharded over contiguous vertex ranges
+/// with chunk-ordered partial sums (bit-identical for every thread
+/// count).
+pub fn expected_center_paths_par(g: &UncertainGraph, par: &Parallelism) -> f64 {
+    let partials = par.map_chunks(g.num_vertices(), |range| {
+        let mut chunk_total = 0.0f64;
+        for v in range {
+            let probs = g.incident_probs(v as u32);
+            let sum: f64 = probs.iter().sum();
+            let sum_sq: f64 = probs.iter().map(|&p| p * p).sum();
+            chunk_total += (sum * sum - sum_sq) / 2.0;
+        }
+        chunk_total
+    });
+    partials.iter().sum()
 }
 
 /// First-order ("expected-ratio") approximation of the paper's clustering
@@ -152,5 +190,32 @@ mod tests {
         let ug = UncertainGraph::new(0, vec![]).unwrap();
         assert_eq!(expected_triangles(&ug), 0.0);
         assert_eq!(expected_ratio_clustering(&ug), 0.0);
+    }
+
+    #[test]
+    fn parallel_triangle_sums_bit_identical_across_threads() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let base = generators::erdos_renyi_gnm(120, 600, &mut rng);
+        let cands: Vec<(u32, u32, f64)> = base
+            .edges()
+            .map(|(u, v)| (u, v, rng.gen::<f64>()))
+            .collect();
+        let ug = UncertainGraph::new(120, cands).unwrap();
+        let seq_par = Parallelism::sequential().with_chunk_size(8);
+        let seq_t3 = expected_triangles_par(&ug, &seq_par);
+        let seq_paths = expected_center_paths_par(&ug, &seq_par);
+        for threads in [2, 4] {
+            let par = Parallelism::new(threads).with_chunk_size(8);
+            assert_eq!(
+                seq_t3,
+                expected_triangles_par(&ug, &par),
+                "threads={threads}"
+            );
+            assert_eq!(
+                seq_paths,
+                expected_center_paths_par(&ug, &par),
+                "threads={threads}"
+            );
+        }
     }
 }

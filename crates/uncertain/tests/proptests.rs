@@ -95,4 +95,49 @@ proptest! {
             obf_uncertain::read_uncertain_edge_list(&buf[..], ug.num_vertices()).unwrap();
         prop_assert_eq!(ug, back);
     }
+
+    #[test]
+    fn parallel_sampler_bit_identical_across_threads(
+        ug in arb_uncertain(20),
+        seed in 0u64..1000,
+        r in 1usize..24,
+    ) {
+        // The tentpole determinism guarantee for the Monte-Carlo side:
+        // the seed-stream sampler and the per-shard tally statistics are
+        // bit-identical to the sequential path for threads ∈ {1, 2, 4}.
+        use obf_graph::Parallelism;
+        let seq_par = Parallelism::sequential().with_chunk_size(4);
+        let seq_worlds = obf_uncertain::sample_worlds_par(&ug, r, seed, &seq_par);
+        let stat = |w: &obf_graph::Graph| w.num_edges() as f64;
+        let seq_est =
+            obf_uncertain::estimate_statistic_par(&ug, r, seed, &seq_par, None, stat);
+        for threads in [2usize, 4] {
+            let par = Parallelism::new(threads).with_chunk_size(4);
+            let worlds = obf_uncertain::sample_worlds_par(&ug, r, seed, &par);
+            prop_assert_eq!(&seq_worlds, &worlds, "threads={}", threads);
+            let est = obf_uncertain::estimate_statistic_par(&ug, r, seed, &par, None, stat);
+            prop_assert_eq!(&seq_est.values, &est.values);
+            prop_assert_eq!(&seq_est.tallies, &est.tallies);
+            prop_assert_eq!(seq_est.estimate(), est.estimate());
+        }
+    }
+
+    #[test]
+    fn parallel_statistics_bit_identical_across_threads(
+        ug in arb_uncertain(14),
+        seed in 0u64..500,
+    ) {
+        use obf_graph::Parallelism;
+        use obf_uncertain::statistics::{DistanceEngine, UtilityConfig};
+        let cfg = |threads: usize| UtilityConfig {
+            distance: DistanceEngine::Exact,
+            seed: 9,
+            parallelism: Parallelism::new(threads),
+        };
+        let seq = obf_uncertain::evaluate_uncertain(&ug, 3, seed, &cfg(1));
+        for threads in [2usize, 4] {
+            let par = obf_uncertain::evaluate_uncertain(&ug, 3, seed, &cfg(threads));
+            prop_assert_eq!(&seq, &par, "threads={}", threads);
+        }
+    }
 }

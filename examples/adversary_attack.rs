@@ -14,6 +14,7 @@
 use obfugraph::baselines::{random_sparsification, sparsification_anonymity};
 use obfugraph::core::adversary::{vertex_obfuscation_levels, AdversaryTable};
 use obfugraph::core::{obfuscate, ObfuscationParams};
+use obfugraph::graph::Parallelism;
 use obfugraph::uncertain::degree_dist::DegreeDistMethod;
 use obfugraph::uncertain::UncertainGraph;
 use rand::rngs::SmallRng;
@@ -47,7 +48,10 @@ fn main() {
     // 1. Raw release: protection = size of the target's degree crowd.
     let certain = UncertainGraph::from_certain(&g);
     let table = AdversaryTable::build(&certain, DegreeDistMethod::Exact);
-    report("raw release", vertex_obfuscation_levels(&g, &table, 0));
+    report(
+        "raw release",
+        vertex_obfuscation_levels(&g, &table, &Parallelism::available()),
+    );
 
     // 2. Sparsified release (heavy noise, Bonchi et al. baseline).
     let p = 0.5;
@@ -63,7 +67,7 @@ fn main() {
     let table = AdversaryTable::build(&res.graph, DegreeDistMethod::Auto { threshold: 64 });
     report(
         "uncertain (k = 20, eps = 1e-2)",
-        vertex_obfuscation_levels(&g, &table, 0),
+        vertex_obfuscation_levels(&g, &table, &Parallelism::available()),
     );
 
     println!(

@@ -44,9 +44,7 @@ fn main() {
     let ucfg = UtilityConfig {
         distance: DistanceEngine::HyperAnf { b: 6 },
         seed: 99,
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        parallelism: obfugraph::graph::Parallelism::available(),
     };
     let suites = evaluate_uncertain(&published.graph, 50, 2024, &ucfg);
     let n = suites.len() as f64;

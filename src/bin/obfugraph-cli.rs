@@ -3,14 +3,18 @@
 //! statistics, or audit its anonymity levels.
 //!
 //! ```text
-//! obfugraph-cli obfuscate <edges.txt> <out.up> --k 20 --eps 0.01 [--c 2] [--q 0.01] [--seed 7]
-//! obfugraph-cli evaluate  <graph.up> [--worlds 50] [--seed 7]
-//! obfugraph-cli audit     <edges.txt> <graph.up> [--k 20]
+//! obfugraph-cli obfuscate <edges.txt> <out.up> --k 20 --eps 0.01 [--c 2] [--q 0.01] [--seed 7] [--threads N]
+//! obfugraph-cli evaluate  <graph.up> [--worlds 50] [--seed 7] [--threads N]
+//! obfugraph-cli audit     <edges.txt> <graph.up> [--k 20] [--threads N]
 //! ```
 //!
 //! Edge lists are `u v` lines; uncertain graphs (`.up`) are `u v p` lines
 //! (both accept `#` comments). Flags use simple `--name value` parsing so
 //! the binary stays dependency-free.
+//!
+//! `--threads` shards the adversary check and the world sampling across
+//! worker threads (default: all hardware threads); output is identical
+//! for every thread count given the same `--seed`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -19,6 +23,7 @@ use obfugraph::baselines::{anonymity_curve, eps_for_k};
 use obfugraph::core::adversary::{vertex_obfuscation_levels, AdversaryTable};
 use obfugraph::core::{obfuscate, ObfuscationParams};
 use obfugraph::graph::io::load_edge_list;
+use obfugraph::graph::Parallelism;
 use obfugraph::uncertain::degree_dist::DegreeDistMethod;
 use obfugraph::uncertain::io::{load_uncertain_edge_list, save_uncertain_edge_list};
 use obfugraph::uncertain::statistics::{
@@ -39,9 +44,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  obfugraph-cli obfuscate <edges.txt> <out.up> --k <K> --eps <EPS> [--c 2] [--q 0.01] [--seed 7] [--delta 1e-6]
-  obfugraph-cli evaluate  <graph.up> [--worlds 50] [--seed 7]
-  obfugraph-cli audit     <edges.txt> <graph.up> [--k 20]";
+  obfugraph-cli obfuscate <edges.txt> <out.up> --k <K> --eps <EPS> [--c 2] [--q 0.01] [--seed 7] [--delta 1e-6] [--threads N]
+  obfugraph-cli evaluate  <graph.up> [--worlds 50] [--seed 7] [--threads N]
+  obfugraph-cli audit     <edges.txt> <graph.up> [--k 20] [--threads N]";
+
+/// The `--threads` flag, defaulting to all hardware threads.
+fn parallelism_flag(flags: &HashMap<String, String>) -> Result<Parallelism, String> {
+    let threads: usize = flag(flags, "threads", Parallelism::available().threads())?;
+    Ok(Parallelism::new(threads))
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let (positional, flags) = parse_args(args)?;
@@ -102,6 +113,7 @@ fn cmd_obfuscate(pos: &[String], flags: &HashMap<String, String>) -> Result<(), 
     params.q = flag(flags, "q", params.q)?;
     params.seed = flag(flags, "seed", params.seed)?;
     params.delta = flag(flags, "delta", 1e-6)?;
+    params.parallelism = parallelism_flag(flags)?;
     let res = obfuscate(&loaded.graph, &params).map_err(|e| e.to_string())?;
     eprintln!(
         "(k = {k}, eps = {eps}) satisfied: sigma = {:.6e}, achieved eps = {:.6}, |E_C| = {}",
@@ -131,9 +143,7 @@ fn cmd_evaluate(pos: &[String], flags: &HashMap<String, String>) -> Result<(), S
     let cfg = UtilityConfig {
         distance: DistanceEngine::HyperAnf { b: 6 },
         seed,
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        parallelism: parallelism_flag(flags)?,
     };
     let suites = evaluate_uncertain(&ug, worlds, seed, &cfg);
     let n = suites.len() as f64;
@@ -160,8 +170,9 @@ fn cmd_audit(pos: &[String], flags: &HashMap<String, String>) -> Result<(), Stri
             ug.num_vertices()
         ));
     }
-    let table = AdversaryTable::build(&ug, DegreeDistMethod::Auto { threshold: 64 });
-    let levels = vertex_obfuscation_levels(&loaded.graph, &table, 0);
+    let par = parallelism_flag(flags)?;
+    let table = AdversaryTable::build_par(&ug, DegreeDistMethod::Auto { threshold: 64 }, &par);
+    let levels = vertex_obfuscation_levels(&loaded.graph, &table, &par);
     let eps = eps_for_k(&levels, k);
     println!("vertices below obfuscation level k = {k}: {:.4} (eps)", eps);
     println!("anonymity curve (level -> vertices at or below):");

@@ -18,7 +18,9 @@
 //!   uniqueness scores, adversary matrices).
 //! * [`uncertain`] — possible-world semantics, sampling estimators with
 //!   Hoeffding bounds, exact expectations.
-//! * [`graph`] — CSR graphs, generators, traversal, triangles, components.
+//! * [`graph`] — CSR graphs, generators, traversal, triangles,
+//!   components, and the deterministic parallel layer
+//!   ([`graph::parallel::Parallelism`]).
 //! * [`hyperanf`] — HyperANF distance-distribution approximation.
 //! * [`baselines`] — random sparsification / perturbation and k-degree
 //!   anonymity comparators.
@@ -63,6 +65,6 @@ pub mod prelude {
     pub use obf_core::{
         obfuscate, AdversaryTable, DegreeProperty, ObfuscationParams, ObfuscationResult,
     };
-    pub use obf_graph::{Graph, GraphBuilder};
+    pub use obf_graph::{Graph, GraphBuilder, Parallelism};
     pub use obf_uncertain::UncertainGraph;
 }

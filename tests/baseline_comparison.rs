@@ -6,6 +6,7 @@ use obfugraph::baselines::{eps_for_k, k_for_eps, random_sparsification, sparsifi
 use obfugraph::core::adversary::{vertex_obfuscation_levels, AdversaryTable};
 use obfugraph::core::{obfuscate, ObfuscationParams};
 use obfugraph::datasets;
+use obfugraph::graph::Parallelism;
 use obfugraph::uncertain::degree_dist::DegreeDistMethod;
 use obfugraph::uncertain::statistics::{
     evaluate_uncertain, evaluate_world, DistanceEngine, StatSuite, UtilityConfig,
@@ -43,7 +44,7 @@ fn uncertain_release_beats_sparsification_at_matched_obfuscation() {
     let ucfg = UtilityConfig {
         distance: DistanceEngine::Exact,
         seed: 14,
-        threads: 2,
+        parallelism: Parallelism::new(2),
     };
     let original = evaluate_world(&g, &ucfg);
     let obf_suites = evaluate_uncertain(&res.graph, 10, 5, &ucfg);
@@ -84,12 +85,12 @@ fn obfuscated_release_levels_exceed_original() {
     let orig_levels = vertex_obfuscation_levels(
         &g,
         &AdversaryTable::build(&certain, DegreeDistMethod::Exact),
-        2,
+        &Parallelism::new(2),
     );
     let obf_levels = vertex_obfuscation_levels(
         &g,
         &AdversaryTable::build(&res.graph, DegreeDistMethod::Exact),
-        2,
+        &Parallelism::new(2),
     );
     // At the eps quantile, the obfuscated release reaches k.
     assert!(k_for_eps(&obf_levels, 0.05) >= k as f64 - 1e-9);

@@ -5,6 +5,7 @@
 use obfugraph::core::adversary::{AdversaryTable, ObfuscationCheck};
 use obfugraph::core::{obfuscate, ObfuscationParams};
 use obfugraph::datasets;
+use obfugraph::graph::Parallelism;
 use obfugraph::uncertain::degree_dist::DegreeDistMethod;
 use obfugraph::uncertain::expected::{expected_average_degree, expected_num_edges};
 use obfugraph::uncertain::statistics::{
@@ -28,7 +29,7 @@ fn obfuscation_certificate_reverifies() {
 
     // Independent re-verification with the exact DP (no approximation).
     let table = AdversaryTable::build(&res.graph, DegreeDistMethod::Exact);
-    let check = ObfuscationCheck::run(&g, &table, k, 2);
+    let check = ObfuscationCheck::run(&g, &table, k, &Parallelism::new(2));
     assert!(
         check.eps_achieved <= eps + 1e-12,
         "re-verified eps = {}",
@@ -74,7 +75,7 @@ fn utility_suite_close_for_low_k() {
     let ucfg = UtilityConfig {
         distance: DistanceEngine::Exact,
         seed: 4,
-        threads: 2,
+        parallelism: Parallelism::new(2),
     };
     let original = evaluate_world(&g, &ucfg);
     let res = obfuscate(&g, &fast_params(5, 0.05, 4)).expect("obfuscation");
@@ -95,7 +96,7 @@ fn higher_k_costs_more_utility() {
     let ucfg = UtilityConfig {
         distance: DistanceEngine::Exact,
         seed: 6,
-        threads: 2,
+        parallelism: Parallelism::new(2),
     };
     let original = evaluate_world(&g, &ucfg);
     let err_for = |k: usize| {

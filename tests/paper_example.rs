@@ -102,7 +102,12 @@ fn example2_entropies_and_verdict() {
     // H(deg=2) ≈ 1.742 ≥ log2(3).
     assert!((t.entropy(2) - 1.742).abs() < 1e-3);
     // "three out of four vertices are 3-obfuscated … (3, 0.25)".
-    let check = ObfuscationCheck::run(&original(), &t, 3, 1);
+    let check = ObfuscationCheck::run(
+        &original(),
+        &t,
+        3,
+        &obfugraph::graph::Parallelism::sequential(),
+    );
     assert_eq!(check.failed_vertices, 1);
     assert!((check.eps_achieved - 0.25).abs() < 1e-12);
 }

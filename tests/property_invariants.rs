@@ -122,7 +122,7 @@ proptest! {
         let g = obfugraph::graph::generators::erdos_renyi_gnm(120, 240, &mut rng);
         let mut params = ObfuscationParams::new(4, 0.1).with_seed(seed);
         params.t = 1;
-        params.threads = 1;
+        params.parallelism = obfugraph::graph::Parallelism::sequential();
         let out = generate_obfuscation(&g, &params, 0.05, &mut rng);
         for trial in &out.trials {
             // |E_C| = c|E| whenever the selection loop converged.
