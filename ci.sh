@@ -1,32 +1,38 @@
 #!/usr/bin/env bash
 # Local CI gauntlet for the obfugraph workspace. Run from the repo root.
 #
-# Mirrors what a hosted pipeline would run; every step must pass. Usage:
-#   ./ci.sh          # full run
-#   ./ci.sh fast     # skip the release build (debug test cycle only)
+# Mirrors the hosted pipeline (.github/workflows/ci.yml), which invokes
+# the same named steps so local and hosted runs can never drift. Usage:
+#   ./ci.sh            # full run (all steps)
+#   ./ci.sh fast       # skip the release build (debug test cycle only)
+#   ./ci.sh lint       # fmt + clippy only
+#   ./ci.sh test       # debug tests + docs only
+#   ./ci.sh release    # release build + bench compile + determinism matrix
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "cargo fmt --check"
-cargo fmt --all -- --check
+lint() {
+    step "cargo fmt --check"
+    cargo fmt --all -- --check
 
-step "cargo clippy (all targets, warnings are errors)"
-cargo clippy --workspace --all-targets -- -D warnings
+    step "cargo clippy (all targets, warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-if [[ "${1:-}" != "fast" ]]; then
+run_tests() {
+    step "cargo test"
+    cargo test --workspace -q
+
+    step "cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+}
+
+release() {
     step "cargo build --release"
     cargo build --release --workspace
-fi
 
-step "cargo test"
-cargo test --workspace -q
-
-step "cargo doc --no-deps (warnings are errors)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
-
-if [[ "${1:-}" != "fast" ]]; then
     step "benches compile"
     cargo bench --no-run --workspace -q
 
@@ -34,13 +40,14 @@ if [[ "${1:-}" != "fast" ]]; then
     # experiment output for every thread count (fixed seed). Run the
     # table3 and fig2 binaries at reduced scale with 1 and 4 threads and
     # diff the deterministic TSV columns (table3's wall-clock columns 4-5
-    # are excluded; everything in fig2 is deterministic).
+    # are excluded; everything in fig2 is deterministic, and so are the
+    # σ-search fast-path counters in table3 columns 7-9).
     step "thread-matrix determinism (table3 + fig2 at reduced scale)"
     tmpdir=$(mktemp -d)
     trap 'rm -rf "$tmpdir"' EXIT
     for t in 1 4; do
         OBF_FAST=1 ./target/release/table3 --threads "$t" >/dev/null 2>&1
-        cut -f1-3,6 results/table3.tsv > "$tmpdir/table3_t$t"
+        cut -f1-3,6-9 results/table3.tsv > "$tmpdir/table3_t$t"
         OBF_FAST=1 ./target/release/fig2 --threads "$t" >/dev/null 2>&1
         cp results/fig2_k5.tsv "$tmpdir/fig2_t$t"
     done
@@ -48,7 +55,42 @@ if [[ "${1:-}" != "fast" ]]; then
         || { echo "table3 output differs between --threads 1 and 4"; exit 1; }
     diff "$tmpdir/fig2_t1" "$tmpdir/fig2_t4" \
         || { echo "fig2 output differs between --threads 1 and 4"; exit 1; }
-    echo "thread matrix OK: outputs identical for --threads 1 vs 4"
-fi
+
+    # The fast path must not change the search trajectory: diff the
+    # deterministic columns against an OBF_CHECK=exhaustive run.
+    step "check-strategy determinism (fastpath vs exhaustive)"
+    OBF_FAST=1 OBF_CHECK=exhaustive ./target/release/table3 --threads 4 >/dev/null 2>&1
+    cut -f1-3,6 results/table3.tsv > "$tmpdir/table3_exhaustive"
+    # table3_t4 already holds columns (dataset, k, eps, generate_calls,
+    # candidates, dp_evals, dp_hit_rate); the first four are the
+    # strategy-independent trajectory.
+    cut -f1-4 "$tmpdir/table3_t4" | diff - "$tmpdir/table3_exhaustive" \
+        || { echo "table3 trajectory differs between fastpath and exhaustive"; exit 1; }
+    echo "determinism OK: identical across thread counts and check strategies"
+
+    # Leave results/table3.tsv + BENCH_table3.json reflecting the default
+    # fast path (the exhaustive run above overwrote them), so the CI
+    # artifact records the real per-PR perf trajectory.
+    OBF_FAST=1 ./target/release/table3 --threads 4 >/dev/null 2>&1
+}
+
+case "${1:-all}" in
+    lint) lint ;;
+    test) run_tests ;;
+    release) release ;;
+    fast)
+        lint
+        run_tests
+        ;;
+    all)
+        lint
+        run_tests
+        release
+        ;;
+    *)
+        echo "unknown step '${1}' (expected lint|test|release|fast)" >&2
+        exit 2
+        ;;
+esac
 
 printf '\nCI OK\n'

@@ -8,8 +8,7 @@ use obf_bench::HarnessConfig;
 use obf_datasets::Dataset;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    eprintln!("[config: {cfg:?}]");
+    let cfg = HarnessConfig::init();
     let settings: &[(usize, f64)] = if cfg.fast {
         &[(5, 1e-2)]
     } else {

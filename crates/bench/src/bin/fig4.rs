@@ -12,8 +12,7 @@ use obf_datasets::Dataset;
 
 #[allow(clippy::type_complexity)]
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    eprintln!("[config: {cfg:?}]");
+    let cfg = HarnessConfig::init();
     let k_max = 80;
     let jobs: Vec<(Dataset, Vec<(usize, f64)>, f64, f64)> = if cfg.fast {
         vec![(Dataset::Dblp, vec![(5, 1e-2)], 0.04, 0.64)]

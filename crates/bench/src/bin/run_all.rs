@@ -1,6 +1,8 @@
 //! Runs every table/figure experiment in sequence (one-shot reproduction
 //! driver). Respects the same `OBF_*` environment knobs as the individual
-//! binaries. Sibling binaries are preferred when already built (e.g. via
+//! binaries and forwards its own command-line arguments (e.g.
+//! `--threads 4`) to every child, so one invocation configures the whole
+//! sweep. Sibling binaries are preferred when already built (e.g. via
 //! `cargo build --release -p obf_bench`); otherwise each is run through
 //! `cargo run`.
 
@@ -10,16 +12,19 @@ fn main() {
     let exes = [
         "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "table6",
     ];
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let self_path = std::env::current_exe().expect("current exe");
     let dir = self_path.parent().expect("exe dir").to_path_buf();
     for exe in exes {
         eprintln!("==> {exe}");
         let sibling = dir.join(exe);
         let status = if sibling.exists() {
-            Command::new(&sibling).status()
+            Command::new(&sibling).args(&forwarded).status()
         } else {
             Command::new("cargo")
                 .args(["run", "-q", "--release", "-p", "obf_bench", "--bin", exe])
+                .arg("--")
+                .args(&forwarded)
                 .status()
         }
         .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));

@@ -7,8 +7,7 @@ use obf_bench::table::{fmt, render};
 use obf_bench::HarnessConfig;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    eprintln!("[config: {cfg:?}]");
+    let cfg = HarnessConfig::init();
     let cells = table2_3(&cfg);
     let rows: Vec<Vec<String>> = cells
         .iter()

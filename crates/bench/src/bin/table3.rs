@@ -1,24 +1,36 @@
 //! Table 3: obfuscation throughput (edges/second of the full Algorithm 1
-//! run) for each (dataset, k, ε) cell.
+//! run) for each (dataset, k, ε) cell, plus the σ-search fast-path
+//! counters, and the machine-readable `results/BENCH_table3.json`
+//! recording the repo's perf trajectory per PR.
 
 use obf_bench::experiments::table2_3;
+use obf_bench::json::Json;
 use obf_bench::table::render;
 use obf_bench::HarnessConfig;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    eprintln!("[config: {cfg:?}]");
+    let cfg = HarnessConfig::init();
     let cells = table2_3(&cfg);
     let rows: Vec<Vec<String>> = cells
         .iter()
         .map(|c| {
-            let (eps_s, secs, calls) = match &c.outcome {
+            let (eps_s, secs, calls, cands, dps, hit_rate) = match &c.outcome {
                 Ok(o) => (
                     format!("{:.2}", o.edges_per_sec),
                     format!("{:.2}", o.elapsed_secs),
                     o.generate_calls.to_string(),
+                    o.candidates_tried.to_string(),
+                    o.dp_evaluations.to_string(),
+                    format!("{:.4}", o.dp_cache_hit_rate),
                 ),
-                Err(_) => ("FAILED".into(), "-".into(), "-".into()),
+                Err(_) => (
+                    "FAILED".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ),
             };
             vec![
                 c.dataset.name().to_string(),
@@ -27,34 +39,112 @@ fn main() {
                 eps_s,
                 secs,
                 calls,
+                cands,
+                dps,
+                hit_rate,
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render(
-            "Table 3: throughput",
-            &[
-                "dataset",
-                "k",
-                "eps",
-                "edges/sec",
-                "seconds",
-                "generate_calls"
-            ],
-            &rows
-        )
-    );
-    obf_bench::write_tsv(
-        "table3.tsv",
-        &[
-            "dataset",
-            "k",
-            "eps",
-            "edges_per_sec",
-            "seconds",
-            "generate_calls",
-        ],
-        &rows,
-    );
+    let header = [
+        "dataset",
+        "k",
+        "eps",
+        "edges_per_sec",
+        "seconds",
+        "generate_calls",
+        "candidates",
+        "dp_evals",
+        "dp_hit_rate",
+    ];
+    println!("{}", render("Table 3: throughput", &header, &rows));
+    obf_bench::write_tsv("table3.tsv", &header, &rows);
+
+    // Machine-readable perf trajectory: one record per (dataset, k, eps)
+    // cell plus totals. Wall-clock fields are the only non-deterministic
+    // entries; everything else diffs cleanly across PRs.
+    let json_cells: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            let mut fields = vec![
+                ("dataset", Json::str(c.dataset.name())),
+                ("k", Json::from(c.k)),
+                ("eps", Json::Num(c.eps)),
+                ("c", Json::Num(c.c)),
+            ];
+            match &c.outcome {
+                Ok(o) => fields.extend([
+                    ("status", Json::str("ok")),
+                    ("sigma", Json::Num(o.sigma)),
+                    ("eps_achieved", Json::Num(o.eps_achieved)),
+                    ("seconds", Json::Num(o.elapsed_secs)),
+                    ("sigma_search_secs", Json::Num(o.sigma_search_secs)),
+                    ("edges_per_sec", Json::Num(o.edges_per_sec)),
+                    ("generate_calls", Json::from(o.generate_calls)),
+                    ("candidates_tried", Json::from(o.candidates_tried)),
+                    ("dp_evaluations", Json::from(o.dp_evaluations)),
+                    ("dp_cache_hits", Json::from(o.dp_cache_hits)),
+                    ("dp_cache_hit_rate", Json::Num(o.dp_cache_hit_rate)),
+                    ("dp_naive", Json::from(o.dp_naive)),
+                    ("early_exit_trials", Json::from(o.early_exit_trials)),
+                ]),
+                Err(e) => fields.extend([("status", Json::str("failed")), ("error", Json::str(e))]),
+            }
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        })
+        .collect();
+    let ok = |f: fn(&obf_bench::experiments::SigmaOutcome) -> f64| -> f64 {
+        cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok())
+            .map(f)
+            .sum()
+    };
+    let total_dp = ok(|o| o.dp_evaluations as f64);
+    let total_requested = ok(|o| (o.dp_evaluations + o.dp_cache_hits) as f64);
+    let report = Json::obj([
+        ("bench", Json::str("table3")),
+        (
+            "config",
+            Json::obj([
+                ("scale", Json::Num(cfg.scale)),
+                ("worlds", Json::from(cfg.worlds)),
+                ("delta", Json::Num(cfg.delta)),
+                ("seed", Json::from(cfg.seed)),
+                ("fast", Json::Bool(cfg.fast)),
+                ("threads", Json::from(cfg.threads)),
+            ]),
+        ),
+        ("cells", Json::Arr(json_cells)),
+        (
+            "totals",
+            Json::obj([
+                ("seconds", Json::Num(ok(|o| o.elapsed_secs))),
+                ("sigma_search_secs", Json::Num(ok(|o| o.sigma_search_secs))),
+                (
+                    "candidates_tried",
+                    Json::Num(ok(|o| o.candidates_tried as f64)),
+                ),
+                ("dp_evaluations", Json::Num(total_dp)),
+                ("dp_naive", Json::Num(ok(|o| o.dp_naive as f64))),
+                (
+                    "dp_cache_hit_rate",
+                    Json::Num(if total_requested > 0.0 {
+                        1.0 - total_dp / total_requested
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "early_exit_trials",
+                    Json::Num(ok(|o| o.early_exit_trials as f64)),
+                ),
+            ]),
+        ),
+    ]);
+    obf_bench::write_json("BENCH_table3.json", &report);
 }

@@ -8,8 +8,7 @@ use obf_bench::HarnessConfig;
 use obf_uncertain::statistics::StatSuite;
 
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    eprintln!("[config: {cfg:?}]");
+    let cfg = HarnessConfig::init();
     let eps = if cfg.fast { 1e-2 } else { 1e-4 };
     let blocks = table4_5(&cfg, eps);
 

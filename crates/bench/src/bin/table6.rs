@@ -11,8 +11,7 @@ use obf_uncertain::statistics::StatSuite;
 
 #[allow(clippy::type_complexity)]
 fn main() {
-    let cfg = HarnessConfig::from_env();
-    eprintln!("[config: {cfg:?}]");
+    let cfg = HarnessConfig::init();
     let jobs: Vec<(
         Dataset,
         Option<(f64, usize, f64)>,

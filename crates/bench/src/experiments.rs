@@ -10,7 +10,9 @@ use obf_baselines::{
     sparsification_anonymity,
 };
 use obf_core::adversary::vertex_obfuscation_levels;
-use obf_core::{obfuscate, AdversaryTable, ObfuscationError, ObfuscationResult};
+use obf_core::{
+    obfuscate_with_stats, AdversaryTable, ObfuscationError, ObfuscationResult, SigmaSearchStats,
+};
 use obf_datasets::Dataset;
 use obf_graph::Graph;
 use obf_stats::describe::{relative_sem, BoxplotSummary};
@@ -99,7 +101,9 @@ pub struct SigmaCell {
     pub outcome: Result<SigmaOutcome, String>,
 }
 
-/// Successful cell payload.
+/// Successful cell payload, including the σ-search fast-path counters of
+/// [`obf_core::SigmaSearchStats`] (deterministic for a fixed seed except
+/// for the wall-clock fields).
 #[derive(Debug, Clone)]
 pub struct SigmaOutcome {
     pub sigma: f64,
@@ -107,6 +111,21 @@ pub struct SigmaOutcome {
     pub elapsed_secs: f64,
     pub edges_per_sec: f64,
     pub generate_calls: u32,
+    /// Candidate σ values Algorithm 1 tried (doubling + binary search).
+    pub candidates_tried: u32,
+    /// σ-search wall-clock (generate calls only, excluding dataset setup).
+    pub sigma_search_secs: f64,
+    /// Lemma 1 row evaluations actually run.
+    pub dp_evaluations: u64,
+    /// Rows served by the identical-row memo cache.
+    pub dp_cache_hits: u64,
+    /// `dp_cache_hits / (dp_evaluations + dp_cache_hits)`.
+    pub dp_cache_hit_rate: f64,
+    /// Row evaluations the naive engine would have run
+    /// (vertices × adversary tables built).
+    pub dp_naive: u64,
+    /// Trials whose budgeted Definition 2 sweep exited early.
+    pub early_exit_trials: u64,
 }
 
 /// Runs Algorithm 1 for every (dataset, k, ε) combination; on
@@ -129,14 +148,23 @@ pub fn table2_3(cfg: &HarnessConfig) -> Vec<SigmaCell> {
 /// paper's fallback for hard instances (the (*) cells of Tables 2–3).
 pub fn obfuscate_with_fallback(
     g: &Graph,
-    mut params: obf_core::ObfuscationParams,
+    params: obf_core::ObfuscationParams,
 ) -> Result<(ObfuscationResult, f64), String> {
-    match obfuscate(g, &params) {
-        Ok(r) => Ok((r, params.c)),
+    obfuscate_with_fallback_stats(g, params).map(|(r, _, c)| (r, c))
+}
+
+/// [`obfuscate_with_fallback`] with the σ-search instrumentation of the
+/// successful attempt.
+pub fn obfuscate_with_fallback_stats(
+    g: &Graph,
+    mut params: obf_core::ObfuscationParams,
+) -> Result<(ObfuscationResult, SigmaSearchStats, f64), String> {
+    match obfuscate_with_stats(g, &params) {
+        Ok((r, s)) => Ok((r, s, params.c)),
         Err(ObfuscationError::NoUpperBound { .. }) => {
             params.c = 3.0;
-            obfuscate(g, &params)
-                .map(|r| (r, 3.0))
+            obfuscate_with_stats(g, &params)
+                .map(|(r, s)| (r, s, 3.0))
                 .map_err(|e| e.to_string())
         }
         Err(e) => Err(e.to_string()),
@@ -155,26 +183,36 @@ pub fn run_sigma_cell(
     let mut params = cfg.obf_params(k, eps);
     let mut c_used = params.c;
     let start = Instant::now();
-    let mut result = obfuscate(g, &params);
+    let mut result = obfuscate_with_stats(g, &params);
     if matches!(result, Err(ObfuscationError::NoUpperBound { .. })) {
         // Paper: "increasing the parameter c to 3 resolved the problem".
         params.c = 3.0;
         c_used = 3.0;
-        result = obfuscate(g, &params);
+        result = obfuscate_with_stats(g, &params);
     }
     let elapsed = start.elapsed().as_secs_f64();
     let outcome = match result {
-        Ok(ObfuscationResult {
-            sigma,
-            eps_achieved,
-            generate_calls,
-            ..
-        }) => Ok(SigmaOutcome {
+        Ok((
+            ObfuscationResult {
+                sigma,
+                eps_achieved,
+                generate_calls,
+                ..
+            },
+            stats,
+        )) => Ok(SigmaOutcome {
             sigma,
             eps_achieved,
             elapsed_secs: elapsed,
             edges_per_sec: g.num_edges() as f64 / elapsed.max(1e-9),
             generate_calls,
+            candidates_tried: stats.candidates_tried(),
+            sigma_search_secs: stats.total_secs(),
+            dp_evaluations: stats.dp_evaluations(),
+            dp_cache_hits: stats.dp_cache_hits(),
+            dp_cache_hit_rate: stats.dp_cache_hit_rate(),
+            dp_naive: stats.naive_dp_evaluations(),
+            early_exit_trials: stats.early_exit_trials(),
         }),
         Err(e) => Err(e.to_string()),
     };
@@ -562,6 +600,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> HarnessConfig {
+        use obf_core::CheckStrategy;
         HarnessConfig {
             scale: 0.02,
             worlds: 4,
@@ -569,6 +608,7 @@ mod tests {
             seed: 99,
             fast: true,
             threads: 2,
+            check: CheckStrategy::FastPath,
         }
     }
 
@@ -589,6 +629,18 @@ mod tests {
         assert!(out.sigma > 0.0);
         assert!(out.eps_achieved <= 0.02);
         assert!(out.edges_per_sec > 0.0);
+        // Fast-path accounting: every generate call is one candidate σ,
+        // and the memoized/budgeted check must beat the naive
+        // vertices × tables row-DP count.
+        assert_eq!(out.candidates_tried, out.generate_calls);
+        assert!(out.sigma_search_secs > 0.0);
+        assert!(
+            out.dp_evaluations < out.dp_naive,
+            "dp {} !< naive {}",
+            out.dp_evaluations,
+            out.dp_naive
+        );
+        assert!((0.0..=1.0).contains(&out.dp_cache_hit_rate));
     }
 
     #[test]
@@ -597,7 +649,7 @@ mod tests {
         let g = cfg.dataset(Dataset::Dblp);
         let ucfg = utility_config(&cfg);
         let original = evaluate_world(&g, &ucfg);
-        let res = obfuscate(&g, &cfg.obf_params(3, 0.05)).expect("obfuscation");
+        let res = obf_core::obfuscate(&g, &cfg.obf_params(3, 0.05)).expect("obfuscation");
         let suites = evaluate_uncertain(&res.graph, 6, 7, &ucfg);
         let (mean, rel_sems) = summarize_suites(&suites);
         // Edge count within 25% at such low k.

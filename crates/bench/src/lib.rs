@@ -13,6 +13,9 @@
 //! * `OBF_THREADS=<usize>` — worker threads for the parallel engine
 //!   (default: all hardware threads). Every binary also accepts a
 //!   `--threads <N>` argument, which overrides the environment.
+//! * `OBF_CHECK=fastpath|exhaustive` — Definition 2 check strategy for
+//!   the σ search (default `fastpath`; `exhaustive` is the ablation
+//!   baseline — same published graphs, no memoization/early exits).
 //!
 //! For a fixed seed the tables are identical at every thread count — the
 //! sharded loops merge partial results in a fixed chunk order (see
@@ -25,7 +28,7 @@
 //! use obf_bench::HarnessConfig;
 //! use obf_datasets::Dataset;
 //!
-//! let cfg = HarnessConfig { scale: 0.05, worlds: 5, delta: 1e-3, seed: 1, fast: true, threads: 2 };
+//! let cfg = HarnessConfig { scale: 0.05, worlds: 5, delta: 1e-3, seed: 1, fast: true, threads: 2, check: obf_core::CheckStrategy::FastPath };
 //! let g = cfg.dataset(Dataset::Dblp);
 //! assert_eq!(g.num_vertices(), cfg.dataset_size(Dataset::Dblp));
 //! assert_eq!(cfg.obf_params(20, 1e-2).k, 20);
@@ -33,9 +36,10 @@
 //! ```
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
-use obf_core::ObfuscationParams;
+use obf_core::{CheckStrategy, ObfuscationParams};
 use obf_datasets::{Dataset, DatasetSpec};
 use obf_graph::{Graph, Parallelism};
 
@@ -49,9 +53,23 @@ pub struct HarnessConfig {
     pub fast: bool,
     /// Worker threads for the parallel engine (1 = sequential).
     pub threads: usize,
+    /// Definition 2 check strategy (`OBF_CHECK`); results are
+    /// bit-identical either way, only the work differs.
+    pub check: CheckStrategy,
 }
 
 impl HarnessConfig {
+    /// The shared entry point of every experiment binary: reads the
+    /// configuration ([`HarnessConfig::from_env`], including the
+    /// `--threads` argument) and prints the standard `[config: ..]`
+    /// banner to stderr. Replaces the `from_env` + `eprintln!` preamble
+    /// previously copy-pasted across the `src/bin/*` binaries.
+    pub fn init() -> Self {
+        let cfg = Self::from_env();
+        eprintln!("[config: {cfg:?}]");
+        cfg
+    }
+
     /// Reads the configuration from the environment, then lets a
     /// `--threads <N>` command-line argument override `OBF_THREADS`.
     pub fn from_env() -> Self {
@@ -63,6 +81,11 @@ impl HarnessConfig {
         let threads = arg_usize("--threads")
             .unwrap_or_else(|| env_usize("OBF_THREADS", Parallelism::available().threads()))
             .max(1);
+        let check = match std::env::var("OBF_CHECK").as_deref() {
+            Ok("exhaustive") => CheckStrategy::Exhaustive,
+            Ok("fastpath") | Err(_) => CheckStrategy::FastPath,
+            Ok(other) => panic!("invalid OBF_CHECK value {other:?} (fastpath|exhaustive)"),
+        };
         Self {
             scale,
             worlds,
@@ -70,6 +93,7 @@ impl HarnessConfig {
             seed,
             fast,
             threads,
+            check,
         }
     }
 
@@ -93,7 +117,8 @@ impl HarnessConfig {
     pub fn obf_params(&self, k: usize, eps: f64) -> ObfuscationParams {
         let mut p = ObfuscationParams::new(k, eps)
             .with_seed(self.seed ^ 0x0b)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_check(self.check);
         p.delta = self.delta;
         if self.fast {
             p.t = 2;
@@ -175,6 +200,14 @@ pub fn results_dir() -> std::path::PathBuf {
     dir
 }
 
+/// Writes a JSON artifact under `results/` (the per-PR bench trajectory
+/// the nightly CI job uploads).
+pub fn write_json(name: &str, value: &json::Json) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, value.pretty()).expect("write JSON");
+    eprintln!("[wrote {}]", path.display());
+}
+
 /// Writes rows as a TSV file under `results/`.
 pub fn write_tsv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     use std::io::Write;
@@ -236,6 +269,7 @@ mod tests {
             seed: 1,
             fast: true,
             threads: 1,
+            check: CheckStrategy::FastPath,
         };
         assert_eq!(cfg.dataset_size(Dataset::Dblp), 200);
         let g = cfg.dataset(Dataset::Dblp);
@@ -251,6 +285,7 @@ mod tests {
             seed: 1,
             fast: false,
             threads: 3,
+            check: CheckStrategy::FastPath,
         };
         let p = cfg.obf_params(20, 1e-3);
         assert_eq!(p.delta, 1e-4);

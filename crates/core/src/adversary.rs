@@ -7,9 +7,88 @@
 //! degree `ω`; its entropy certifies k-obfuscation (Definition 2).
 
 use obf_graph::{Graph, Parallelism};
-use obf_stats::entropy::{entropy_bits_normalized, obfuscation_level};
+use obf_stats::entropy::{entropy_bits_normalized, entropy_from_partials, obfuscation_level};
 use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
 use obf_uncertain::UncertainGraph;
+
+/// Degree statistics of the *original* graph that every Definition 2
+/// check consumes: per-vertex degrees, sorted distinct degrees with
+/// multiplicities, and the column sweep order of the budgeted fast path.
+///
+/// Algorithm 1 re-checks Definition 2 at every candidate σ of the
+/// doubling/binary search while the original graph never changes, so the
+/// σ-search fast path computes this once per search instead of once per
+/// check (see [`crate::fastpath`]).
+#[derive(Debug, Clone)]
+pub struct DegreeProfile {
+    degrees: Vec<usize>,
+    /// Sorted ascending.
+    distinct: Vec<usize>,
+    /// Parallel to `distinct`.
+    multiplicity: Vec<usize>,
+    /// Indices into `distinct`, ordered rarest multiplicity first (ties:
+    /// larger degree first). Rare degrees are the likeliest to fail the
+    /// entropy test — hubs have small crowds — so sweeping them first
+    /// lets the budgeted check abort after a few columns.
+    sweep_order: Vec<usize>,
+}
+
+impl DegreeProfile {
+    /// Precomputes the profile of `g`.
+    pub fn new(g: &Graph) -> Self {
+        let degrees: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        let mut distinct: Vec<usize> = degrees.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let multiplicity: Vec<usize> = {
+            let mut counts = vec![0usize; distinct.last().map_or(0, |&d| d + 1)];
+            for &d in &degrees {
+                counts[d] += 1;
+            }
+            distinct.iter().map(|&d| counts[d]).collect()
+        };
+        let mut sweep_order: Vec<usize> = (0..distinct.len()).collect();
+        sweep_order.sort_by_key(|&i| (multiplicity[i], std::cmp::Reverse(distinct[i])));
+        Self {
+            degrees,
+            distinct,
+            multiplicity,
+            sweep_order,
+        }
+    }
+
+    /// Number of vertices of the profiled graph.
+    pub fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Per-vertex degrees, in vertex order.
+    pub fn degrees(&self) -> &[usize] {
+        &self.degrees
+    }
+
+    /// Sorted distinct degrees.
+    pub fn distinct(&self) -> &[usize] {
+        &self.distinct
+    }
+
+    /// Multiplicities parallel to [`DegreeProfile::distinct`].
+    pub fn multiplicity(&self) -> &[usize] {
+        &self.multiplicity
+    }
+
+    /// Largest degree (0 for an empty graph) — the support cap the fast
+    /// path hands to the truncated Lemma 1 DP.
+    pub fn max_degree(&self) -> usize {
+        self.distinct.last().copied().unwrap_or(0)
+    }
+
+    /// Column order of the budgeted sweep: indices into
+    /// [`DegreeProfile::distinct`], rarest multiplicity first.
+    pub fn sweep_order(&self) -> &[usize] {
+        &self.sweep_order
+    }
+}
 
 /// Per-vertex degree distributions of an uncertain graph — the rows of the
 /// matrix `X_v(ω)`.
@@ -170,13 +249,7 @@ impl AdversaryTable {
         }
         mass.iter()
             .zip(&xlogx)
-            .map(|(&w, &acc)| {
-                if w <= 0.0 {
-                    0.0
-                } else {
-                    (w.log2() - acc / w).max(0.0)
-                }
-            })
+            .map(|(&w, &acc)| entropy_from_partials(w, acc))
             .collect()
     }
 }
@@ -204,13 +277,25 @@ impl ObfuscationCheck {
     ///
     /// `original` and `published` must have the same vertex set.
     pub fn run(original: &Graph, published: &AdversaryTable, k: usize, par: &Parallelism) -> Self {
+        Self::run_with_profile(&DegreeProfile::new(original), published, k, par)
+    }
+
+    /// [`ObfuscationCheck::run`] with a precomputed [`DegreeProfile`] of
+    /// the original graph — bit-identical output, but the degree sort is
+    /// paid once per σ search instead of once per check.
+    pub fn run_with_profile(
+        profile: &DegreeProfile,
+        published: &AdversaryTable,
+        k: usize,
+        par: &Parallelism,
+    ) -> Self {
         assert_eq!(
-            original.num_vertices(),
+            profile.num_vertices(),
             published.num_vertices(),
             "vertex sets differ"
         );
         assert!(k >= 1, "k must be at least 1");
-        let n = original.num_vertices();
+        let n = profile.num_vertices();
         if n == 0 {
             return Self {
                 entropy_by_degree: Vec::new(),
@@ -218,21 +303,17 @@ impl ObfuscationCheck {
                 failed_vertices: 0,
             };
         }
-        let degrees: Vec<usize> = (0..n as u32).map(|v| original.degree(v)).collect();
-        let mut distinct: Vec<usize> = degrees.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-        let entropies = published.entropies(&distinct, par);
+        let distinct = profile.distinct();
+        let entropies = published.entropies(distinct, par);
         let threshold = (k as f64).log2();
         let entropy_by_degree: Vec<(usize, f64)> =
             distinct.iter().copied().zip(entropies).collect();
         // Map degree -> pass/fail.
-        let max_deg = *distinct.last().unwrap();
-        let mut pass = vec![false; max_deg + 1];
+        let mut pass = vec![false; profile.max_degree() + 1];
         for &(d, h) in &entropy_by_degree {
             pass[d] = h >= threshold - 1e-12;
         }
-        let failed_vertices = degrees.iter().filter(|&&d| !pass[d]).count();
+        let failed_vertices = profile.degrees().iter().filter(|&&d| !pass[d]).count();
         Self {
             entropy_by_degree,
             eps_achieved: failed_vertices as f64 / n as f64,
@@ -429,6 +510,31 @@ mod tests {
         assert!((levels[0] - 2f64.powf(t.entropy(3))).abs() < 1e-12);
         // v3, v4 share degree 2 and thus share a level.
         assert_eq!(levels[2], levels[3]);
+    }
+
+    #[test]
+    fn degree_profile_orders_rarest_first() {
+        let (g, _) = paper_pair(); // degrees 3, 1, 2, 2
+        let p = DegreeProfile::new(&g);
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.degrees(), &[3, 1, 2, 2]);
+        assert_eq!(p.distinct(), &[1, 2, 3]);
+        assert_eq!(p.multiplicity(), &[1, 2, 1]);
+        assert_eq!(p.max_degree(), 3);
+        // Multiplicity ascending, ties broken towards larger degrees.
+        assert_eq!(p.sweep_order(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn run_with_profile_matches_run() {
+        let (g, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let par = Parallelism::sequential();
+        let a = ObfuscationCheck::run(&g, &t, 3, &par);
+        let b = ObfuscationCheck::run_with_profile(&DegreeProfile::new(&g), &t, 3, &par);
+        assert_eq!(a.entropy_by_degree, b.entropy_by_degree);
+        assert_eq!(a.eps_achieved, b.eps_achieved);
+        assert_eq!(a.failed_vertices, b.failed_vertices);
     }
 
     #[test]

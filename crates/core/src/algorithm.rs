@@ -11,6 +11,8 @@
 //! smallest `σ` that still succeeds, returning the last successful
 //! obfuscation (the one with minimal σ, i.e. maximal utility).
 
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,9 +21,27 @@ use obf_stats::TruncatedNormal;
 use obf_uncertain::degree_dist::DegreeDistMethod;
 use obf_uncertain::UncertainGraph;
 
-use crate::adversary::{AdversaryTable, ObfuscationCheck};
-use crate::commonness::CommonnessScores;
+use crate::adversary::{AdversaryTable, DegreeProfile, ObfuscationCheck};
+use crate::commonness::{CommonnessScores, ValueHistogram};
+use crate::fastpath::{run_budgeted, MemoizedAdversary};
 use crate::property::{DegreeProperty, VertexProperty};
+
+/// Which Definition 2 check implementation Algorithm 2's line 20 uses.
+///
+/// The published graph, the minimal σ, and every other field of
+/// [`ObfuscationResult`] are **bit-identical** between the two (the fast
+/// path only skips work whose outcome is already decided — see
+/// [`crate::fastpath`] and the equivalence tests); `FastPath` is simply
+/// cheaper and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckStrategy {
+    /// Build the full adversary table and sweep every entropy column.
+    Exhaustive,
+    /// Memoized, support-truncated lazy rows with the budgeted
+    /// early-exit sweep of [`crate::fastpath::run_budgeted`].
+    #[default]
+    FastPath,
+}
 
 /// Parameters of the obfuscation algorithm (paper Algorithms 1–2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +74,8 @@ pub struct ObfuscationParams {
     /// columns (Definition 2's check). The published graph is identical
     /// for every thread count (see [`Parallelism`]).
     pub parallelism: Parallelism,
+    /// Definition 2 check implementation (default: [`CheckStrategy::FastPath`]).
+    pub check: CheckStrategy,
 }
 
 impl ObfuscationParams {
@@ -71,7 +93,14 @@ impl ObfuscationParams {
             seed: 0x0bf5,
             method: DegreeDistMethod::Auto { threshold: 64 },
             parallelism: Parallelism::available(),
+            check: CheckStrategy::FastPath,
         }
+    }
+
+    /// Overrides the Definition 2 check implementation.
+    pub fn with_check(mut self, check: CheckStrategy) -> Self {
+        self.check = check;
+        self
     }
 
     /// Overrides the seed.
@@ -143,7 +172,10 @@ pub enum ObfuscationError {
     /// Invalid parameter combination.
     BadParameter(String),
     /// No (k, ε)-obfuscation found even after doubling `σ_u`
-    /// `max_doublings` times; the paper resolves such cases by raising `c`.
+    /// `max_doublings` times; the paper resolves such cases by raising
+    /// `c`. Under [`CheckStrategy::FastPath`], `best_eps` is the best
+    /// *proven lower bound* across trials (aborted sweeps stop counting
+    /// failures once the budget is exceeded).
     NoUpperBound { last_sigma: f64, best_eps: f64 },
 }
 
@@ -168,7 +200,10 @@ impl std::error::Error for ObfuscationError {}
 /// Statistics of one `GenerateObfuscation` trial.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialStats {
-    /// Achieved ε̃ (fraction of under-obfuscated vertices).
+    /// Achieved ε̃ (fraction of under-obfuscated vertices). Exact for
+    /// trials that met the ε tolerance; for failing trials under
+    /// [`CheckStrategy::FastPath`] this is the *lower bound* established
+    /// when the budgeted check aborted (still provably above ε).
     pub eps_achieved: f64,
     /// Candidate pairs that are original edges.
     pub kept_edges: usize,
@@ -213,6 +248,159 @@ pub struct ObfuscationResult {
     pub generate_calls: u32,
 }
 
+/// Which phase of Algorithm 1 a σ candidate belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchPhase {
+    /// Lines 1–6: doubling σ_u until an obfuscation exists.
+    #[default]
+    Doubling,
+    /// Lines 8–12: binary search of `[0, σ_u]`.
+    BinarySearch,
+}
+
+/// Instrumentation of one candidate σ of the Algorithm 1 search: one
+/// `GenerateObfuscation` invocation (`t` trials).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SigmaCandidateStats {
+    /// The candidate σ.
+    pub sigma: f64,
+    /// Phase the candidate was tried in.
+    pub phase: SearchPhase,
+    /// Whether some trial met the ε tolerance.
+    pub accepted: bool,
+    /// Wall-clock seconds of the whole invocation.
+    pub secs: f64,
+    /// Trials run (`= params.t`).
+    pub trials: u32,
+    /// Adversary tables instantiated (one per trial).
+    pub table_builds: u64,
+    /// Lemma 1 row evaluations actually run (exact DP or CLT row).
+    pub dp_evaluations: u64,
+    /// Vertex rows the entropy sweeps needed (each vertex at most once
+    /// per table); the gap to `dp_evaluations` is served by the
+    /// identical-row memo cache, and the gap to `vertices × table_builds`
+    /// is rows the early exits never needed at all.
+    pub rows_requested: u64,
+    /// Entropy columns actually computed across the trials.
+    pub columns_evaluated: u64,
+    /// Entropy columns a full sweep would compute (distinct degrees ×
+    /// trials).
+    pub columns_total: u64,
+    /// Columns rejected by the zero-DP support precheck.
+    pub support_skipped_columns: u64,
+    /// Trials whose budgeted check exited before resolving every column.
+    pub early_exit_trials: u64,
+}
+
+impl SigmaCandidateStats {
+    /// Rows served from the identical-row cache instead of a fresh DP.
+    pub fn dp_cache_hits(&self) -> u64 {
+        self.rows_requested - self.dp_evaluations
+    }
+}
+
+/// Instrumentation of a full Algorithm 1 run — per-candidate timings and
+/// cache/early-exit counters of the σ-search fast path. Every counter is
+/// deterministic for a fixed seed and thread count-independent; only
+/// `secs` varies between runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SigmaSearchStats {
+    /// Vertices of the input graph (the per-table baseline for
+    /// [`SigmaSearchStats::naive_dp_evaluations`]).
+    pub num_vertices: usize,
+    /// One entry per `GenerateObfuscation` invocation, in search order.
+    pub candidates: Vec<SigmaCandidateStats>,
+}
+
+impl SigmaSearchStats {
+    /// Candidate σ values tried (doubling + binary search).
+    pub fn candidates_tried(&self) -> u32 {
+        self.candidates.len() as u32
+    }
+
+    /// Total wall-clock seconds across candidates.
+    pub fn total_secs(&self) -> f64 {
+        self.candidates.iter().map(|c| c.secs).sum()
+    }
+
+    /// Total Lemma 1 row evaluations.
+    pub fn dp_evaluations(&self) -> u64 {
+        self.candidates.iter().map(|c| c.dp_evaluations).sum()
+    }
+
+    /// Total rows requested by entropy sweeps.
+    pub fn rows_requested(&self) -> u64 {
+        self.candidates.iter().map(|c| c.rows_requested).sum()
+    }
+
+    /// Total rows served by the identical-row cache.
+    pub fn dp_cache_hits(&self) -> u64 {
+        self.rows_requested() - self.dp_evaluations()
+    }
+
+    /// Fraction of requested rows served without a DP (0 when nothing
+    /// was requested).
+    pub fn dp_cache_hit_rate(&self) -> f64 {
+        let req = self.rows_requested();
+        if req == 0 {
+            0.0
+        } else {
+            self.dp_cache_hits() as f64 / req as f64
+        }
+    }
+
+    /// Row evaluations the pre-fast-path engine would have run: every
+    /// vertex, for every adversary table ever built.
+    pub fn naive_dp_evaluations(&self) -> u64 {
+        self.num_vertices as u64 * self.candidates.iter().map(|c| c.table_builds).sum::<u64>()
+    }
+
+    /// Total entropy columns computed / total a full sweep would compute.
+    pub fn columns(&self) -> (u64, u64) {
+        (
+            self.candidates.iter().map(|c| c.columns_evaluated).sum(),
+            self.candidates.iter().map(|c| c.columns_total).sum(),
+        )
+    }
+
+    /// Trials that exited before resolving every column.
+    pub fn early_exit_trials(&self) -> u64 {
+        self.candidates.iter().map(|c| c.early_exit_trials).sum()
+    }
+}
+
+/// σ-independent state of one Algorithm 1 search, computed once and
+/// reused by every candidate σ (the "search-state reuse" leg of the fast
+/// path): the per-vertex property values and their sorted histogram
+/// (only the kernel θ = σ changes per candidate), the original graph's
+/// degree profile for the Definition 2 check, and the original edge set
+/// that seeds every trial's candidate selection.
+struct SearchContext {
+    property: DegreeProperty,
+    per_vertex: Vec<f64>,
+    histogram: ValueHistogram,
+    profile: DegreeProfile,
+    base_pairs: FxHashSet<VertexPair>,
+}
+
+impl SearchContext {
+    fn new(g: &Graph) -> Self {
+        let property = DegreeProperty;
+        let per_vertex = property.values(g);
+        let histogram = ValueHistogram::new(&per_vertex);
+        let profile = DegreeProfile::new(g);
+        let base_pairs: FxHashSet<VertexPair> =
+            g.edges().map(|(u, v)| VertexPair::new(u, v)).collect();
+        Self {
+            property,
+            per_vertex,
+            histogram,
+            profile,
+            base_pairs,
+        }
+    }
+}
+
 /// Algorithm 2: attempts to produce a (k, ε)-obfuscation of `g` at global
 /// uncertainty `σ`, using `t` randomized trials.
 pub fn generate_obfuscation(
@@ -237,14 +425,30 @@ pub fn generate_obfuscation_with_excluded(
     forced_excluded: &[u32],
     rng: &mut SmallRng,
 ) -> GenerateOutcome {
+    let ctx = SearchContext::new(g);
+    let mut scratch = SigmaCandidateStats::default();
+    generate_in_context(g, &ctx, params, sigma, forced_excluded, rng, &mut scratch)
+}
+
+/// Algorithm 2 against a prebuilt [`SearchContext`], recording check
+/// instrumentation into `stats`. This is the per-candidate body of the σ
+/// search: everything σ-independent lives in `ctx`.
+fn generate_in_context(
+    g: &Graph,
+    ctx: &SearchContext,
+    params: &ObfuscationParams,
+    sigma: f64,
+    forced_excluded: &[u32],
+    rng: &mut SmallRng,
+    stats: &mut SigmaCandidateStats,
+) -> GenerateOutcome {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let property = DegreeProperty;
-    let per_vertex = property.values(g);
 
-    // Line 1: σ-uniqueness of every vertex (θ = σ, Section 5.2).
-    let scores = CommonnessScores::from_values(&per_vertex, &property, sigma.max(1e-300));
-    let uniq = scores.vertex_uniqueness(&per_vertex);
+    // Line 1: σ-uniqueness of every vertex (θ = σ, Section 5.2). Only the
+    // kernel pass depends on σ; the value histogram comes from `ctx`.
+    let scores = CommonnessScores::from_histogram(&ctx.histogram, &ctx.property, sigma.max(1e-300));
+    let uniq = scores.vertex_uniqueness(&ctx.per_vertex);
 
     // Line 2: H = the ⌈ε/2·n⌉ most unique vertices, excluded from noise;
     // caller-forced members take priority.
@@ -278,14 +482,16 @@ pub fn generate_obfuscation_with_excluded(
     let mut trials = Vec::with_capacity(params.t);
 
     for _trial in 0..params.t {
-        // Lines 6–12: select E_C starting from E.
-        let (ec, removed_edges) = match select_candidates(g, target_ec, alias.as_ref(), rng) {
-            Some(x) => x,
-            None => {
-                // Degenerate graph (no sampleable vertices): E_C stays E.
-                (g.edges().map(|(u, v)| VertexPair::new(u, v)).collect(), 0)
-            }
-        };
+        // Lines 6–12: select E_C starting from E (cloned from the
+        // context's prebuilt edge set instead of re-collected).
+        let (ec, removed_edges) =
+            match select_candidates(g, &ctx.base_pairs, target_ec, alias.as_ref(), rng) {
+                Some(x) => x,
+                None => {
+                    // Degenerate graph (no sampleable vertices): E_C stays E.
+                    (g.edges().map(|(u, v)| VertexPair::new(u, v)).collect(), 0)
+                }
+            };
 
         // Line 14: per-pair σ(e) (Eq. 7), proportional to pair uniqueness.
         let pair_uniqueness: Vec<f64> = ec
@@ -321,12 +527,59 @@ pub fn generate_obfuscation_with_excluded(
         }
         let ug = UncertainGraph::new(n, candidates).expect("valid candidate set");
 
-        // Line 20: ε' = fraction of vertices not k-obfuscated. Both the
-        // X_v(ω) rows and the Y_ω entropy columns are sharded over
-        // contiguous vertex ranges — the Algorithm 2 hot path.
-        let table = AdversaryTable::build_par(&ug, params.method, &params.parallelism);
-        let check = ObfuscationCheck::run(g, &table, params.k, &params.parallelism);
-        let eps_trial = check.eps_achieved;
+        // Line 20: ε' = fraction of vertices not k-obfuscated — the
+        // Algorithm 2 hot path. Both strategies shard rows and entropy
+        // columns over contiguous vertex ranges and give bit-identical
+        // verdicts; the fast path additionally memoizes identical rows,
+        // truncates the DP support at max_deg(G), and aborts the sweep
+        // once the ε budget is decided (see `crate::fastpath`).
+        let (eps_trial, passed) = match params.check {
+            CheckStrategy::Exhaustive => {
+                let table = AdversaryTable::build_par(&ug, params.method, &params.parallelism);
+                let check = ObfuscationCheck::run_with_profile(
+                    &ctx.profile,
+                    &table,
+                    params.k,
+                    &params.parallelism,
+                );
+                stats.dp_evaluations += n as u64;
+                stats.rows_requested += n as u64;
+                stats.columns_evaluated += ctx.profile.distinct().len() as u64;
+                (check.eps_achieved, check.satisfies(params.eps))
+            }
+            CheckStrategy::FastPath => {
+                let mut adv = MemoizedAdversary::new(
+                    &ug,
+                    params.method,
+                    ctx.profile.max_degree(),
+                    &params.parallelism,
+                );
+                let verdict = run_budgeted(
+                    &ctx.profile,
+                    &mut adv,
+                    params.k,
+                    params.eps,
+                    true,
+                    &params.parallelism,
+                );
+                stats.dp_evaluations += adv.dp_evaluations();
+                stats.rows_requested += adv.rows_requested();
+                stats.columns_evaluated += verdict.columns_evaluated as u64;
+                stats.support_skipped_columns += verdict.support_only_failures as u64;
+                if verdict.early_exit {
+                    stats.early_exit_trials += 1;
+                }
+                // Satisfying verdicts always carry the exact ε̃ (the
+                // budgeted check ran with `need_exact`); aborted failing
+                // sweeps report the proven lower bound.
+                let eps_trial = verdict
+                    .eps_exact
+                    .unwrap_or(verdict.failed_at_least as f64 / n.max(1) as f64);
+                (eps_trial, verdict.satisfies)
+            }
+        };
+        stats.table_builds += 1;
+        stats.columns_total += ctx.profile.distinct().len() as u64;
         trials.push(TrialStats {
             eps_achieved: eps_trial,
             kept_edges,
@@ -335,7 +588,7 @@ pub fn generate_obfuscation_with_excluded(
         });
 
         // Line 21: keep the best trial meeting ε.
-        if eps_trial <= params.eps && best.as_ref().is_none_or(|(e, _)| eps_trial < *e) {
+        if passed && best.as_ref().is_none_or(|(e, _)| eps_trial < *e) {
             best = Some((eps_trial, ug));
         }
     }
@@ -361,12 +614,13 @@ pub fn generate_obfuscation_with_excluded(
 /// edges, or `None` when no vertices are sampleable.
 fn select_candidates(
     g: &Graph,
+    base: &FxHashSet<VertexPair>,
     target: usize,
     alias: Option<&AliasTable>,
     rng: &mut SmallRng,
 ) -> Option<(Vec<VertexPair>, usize)> {
     let alias = alias?;
-    let mut ec: FxHashSet<VertexPair> = g.edges().map(|(u, v)| VertexPair::new(u, v)).collect();
+    let mut ec: FxHashSet<VertexPair> = base.clone();
     let mut removed = 0usize;
     // Safety valve: the expected number of draws is ~(target - |E|) plus a
     // small correction for collisions; a generous multiple covers skewed Q.
@@ -407,16 +661,65 @@ pub fn obfuscate(
     g: &Graph,
     params: &ObfuscationParams,
 ) -> Result<ObfuscationResult, ObfuscationError> {
+    obfuscate_with_stats(g, params).map(|(result, _)| result)
+}
+
+/// [`obfuscate`] with the σ-search instrumentation: per-candidate
+/// timings, adversary-row DP/cache counters, and early-exit counts (see
+/// [`SigmaSearchStats`]). The [`ObfuscationResult`] is identical to
+/// [`obfuscate`]'s.
+///
+/// # Examples
+///
+/// ```
+/// use obf_core::{obfuscate_with_stats, ObfuscationParams};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let g = obf_graph::generators::erdos_renyi_gnm(200, 500, &mut rng);
+/// let mut params = ObfuscationParams::new(5, 0.05).with_seed(7).with_trials(2);
+/// params.delta = 1e-2;
+/// let (result, stats) = obfuscate_with_stats(&g, &params).expect("obfuscation found");
+/// assert_eq!(stats.candidates_tried(), result.generate_calls);
+/// // The fast path never runs more row DPs than the naive engine would.
+/// assert!(stats.dp_evaluations() <= stats.naive_dp_evaluations());
+/// ```
+pub fn obfuscate_with_stats(
+    g: &Graph,
+    params: &ObfuscationParams,
+) -> Result<(ObfuscationResult, SigmaSearchStats), ObfuscationError> {
     params.validate(g.num_vertices())?;
+    let ctx = SearchContext::new(g);
+    let mut stats = SigmaSearchStats {
+        num_vertices: g.num_vertices(),
+        candidates: Vec::new(),
+    };
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let mut generate_calls = 0u32;
+
+    let run_candidate =
+        |sigma: f64, phase: SearchPhase, rng: &mut SmallRng, stats: &mut SigmaSearchStats| {
+            let mut cand = SigmaCandidateStats {
+                sigma,
+                phase,
+                trials: params.t as u32,
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let out = generate_in_context(g, &ctx, params, sigma, &[], rng, &mut cand);
+            cand.secs = start.elapsed().as_secs_f64();
+            cand.accepted = out.succeeded();
+            stats.candidates.push(cand);
+            out
+        };
 
     // Doubling phase (lines 1–6).
     let mut sigma_u = params.sigma_init;
     let mut doublings = 0u32;
     let mut best_eps_seen = f64::INFINITY;
     let found: (f64, f64, UncertainGraph) = loop {
-        let out = generate_obfuscation(g, params, sigma_u, &mut rng);
+        let out = run_candidate(sigma_u, SearchPhase::Doubling, &mut rng, &mut stats);
         generate_calls += 1;
         let min_trial_eps = out
             .trials
@@ -444,7 +747,7 @@ pub fn obfuscate(
     let mut best_sigma = sigma_u;
     while sigma_l + params.delta < sigma_u {
         let sigma = 0.5 * (sigma_l + sigma_u);
-        let out = generate_obfuscation(g, params, sigma, &mut rng);
+        let out = run_candidate(sigma, SearchPhase::BinarySearch, &mut rng, &mut stats);
         generate_calls += 1;
         search_steps += 1;
         if let Some(graph) = out.graph {
@@ -457,14 +760,17 @@ pub fn obfuscate(
         }
     }
 
-    Ok(ObfuscationResult {
-        graph: best_graph,
-        sigma: best_sigma,
-        eps_achieved: best_eps,
-        doublings,
-        search_steps,
-        generate_calls,
-    })
+    Ok((
+        ObfuscationResult {
+            graph: best_graph,
+            sigma: best_sigma,
+            eps_achieved: best_eps,
+            doublings,
+            search_steps,
+            generate_calls,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -674,6 +980,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fast_path_bit_identical_to_exhaustive_search() {
+        // The ISSUE acceptance bar: same σ, same published probabilities,
+        // same search trajectory for a fixed seed, fast path or not.
+        for (n, m, k, eps, seed) in [
+            (150, 400, 5usize, 0.1, 11u64),
+            (200, 380, 8, 0.05, 12),
+            (90, 300, 3, 0.2, 13),
+        ] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = generators::erdos_renyi_gnm(n, m, &mut rng);
+            let params = test_params(k, eps);
+            let fast = obfuscate(&g, &params.with_check(CheckStrategy::FastPath)).unwrap();
+            let slow = obfuscate(&g, &params.with_check(CheckStrategy::Exhaustive)).unwrap();
+            assert_eq!(fast.sigma, slow.sigma);
+            assert_eq!(fast.eps_achieved, slow.eps_achieved);
+            assert_eq!(fast.graph, slow.graph);
+            assert_eq!(fast.doublings, slow.doublings);
+            assert_eq!(fast.search_steps, slow.search_steps);
+            assert_eq!(fast.generate_calls, slow.generate_calls);
+        }
+    }
+
+    #[test]
+    fn sigma_search_stats_show_the_fast_path_working() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::barabasi_albert(250, 3, &mut rng);
+        let params = test_params(10, 0.05);
+        let (result, stats) = obfuscate_with_stats(&g, &params).unwrap();
+        assert_eq!(stats.candidates_tried(), result.generate_calls);
+        assert_eq!(stats.num_vertices, g.num_vertices());
+        // Every candidate ran t trials and built t lazy tables.
+        for c in &stats.candidates {
+            assert_eq!(c.trials, params.t as u32);
+            assert_eq!(c.table_builds, params.t as u64);
+            assert!(c.rows_requested >= c.dp_evaluations);
+        }
+        // The accepted/rejected split matches the search trajectory.
+        let accepted = stats.candidates.iter().filter(|c| c.accepted).count();
+        assert!(accepted >= 1, "at least the doubling success is accepted");
+        // The fast path must beat the naive engine (vertices × tables):
+        // aborted sweeps, support-skipped hubs and memo hits all shrink it.
+        assert!(
+            stats.dp_evaluations() < stats.naive_dp_evaluations(),
+            "dp {} !< naive {}",
+            stats.dp_evaluations(),
+            stats.naive_dp_evaluations()
+        );
+        let (cols_eval, cols_total) = stats.columns();
+        assert!(cols_eval <= cols_total);
+        assert!(stats.total_secs() > 0.0);
+        assert_eq!(
+            stats.dp_cache_hits(),
+            stats.rows_requested() - stats.dp_evaluations()
+        );
     }
 
     #[test]

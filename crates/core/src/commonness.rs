@@ -22,6 +22,51 @@ use crate::property::VertexProperty;
 /// negligible (`Φ_{0,θ}(8θ)/Φ_{0,θ}(0) = e^{-32} ≈ 1.3e-14`).
 const KERNEL_CUTOFF_THETAS: f64 = 8.0;
 
+/// Sorted distinct property values with multiplicities — the σ-independent
+/// half of a [`CommonnessScores`] computation.
+///
+/// Algorithm 1 evaluates `C_θ` at θ = σ for every candidate σ of the
+/// doubling/binary search; the sort and run-length grouping of the
+/// per-vertex values is identical for all of them, so the σ-search fast
+/// path builds this histogram once and re-runs only the (cheap) kernel
+/// pass per candidate via [`CommonnessScores::from_histogram`].
+#[derive(Debug, Clone)]
+pub struct ValueHistogram {
+    values: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl ValueHistogram {
+    /// Groups a per-vertex value vector into sorted distinct values with
+    /// multiplicities (ties broken by `f64::total_cmp`, exactly as
+    /// [`CommonnessScores::from_values`] always did).
+    pub fn new(per_vertex: &[f64]) -> Self {
+        let mut sorted = per_vertex.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut values: Vec<f64> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for &x in &sorted {
+            if values.last() == Some(&x) {
+                *counts.last_mut().unwrap() += 1;
+            } else {
+                values.push(x);
+                counts.push(1);
+            }
+        }
+        Self { values, counts }
+    }
+
+    /// Sorted distinct values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Multiplicities parallel to [`ValueHistogram::values`].
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+}
+
 /// Commonness scores of the distinct property values in a graph.
 #[derive(Debug, Clone)]
 pub struct CommonnessScores {
@@ -47,23 +92,25 @@ impl CommonnessScores {
 
     /// Computes scores from a raw value vector (one entry per vertex).
     pub fn from_values<P: VertexProperty>(per_vertex: &[f64], prop: &P, theta: f64) -> Self {
+        Self::from_histogram(&ValueHistogram::new(per_vertex), prop, theta)
+    }
+
+    /// Computes scores from a pre-grouped [`ValueHistogram`], skipping the
+    /// `O(n log n)` sort — bit-identical to
+    /// [`CommonnessScores::from_values`] on the same data. This is the
+    /// per-candidate-σ entry point of the σ-search fast path (θ = σ
+    /// changes every candidate; the histogram never does).
+    pub fn from_histogram<P: VertexProperty>(
+        histogram: &ValueHistogram,
+        prop: &P,
+        theta: f64,
+    ) -> Self {
         assert!(
             theta.is_finite() && theta > 0.0,
             "theta must be positive and finite, got {theta}"
         );
-        // Distinct values with multiplicities.
-        let mut sorted = per_vertex.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        let mut values: Vec<f64> = Vec::new();
-        let mut counts: Vec<usize> = Vec::new();
-        for &x in &sorted {
-            if values.last() == Some(&x) {
-                *counts.last_mut().unwrap() += 1;
-            } else {
-                values.push(x);
-                counts.push(1);
-            }
-        }
+        let values = histogram.values.clone();
+        let counts = histogram.counts.clone();
         // C_θ(ω) = Σ_{ω'} count(ω') Φ_{0,θ}(d(ω, ω')) with kernel cutoff.
         let cutoff = KERNEL_CUTOFF_THETAS * theta;
         let mut commonness = vec![0.0f64; values.len()];
@@ -260,6 +307,27 @@ mod tests {
     fn rejects_zero_theta() {
         let g = generators::cycle(5);
         let _ = CommonnessScores::compute(&g, &DegreeProperty, 0.0);
+    }
+
+    #[test]
+    fn histogram_path_is_bit_identical() {
+        use rand::SeedableRng;
+        let g = generators::barabasi_albert(60, 2, &mut rand::rngs::SmallRng::seed_from_u64(3));
+        let per_vertex = DegreeProperty.values(&g);
+        let hist = ValueHistogram::new(&per_vertex);
+        for theta in [1e-6, 0.3, 2.0, 17.0] {
+            let a = CommonnessScores::from_values(&per_vertex, &DegreeProperty, theta);
+            let b = CommonnessScores::from_histogram(&hist, &DegreeProperty, theta);
+            assert_eq!(a.distinct_values(), b.distinct_values());
+            assert_eq!(a.counts(), b.counts());
+            for &w in a.distinct_values() {
+                assert_eq!(
+                    a.commonness_of(w),
+                    b.commonness_of(w),
+                    "theta={theta} w={w}"
+                );
+            }
+        }
     }
 
     #[test]

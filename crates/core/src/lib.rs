@@ -17,6 +17,11 @@
 //!    binary search for the minimal global `σ`.
 //! 3. [`adversary`] — the matrices `X_v(ω)` and `Y_ω(v)` (Eqs. 2–3) and
 //!    the entropy test that certifies (k, ε)-obfuscation (Section 4).
+//! 4. [`fastpath`] — the σ-search fast path: memoized, support-truncated
+//!    lazy adversary rows plus the budgeted early-exit Definition 2
+//!    sweep, bit-identical to the exhaustive check but doing only the
+//!    work the verdict needs. [`obfuscate_with_stats`] reports its
+//!    per-candidate timings and cache hit rates.
 //!
 //! # Example
 //!
@@ -37,12 +42,15 @@
 pub mod adversary;
 pub mod algorithm;
 pub mod commonness;
+pub mod fastpath;
 pub mod property;
 
-pub use adversary::{AdversaryTable, ObfuscationCheck};
+pub use adversary::{AdversaryTable, DegreeProfile, ObfuscationCheck};
 pub use algorithm::{
-    generate_obfuscation, generate_obfuscation_with_excluded, obfuscate, GenerateOutcome,
-    ObfuscationError, ObfuscationParams, ObfuscationResult, TrialStats,
+    generate_obfuscation, generate_obfuscation_with_excluded, obfuscate, obfuscate_with_stats,
+    CheckStrategy, GenerateOutcome, ObfuscationError, ObfuscationParams, ObfuscationResult,
+    SearchPhase, SigmaCandidateStats, SigmaSearchStats, TrialStats,
 };
-pub use commonness::{CommonnessScores, UniquenessScores};
+pub use commonness::{CommonnessScores, UniquenessScores, ValueHistogram};
+pub use fastpath::{fail_budget, run_budgeted, BudgetedCheck, MemoizedAdversary};
 pub use property::{DegreeProperty, VertexProperty};

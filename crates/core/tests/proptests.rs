@@ -1,7 +1,8 @@
 //! Property-based tests of the obfuscation core.
 
-use obf_core::adversary::{AdversaryTable, ObfuscationCheck};
+use obf_core::adversary::{AdversaryTable, DegreeProfile, ObfuscationCheck};
 use obf_core::commonness::CommonnessScores;
+use obf_core::fastpath::{run_budgeted, MemoizedAdversary};
 use obf_core::property::{DegreeProperty, VertexProperty};
 use obf_graph::{Graph, GraphBuilder, Parallelism};
 use obf_uncertain::degree_dist::DegreeDistMethod;
@@ -91,6 +92,116 @@ proptest! {
         let vals = DegreeProperty.values(&g);
         for v in 0..g.num_vertices() as u32 {
             prop_assert_eq!(vals[v as usize], g.degree(v) as f64);
+        }
+    }
+
+    #[test]
+    fn budgeted_check_equivalent_to_exhaustive(
+        g in arb_graph(30),
+        seed in 0u64..1000,
+        k in 1usize..8,
+        eps in 0.0f64..0.6,
+        need_exact_bit in 0u8..2,
+    ) {
+        let need_exact = need_exact_bit == 1;
+        // The tentpole guarantee of the σ-search fast path: the budgeted
+        // early-exit check returns the exhaustive verdict bit-identically
+        // (and the exhaustive ε̃ whenever it reports one), for random
+        // uncertain graphs, random (k, ε), and threads ∈ {1, 4}. Rows
+        // mix exact DP and CLT cells via a low Auto threshold.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let cands: Vec<(u32, u32, f64)> = g
+            .edges()
+            .map(|(u, v)| {
+                // Occasional exact 0/1 probabilities exercise the
+                // support interval ends.
+                let p: f64 = match rng.gen_range(0u8..8) {
+                    0 => 0.0,
+                    1 => 1.0,
+                    _ => rng.gen::<f64>(),
+                };
+                (u, v, p)
+            })
+            .collect();
+        let ug = UncertainGraph::new(g.num_vertices(), cands).unwrap();
+        let method = DegreeDistMethod::Auto { threshold: 4 };
+        let profile = DegreeProfile::new(&g);
+
+        for threads in [1usize, 4] {
+            let par = Parallelism::new(threads).with_chunk_size(4);
+            let table = AdversaryTable::build_par(&ug, method, &par);
+            let check = ObfuscationCheck::run_with_profile(&profile, &table, k, &par);
+            let mut memo = MemoizedAdversary::new(&ug, method, profile.max_degree(), &par);
+            let verdict = run_budgeted(&profile, &mut memo, k, eps, need_exact, &par);
+            prop_assert_eq!(
+                verdict.satisfies,
+                check.satisfies(eps),
+                "threads={} k={} eps={}",
+                threads,
+                k,
+                eps
+            );
+            if let Some(e) = verdict.eps_exact {
+                prop_assert_eq!(e, check.eps_achieved);
+                prop_assert_eq!(verdict.failed_at_least, check.failed_vertices);
+            } else {
+                prop_assert!(verdict.early_exit);
+            }
+            if need_exact && verdict.satisfies {
+                prop_assert_eq!(verdict.eps_exact, Some(check.eps_achieved));
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_adversary_equivalent_to_build_par(
+        g in arb_graph(24),
+        seed in 0u64..1000,
+    ) {
+        // Every memoized, support-truncated entry and entropy column must
+        // be bit-identical to the exhaustive table, for threads ∈ {1, 4}.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        // Duplicate a shared probability across some pairs so identical
+        // rows actually occur and the memo cache is exercised.
+        let shared: f64 = rng.gen();
+        let cands: Vec<(u32, u32, f64)> = g
+            .edges()
+            .map(|(u, v)| {
+                let p = if rng.gen::<bool>() { shared } else { rng.gen() };
+                (u, v, p)
+            })
+            .collect();
+        let ug = UncertainGraph::new(g.num_vertices(), cands).unwrap();
+        let method = DegreeDistMethod::Auto { threshold: 6 };
+        let cap = g.max_degree() + 1;
+        let omegas: Vec<usize> = (0..=cap).collect();
+
+        for threads in [1usize, 4] {
+            let par = Parallelism::new(threads).with_chunk_size(4);
+            let table = AdversaryTable::build_par(&ug, method, &par);
+            let mut memo = MemoizedAdversary::new(&ug, method, cap, &par);
+            prop_assert_eq!(
+                memo.entropies(&omegas, &par),
+                table.entropies(&omegas, &par),
+                "threads={}",
+                threads
+            );
+            for v in 0..g.num_vertices() as u32 {
+                for &w in &omegas {
+                    prop_assert_eq!(
+                        memo.x(v, w, &par),
+                        table.x(v, w),
+                        "threads={} v={} w={}",
+                        threads,
+                        v,
+                        w
+                    );
+                }
+            }
+            prop_assert!(memo.dp_evaluations() <= memo.num_classes() as u64);
+            prop_assert!(memo.num_classes() <= g.num_vertices());
         }
     }
 

@@ -41,6 +41,32 @@ pub fn entropy_bits_normalized(weights: &[f64]) -> f64 {
     (total.log2() - acc / total).max(0.0)
 }
 
+/// Finalises an entropy computed from the sharded partial sums
+/// `mass = Σ w` and `xlogx = Σ w·log₂ w` over the positive weights:
+/// `H = log₂ W − (Σ w log₂ w)/W`, clamped to 0 like
+/// [`entropy_bits_normalized`]. This is the merge step of the
+/// chunk-ordered column reductions in `obf_core` — accumulating
+/// `(mass, xlogx)` per chunk and finalising once keeps the result
+/// bit-identical to the single-pass formula for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use obf_stats::entropy::{entropy_bits_normalized, entropy_from_partials};
+///
+/// let w = [3.0f64, 1.0, 4.0, 2.0];
+/// let mass: f64 = w.iter().sum();
+/// let xlogx: f64 = w.iter().map(|&x| x * x.log2()).sum();
+/// assert_eq!(entropy_from_partials(mass, xlogx), entropy_bits_normalized(&w));
+/// ```
+pub fn entropy_from_partials(mass: f64, xlogx: f64) -> f64 {
+    if mass <= 0.0 {
+        0.0
+    } else {
+        (mass.log2() - xlogx / mass).max(0.0)
+    }
+}
+
 /// Entropy expressed as an *obfuscation level*: `k(v) = 2^H`, i.e. the size
 /// of the uniform crowd the posterior is equivalent to (used for the
 /// anonymity-level curves of Figure 4).
@@ -96,6 +122,19 @@ mod tests {
         // Tiny negative values from cancellation must not produce NaN.
         let h = entropy_bits_normalized(&[0.5, -1e-18, 0.5]);
         assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partials_match_single_pass() {
+        let w = [0.1, 0.7, 0.0, 0.05, 0.15, 3.2];
+        let mass: f64 = w.iter().filter(|x| **x > 0.0).sum();
+        let xlogx: f64 = w.iter().filter(|x| **x > 0.0).map(|&x| x * x.log2()).sum();
+        assert_eq!(
+            entropy_from_partials(mass, xlogx),
+            entropy_bits_normalized(&w)
+        );
+        assert_eq!(entropy_from_partials(0.0, 0.0), 0.0);
+        assert_eq!(entropy_from_partials(-1.0, 0.0), 0.0);
     }
 
     #[test]

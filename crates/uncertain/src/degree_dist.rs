@@ -48,6 +48,43 @@ pub fn poisson_binomial(probs: &[f64]) -> Vec<f64> {
     dist
 }
 
+/// Support-truncated Poisson binomial: the first `min(ℓ, cap) + 1`
+/// entries of [`poisson_binomial`], computed in `O(ℓ·cap)` instead of
+/// `O(ℓ²)`.
+///
+/// The Lemma 1 recurrence updates `dist[j]` from `dist[j]` and
+/// `dist[j − 1]` only, so never materialising the entries above `cap`
+/// cannot perturb the ones below: the returned prefix is **bit-identical**
+/// to the full DP. This is the work-efficiency lever of the σ-search fast
+/// path — the Definition 2 check only ever reads `X_v(ω)` at the original
+/// graph's degrees, so `cap = max_deg(G)` while a vertex may have far more
+/// incident candidates in `E_C`.
+///
+/// # Examples
+///
+/// ```
+/// use obf_uncertain::degree_dist::{poisson_binomial, poisson_binomial_capped};
+///
+/// let probs = [0.2, 0.5, 0.9, 0.01, 0.77];
+/// let full = poisson_binomial(&probs);
+/// let capped = poisson_binomial_capped(&probs, 2);
+/// assert_eq!(capped, full[..=2]);
+/// ```
+pub fn poisson_binomial_capped(probs: &[f64], cap: usize) -> Vec<f64> {
+    let support = probs.len().min(cap);
+    let mut dist = vec![0.0f64; support + 1];
+    dist[0] = 1.0;
+    for (l, &p) in probs.iter().enumerate() {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        for j in (0..=(l + 1).min(support)).rev() {
+            let stay = if j <= l { dist[j] * (1.0 - p) } else { 0.0 };
+            let up = if j > 0 { dist[j - 1] * p } else { 0.0 };
+            dist[j] = stay + up;
+        }
+    }
+    dist
+}
+
 /// Continuity-corrected normal approximation of the Poisson binomial:
 /// `out[j] ≈ Pr(Σ eᵢ = j)` using `N(μ, σ²)` with `μ = Σ pᵢ`,
 /// `σ² = Σ pᵢ(1−pᵢ)` (paper Section 4, Eq. 5). Degenerates to a point
@@ -99,6 +136,40 @@ pub fn vertex_degree_distribution(
             }
         }
     }
+}
+
+/// Support-truncated variant of [`vertex_degree_distribution`]: the first
+/// `min(ℓ_v, cap) + 1` entries of the vertex's degree distribution,
+/// bit-identical to the same prefix of the full row.
+///
+/// The exact method uses the truncated recurrence of
+/// [`poisson_binomial_capped`]; the normal method computes the full row
+/// first (its truncation renormalisation depends on every cell) and
+/// truncates afterwards, which is still cheap because each normal cell is
+/// `O(1)`.
+pub fn vertex_degree_distribution_capped(
+    g: &UncertainGraph,
+    v: u32,
+    method: DegreeDistMethod,
+    cap: usize,
+) -> Vec<f64> {
+    let probs: &[f64] = g.incident_probs(v);
+    match method {
+        DegreeDistMethod::Exact => poisson_binomial_capped(probs, cap),
+        DegreeDistMethod::Normal => truncate_row(normal_cells(probs), cap),
+        DegreeDistMethod::Auto { threshold } => {
+            if probs.len() <= threshold {
+                poisson_binomial_capped(probs, cap)
+            } else {
+                truncate_row(normal_cells(probs), cap)
+            }
+        }
+    }
+}
+
+fn truncate_row(mut row: Vec<f64>, cap: usize) -> Vec<f64> {
+    row.truncate(cap + 1);
+    row
 }
 
 /// Exact expected degree distribution of the uncertain graph:
@@ -238,6 +309,41 @@ mod tests {
             }
             for (a, b) in dp.iter().zip(&brute) {
                 assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn capped_dp_is_bit_identical_prefix() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let len = rng.gen_range(0..=24);
+            let probs: Vec<f64> = (0..len).map(|_| rng.gen::<f64>()).collect();
+            let full = poisson_binomial(&probs);
+            for cap in 0..=len + 2 {
+                let capped = poisson_binomial_capped(&probs, cap);
+                let keep = len.min(cap) + 1;
+                assert_eq!(capped.len(), keep);
+                assert_eq!(capped, full[..keep], "len={len} cap={cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn capped_vertex_distribution_matches_all_methods() {
+        let g = figure1b();
+        for method in [
+            DegreeDistMethod::Exact,
+            DegreeDistMethod::Normal,
+            DegreeDistMethod::Auto { threshold: 2 },
+        ] {
+            for v in 0..4u32 {
+                let full = vertex_degree_distribution(&g, v, method);
+                for cap in 0..6usize {
+                    let capped = vertex_degree_distribution_capped(&g, v, method, cap);
+                    let keep = full.len().min(cap + 1);
+                    assert_eq!(capped, full[..keep], "v={v} cap={cap} {method:?}");
+                }
             }
         }
     }

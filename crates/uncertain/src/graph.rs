@@ -149,6 +149,30 @@ impl UncertainGraph {
         self.offsets[v + 1] - self.offsets[v]
     }
 
+    /// Exact support interval of the vertex's degree distribution, as
+    /// `(ones, pos)` with `ones` = incident candidates that are certain
+    /// (`p = 1`) and `pos` = incident candidates that are possible
+    /// (`p > 0`). Under the exact Poisson binomial (Lemma 1),
+    /// `X_v(ω) > 0` **iff** `ones ≤ ω ≤ pos` — the zero-DP column
+    /// precheck of the budgeted Definition 2 sweep counts these intervals
+    /// instead of evaluating rows.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obf_uncertain::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::new(3, vec![(0, 1, 1.0), (0, 2, 0.4)]).unwrap();
+    /// assert_eq!(g.degree_support(0), (1, 2)); // deg ∈ {1, 2}
+    /// assert_eq!(g.degree_support(2), (0, 1)); // deg ∈ {0, 1}
+    /// ```
+    pub fn degree_support(&self, v: u32) -> (usize, usize) {
+        let probs = self.incident_probs(v);
+        let ones = probs.iter().filter(|p| **p >= 1.0).count();
+        let pos = probs.iter().filter(|p| **p > 0.0).count();
+        (ones, pos)
+    }
+
     /// Probability of the pair `(u, v)` (0 if not a candidate).
     pub fn probability(&self, u: u32, v: u32) -> f64 {
         if u == v {
@@ -242,6 +266,29 @@ mod tests {
         assert!((g.expected_degree(1) - 1.6).abs() < 1e-12);
         assert!((g.expected_degree(2) - 1.7).abs() < 1e-12);
         assert!((g.expected_degree(3) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_support_brackets_positive_mass() {
+        let g = figure1b();
+        for v in 0..4u32 {
+            let (ones, pos) = g.degree_support(v);
+            let dist = crate::degree_dist::vertex_degree_distribution(
+                &g,
+                v,
+                crate::degree_dist::DegreeDistMethod::Exact,
+            );
+            for (omega, &x) in dist.iter().enumerate() {
+                assert_eq!(
+                    x > 0.0,
+                    (ones..=pos).contains(&omega),
+                    "v={v} omega={omega} x={x}"
+                );
+            }
+        }
+        // Certain edges shift the lower end of the support.
+        let g = UncertainGraph::new(3, vec![(0, 1, 1.0), (0, 2, 1.0)]).unwrap();
+        assert_eq!(g.degree_support(0), (2, 2));
     }
 
     #[test]
