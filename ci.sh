@@ -8,6 +8,7 @@
 #   ./ci.sh lint       # fmt + clippy only
 #   ./ci.sh test       # debug tests + docs only
 #   ./ci.sh release    # release build + bench compile + determinism matrix
+#   ./ci.sh serve      # obf_server integration tests + loadgen smoke + digest check
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -74,10 +75,32 @@ release() {
     OBF_FAST=1 ./target/release/table3 --threads 4 >/dev/null 2>&1
 }
 
+serve() {
+    step "obf_server integration tests"
+    cargo test -q -p obf_server
+
+    step "loadgen smoke (2s of mixed traffic against an in-process server)"
+    cargo build --release -p obf_bench -p obf_server
+    OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 2s
+    test -s results/BENCH_server.json \
+        || { echo "loadgen did not emit results/BENCH_server.json"; exit 1; }
+    digest1=$(grep answers_digest results/BENCH_server.json)
+
+    # Serving determinism: a re-run with the same seed must answer the
+    # probe script bit-identically (throughput may differ, answers not).
+    step "serving determinism (answers digest across runs)"
+    OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 200ms
+    digest2=$(grep answers_digest results/BENCH_server.json)
+    [ "$digest1" = "$digest2" ] \
+        || { echo "answers digest differs between runs: $digest1 vs $digest2"; exit 1; }
+    echo "serving OK: zero protocol errors, stable digest $digest1"
+}
+
 case "${1:-all}" in
     lint) lint ;;
     test) run_tests ;;
     release) release ;;
+    serve) serve ;;
     fast)
         lint
         run_tests
@@ -86,9 +109,10 @@ case "${1:-all}" in
         lint
         run_tests
         release
+        serve
         ;;
     *)
-        echo "unknown step '${1}' (expected lint|test|release|fast)" >&2
+        echo "unknown step '${1}' (expected lint|test|release|serve|fast)" >&2
         exit 2
         ;;
 esac

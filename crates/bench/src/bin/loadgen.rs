@@ -1,0 +1,419 @@
+//! `loadgen`: drive mixed query traffic against an `obf_server` and
+//! record the serving bench trajectory (`results/BENCH_server.json`).
+//!
+//! By default it stands up the whole pipeline in one process: synthesise
+//! the 0.05-scale dblp-like graph, publish it as an uncertain graph,
+//! write both the TSV and the binary snapshot (timing the two load
+//! paths against each other), spawn an in-process `obf_server` on an
+//! ephemeral port, and hammer it with `--connections` concurrent
+//! connections for `--duration`. Pass `--addr` to aim at an external
+//! server instead.
+//!
+//! Determinism: before the timed phase, one connection runs a fixed
+//! 64-query probe script (a pure function of the seed) and folds every
+//! `(query, answer)` pair into an FNV digest. Two runs with the same
+//! `--seed` report the bit-identical `answers_digest` — throughput and
+//! latency may differ, the answers may not.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obf_bench::json::Json;
+use obf_bench::HarnessConfig;
+use obf_datasets::Dataset;
+use obf_server::{Client, Server, WorldStat};
+use obf_uncertain::UncertainGraph;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const USAGE: &str = "usage:
+  loadgen [--connections 4] [--duration 5s] [--addr host:port] [--probe 64]
+options:
+  --connections <N>   concurrent client connections (default 4)
+  --duration <D>      timed-phase length, e.g. 5s / 2.5s / 500ms (default 5s)
+  --addr <host:port>  drive an external server instead of an in-process one
+  --probe <N>         probe-script length for the determinism digest (default 64)";
+
+fn main() {
+    if obf_bench::help_requested() {
+        println!("loadgen: serving benchmark against obf_server");
+        println!("{USAGE}");
+        println!("{}", obf_bench::HARNESS_USAGE);
+        return;
+    }
+    reject_unknown_flags();
+    let cfg = HarnessConfig::init();
+    let connections = match arg_value("--connections") {
+        None => 4usize,
+        Some(v) => v.parse().unwrap_or_else(|_| bad_flag("--connections", &v)),
+    };
+    let duration = match arg_value("--duration") {
+        None => Duration::from_secs(5),
+        Some(v) => parse_duration(&v).unwrap_or_else(|| bad_flag("--duration", &v)),
+    };
+    let probe_len = match arg_value("--probe") {
+        None => 64usize,
+        Some(v) => v.parse().unwrap_or_else(|_| bad_flag("--probe", &v)),
+    };
+    let external_addr = arg_value("--addr");
+    if connections == 0 {
+        bad_flag("--connections", "0");
+    }
+
+    // In-process mode publishes the 0.05-scale dblp shape (unless
+    // OBF_SCALE overrides) and records the TSV-vs-snapshot load timing;
+    // external mode (`--addr`) measures only the server it was pointed
+    // at — synthesising a local graph there would record stats about a
+    // graph that was never served.
+    let (server, load_timing) = if external_addr.is_none() {
+        let scale = if std::env::var("OBF_SCALE").is_ok() {
+            cfg.scale
+        } else {
+            0.05
+        };
+        let n = ((Dataset::Dblp.default_scale() as f64 * scale) as usize).max(200);
+        let base = obf_datasets::DatasetSpec::synthetic(Dataset::Dblp, n, cfg.seed).graph;
+        let mut prng = SmallRng::seed_from_u64(cfg.seed ^ 0x5e4e);
+        let cands: Vec<(u32, u32, f64)> = base
+            .edges()
+            .map(|(u, v)| (u, v, 0.2 + 0.8 * prng.gen::<f64>()))
+            .collect();
+        let graph = Arc::new(UncertainGraph::new(base.num_vertices(), cands).unwrap());
+        eprintln!(
+            "[published graph: n = {}, |E_C| = {}]",
+            graph.num_vertices(),
+            graph.num_candidates()
+        );
+
+        // Snapshot vs TSV load timing — the O(bytes) start-up claim,
+        // recorded per run so the trajectory catches regressions.
+        let (tsv_secs, snap_secs) = time_load_paths(&graph);
+        eprintln!(
+            "[load paths: TSV parse {tsv_secs:.4}s, snapshot load {snap_secs:.4}s, speedup {:.1}x]",
+            tsv_secs / snap_secs
+        );
+        let server = Server::bind(graph, "127.0.0.1:0", 1024).expect("bind server");
+        (Some(server), Some((tsv_secs, snap_secs)))
+    } else {
+        (None, None)
+    };
+    let addr = external_addr
+        .clone()
+        .unwrap_or_else(|| server.as_ref().unwrap().addr().to_string());
+    eprintln!("[driving {addr}]");
+
+    // Learn the served graph's shape over the protocol — the query mix
+    // must stay in the *served* vertex range, and the bench record must
+    // describe the graph that actually answered.
+    let mut probe = Client::connect(&*addr).expect("connect probe");
+    let info = probe.request("INFO").expect("INFO request");
+    let served_n = field_f64(&info, "n=").unwrap_or(0.0) as u64;
+    let served_candidates = field_f64(&info, "candidates=").unwrap_or(0.0) as u64;
+    assert!(served_n > 0, "server reports an empty graph: {info}");
+
+    // Probe phase: the determinism digest.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut probe_errors = 0usize;
+    for i in 0..probe_len {
+        let q = mixed_query(cfg.seed, i, cfg.worlds, served_n);
+        let reply = probe.request(&q).expect("probe request");
+        if !reply.starts_with("OK ") {
+            probe_errors += 1;
+            eprintln!("[probe protocol error on {q:?}: {reply}]");
+        }
+        for b in q.bytes().chain([b'\n']).chain(reply.bytes()).chain([b'\n']) {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    let answers_digest = format!("{digest:016x}");
+    eprintln!("[probe done: answers_digest = {answers_digest}]");
+
+    // Timed phase: N connections of mixed traffic.
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|conn| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            let seed = cfg.seed;
+            let worlds = cfg.worlds;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&*addr).expect("connect worker");
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                let mut errors = 0usize;
+                // Interleaved query streams: connection c walks indices
+                // c, c + N, c + 2N, … so the N connections issue
+                // disjoint slices of the same deterministic mix.
+                let mut i = conn;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = mixed_query(seed, i, worlds, served_n);
+                    let t0 = Instant::now();
+                    match client.request(&q) {
+                        Ok(reply) if reply.starts_with("OK ") => {
+                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                    i += connections;
+                }
+                (latencies_ns, errors)
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = probe_errors;
+    for h in handles {
+        let (l, e) = h.join().expect("worker panicked");
+        latencies.extend(l);
+        errors += e;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let throughput = total as f64 / elapsed;
+    let p50 = percentile_ms(&latencies, 0.50);
+    let p99 = percentile_ms(&latencies, 0.99);
+
+    // Cache + server-side counters, scraped over the protocol so an
+    // external server reports the same way.
+    let mut admin = Client::connect(&*addr).expect("connect admin");
+    let cache_reply = admin.request("CACHE_STATS").expect("cache stats");
+    let cache_hit_rate = field_f64(&cache_reply, "hit_rate=").unwrap_or(0.0);
+    let cache_hits = field_f64(&cache_reply, "hits=").unwrap_or(0.0);
+    let cache_misses = field_f64(&cache_reply, "misses=").unwrap_or(0.0);
+
+    println!(
+        "loadgen: {total} requests in {elapsed:.2}s over {connections} connections \
+         ({throughput:.0} req/s, p50 {p50:.3} ms, p99 {p99:.3} ms, {errors} protocol errors, \
+         cache hit rate {cache_hit_rate:.3})"
+    );
+
+    let json = Json::obj([
+        ("bench", Json::str("server")),
+        (
+            "config",
+            Json::obj([
+                ("connections", Json::from(connections)),
+                ("duration_secs", Json::Num(duration.as_secs_f64())),
+                ("seed", Json::from(cfg.seed)),
+                ("worlds", Json::from(cfg.worlds)),
+                ("probe_len", Json::from(probe_len)),
+                (
+                    "external_addr",
+                    match &external_addr {
+                        Some(a) => Json::str(a.clone()),
+                        None => Json::Null,
+                    },
+                ),
+            ]),
+        ),
+        (
+            // The graph the server actually answered from (via INFO).
+            "graph",
+            Json::obj([
+                ("n", Json::from(served_n)),
+                ("candidates", Json::from(served_candidates)),
+            ]),
+        ),
+        (
+            // Only measured in in-process mode: external servers loaded
+            // a graph we never saw.
+            "load_paths",
+            match load_timing {
+                Some((tsv_secs, snap_secs)) => Json::obj([
+                    ("tsv_parse_secs", Json::Num(tsv_secs)),
+                    ("snapshot_load_secs", Json::Num(snap_secs)),
+                    ("snapshot_speedup", Json::Num(tsv_secs / snap_secs)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "results",
+            Json::obj([
+                ("requests", Json::from(total)),
+                ("elapsed_secs", Json::Num(elapsed)),
+                ("throughput_qps", Json::Num(throughput)),
+                ("latency_p50_ms", Json::Num(p50)),
+                ("latency_p99_ms", Json::Num(p99)),
+                ("protocol_errors", Json::from(errors)),
+                ("cache_hits", Json::Num(cache_hits)),
+                ("cache_misses", Json::Num(cache_misses)),
+                ("cache_hit_rate", Json::Num(cache_hit_rate)),
+                ("answers_digest", Json::str(answers_digest)),
+            ]),
+        ),
+    ]);
+    obf_bench::write_json("BENCH_server.json", &json);
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if errors > 0 {
+        eprintln!("loadgen: {errors} protocol errors");
+        std::process::exit(1);
+    }
+}
+
+/// The mixed traffic: a pure function of `(seed, index, served n)` so
+/// every run with the same seed against the same graph issues the same
+/// queries in the same per-connection order. Exact queries dominate
+/// (they are the cheap hot path); sampled statistics reuse a handful of
+/// seeds so the world cache sees real sharing.
+fn mixed_query(seed: u64, i: usize, worlds: usize, n: u64) -> String {
+    let h = obf_graph::splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let v = (h >> 8) % n.max(1);
+    match h % 10 {
+        0 | 1 => format!("EXPECTED_DEGREE {v}"),
+        2 | 3 => format!("DEGREE_DIST {v}"),
+        4 | 5 => format!("NEIGHBORHOOD {v}"),
+        6 => "EXPECTED num_edges".to_string(),
+        7 => "EXPECTED degree_variance".to_string(),
+        8 => {
+            let stat = WorldStat::ALL[(h >> 16) as usize % WorldStat::ALL.len()];
+            let r = (worlds.max(2) / 2) + (h >> 24) as usize % worlds.max(2);
+            format!(
+                "STAT {} {} {}",
+                stat.name(),
+                r.clamp(1, 200),
+                seed ^ (h % 4)
+            )
+        }
+        _ => "INFO".to_string(),
+    }
+}
+
+/// Times TSV parse vs snapshot load of the same graph: three batches of
+/// ten full loads each (open + read + decode), per-load time = best
+/// batch / 10, so one-off syscall spikes don't decide the ratio.
+fn time_load_paths(g: &UncertainGraph) -> (f64, f64) {
+    let dir = std::env::temp_dir().join(format!("obfugraph_loadgen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let tsv_path = dir.join("published.up");
+    let snap_path = dir.join("published.snap");
+    obf_uncertain::save_uncertain_edge_list(g, &tsv_path).expect("write TSV");
+    obf_uncertain::save_snapshot(g, &snap_path).expect("write snapshot");
+    const PER_BATCH: usize = 10;
+    let mut tsv_best = f64::INFINITY;
+    let mut snap_best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..PER_BATCH {
+            let loaded = obf_uncertain::load_uncertain_edge_list(&tsv_path, 0).expect("load TSV");
+            assert_eq!(loaded.num_candidates(), g.num_candidates());
+        }
+        tsv_best = tsv_best.min(t0.elapsed().as_secs_f64() / PER_BATCH as f64);
+        let t0 = Instant::now();
+        for _ in 0..PER_BATCH {
+            let loaded = obf_uncertain::load_snapshot(&snap_path).expect("load snapshot");
+            assert_eq!(loaded.num_candidates(), g.num_candidates());
+        }
+        snap_best = snap_best.min(t0.elapsed().as_secs_f64() / PER_BATCH as f64);
+    }
+    // Loss-free round trips, asserted once outside the timed loops.
+    assert_eq!(
+        &obf_uncertain::load_uncertain_edge_list(&tsv_path, 0).unwrap(),
+        g
+    );
+    assert_eq!(&obf_uncertain::load_snapshot(&snap_path).unwrap(), g);
+    std::fs::remove_dir_all(&dir).ok();
+    (tsv_best, snap_best.max(1e-9))
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// `key=value` scraping from a protocol reply.
+fn field_f64(reply: &str, key: &str) -> Option<f64> {
+    reply
+        .split(key)
+        .nth(1)?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Flags that take a value, in either `--name value` or `--name=value`
+/// form (`--threads` belongs to the shared harness).
+const VALUE_FLAGS: [&str; 5] = [
+    "--connections",
+    "--duration",
+    "--addr",
+    "--probe",
+    "--threads",
+];
+
+/// A misspelled flag must not silently fall back to a default — the
+/// hardened-CLI contract is usage + exit 2 for anything unrecognised.
+fn reject_unknown_flags() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--help" || a == "-h" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&a) {
+            i += 2; // the value; a missing one is caught by arg_value
+        } else if VALUE_FLAGS
+            .iter()
+            .any(|f| a.starts_with(f) && a.as_bytes().get(f.len()) == Some(&b'='))
+        {
+            i += 1;
+        } else {
+            eprintln!("error: unknown argument {a:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `--name value` / `--name=value` lookup (string-valued).
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let eq_prefix = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args
+                .get(i + 1)
+                .cloned()
+                .or_else(|| bad_flag(name, "<missing>"));
+        }
+        if let Some(v) = a.strip_prefix(&eq_prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// `5s` / `2.5s` / `500ms` / bare seconds.
+fn parse_duration(raw: &str) -> Option<Duration> {
+    let (num, scale) = if let Some(ms) = raw.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(s) = raw.strip_suffix('s') {
+        (s, 1.0)
+    } else {
+        (raw, 1.0)
+    };
+    let secs: f64 = num.parse().ok()?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return None;
+    }
+    Some(Duration::from_secs_f64(secs * scale))
+}
+
+fn bad_flag(name: &str, value: &str) -> ! {
+    eprintln!("error: invalid value {value:?} for {name}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}

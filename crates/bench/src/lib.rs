@@ -58,35 +58,75 @@ pub struct HarnessConfig {
     pub check: CheckStrategy,
 }
 
+/// The shared usage text of the experiment binaries: the harness flags
+/// plus the `OBF_*` environment knobs. Binaries with extra flags (e.g.
+/// `loadgen`) append their own lines before printing it.
+pub const HARNESS_USAGE: &str = "\
+options:
+  --threads <N>   worker threads for the parallel engine (default: all cores)
+  --help, -h      print this help and exit
+environment:
+  OBF_FAST=1        tiny graphs and few worlds (smoke runs / CI)
+  OBF_SCALE=<f64>   multiply the default dataset sizes
+  OBF_WORLDS=<n>    possible worlds per evaluation (default 100)
+  OBF_DELTA=<f64>   binary-search resolution of Algorithm 1
+  OBF_SEED=<u64>    master seed
+  OBF_THREADS=<n>   worker threads (overridden by --threads)
+  OBF_CHECK=fastpath|exhaustive  Definition 2 check strategy";
+
+/// True when the process arguments ask for help (`--help` or `-h`).
+pub fn help_requested() -> bool {
+    std::env::args().any(|a| a == "--help" || a == "-h")
+}
+
 impl HarnessConfig {
-    /// The shared entry point of every experiment binary: reads the
-    /// configuration ([`HarnessConfig::from_env`], including the
-    /// `--threads` argument) and prints the standard `[config: ..]`
-    /// banner to stderr. Replaces the `from_env` + `eprintln!` preamble
-    /// previously copy-pasted across the `src/bin/*` binaries.
+    /// The shared entry point of every experiment binary: handles
+    /// `--help`, reads the configuration
+    /// ([`HarnessConfig::try_from_env`], including the `--threads`
+    /// argument) and prints the standard `[config: ..]` banner to
+    /// stderr. A malformed flag or environment value prints the error
+    /// plus [`HARNESS_USAGE`] and exits with status 2 instead of
+    /// panicking — the IO/CLI boundary never backtraces on user input.
     pub fn init() -> Self {
-        let cfg = Self::from_env();
-        eprintln!("[config: {cfg:?}]");
-        cfg
+        if help_requested() {
+            println!("{HARNESS_USAGE}");
+            std::process::exit(0);
+        }
+        match Self::try_from_env() {
+            Ok(cfg) => {
+                eprintln!("[config: {cfg:?}]");
+                cfg
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{HARNESS_USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Reads the configuration from the environment, then lets a
     /// `--threads <N>` command-line argument override `OBF_THREADS`.
-    pub fn from_env() -> Self {
+    /// Malformed values are reported as `Err` rather than panics.
+    pub fn try_from_env() -> Result<Self, String> {
         let fast = std::env::var("OBF_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
         let scale = env_f64("OBF_SCALE", if fast { 0.1 } else { 1.0 });
         let worlds = env_usize("OBF_WORLDS", if fast { 10 } else { 100 });
         let delta = env_f64("OBF_DELTA", if fast { 1e-3 } else { 1e-6 });
         let seed = env_u64("OBF_SEED", 0xC0FFEE);
-        let threads = arg_usize("--threads")
+        let threads = arg_usize("--threads")?
             .unwrap_or_else(|| env_usize("OBF_THREADS", Parallelism::available().threads()))
             .max(1);
         let check = match std::env::var("OBF_CHECK").as_deref() {
             Ok("exhaustive") => CheckStrategy::Exhaustive,
             Ok("fastpath") | Err(_) => CheckStrategy::FastPath,
-            Ok(other) => panic!("invalid OBF_CHECK value {other:?} (fastpath|exhaustive)"),
+            Ok(other) => {
+                return Err(format!(
+                    "invalid OBF_CHECK value {other:?} (fastpath|exhaustive)"
+                ))
+            }
         };
-        Self {
+        Ok(Self {
             scale,
             worlds,
             delta,
@@ -94,7 +134,7 @@ impl HarnessConfig {
             fast,
             threads,
             check,
-        }
+        })
     }
 
     /// The sharding configuration the experiments hand to the engine.
@@ -142,32 +182,33 @@ impl HarnessConfig {
 }
 
 /// `--name <value>` (or `--name=<value>`) from the process arguments.
-/// A present-but-unparseable value aborts loudly rather than silently
-/// falling back — a bench run recorded under the wrong thread count
-/// would corrupt the Table 3 comparison.
-fn arg_usize(name: &str) -> Option<usize> {
+/// A present-but-unparseable value is a hard `Err` rather than a silent
+/// fallback — a bench run recorded under the wrong thread count would
+/// corrupt the Table 3 comparison — but it surfaces as usage + exit 2
+/// (see [`HarnessConfig::init`]), not a panic.
+fn arg_usize(name: &str) -> Result<Option<usize>, String> {
     let args: Vec<String> = std::env::args().collect();
     parse_arg_usize(&args, name)
 }
 
-fn parse_arg_usize(args: &[String], name: &str) -> Option<usize> {
+fn parse_arg_usize(args: &[String], name: &str) -> Result<Option<usize>, String> {
     let eq_prefix = format!("{name}=");
     for (i, a) in args.iter().enumerate() {
         let raw = if a == name {
             args.get(i + 1)
-                .unwrap_or_else(|| panic!("flag {name} needs a value"))
+                .ok_or_else(|| format!("flag {name} needs a value"))?
                 .as_str()
         } else if let Some(v) = a.strip_prefix(&eq_prefix) {
             v
         } else {
             continue;
         };
-        return Some(
-            raw.parse()
-                .unwrap_or_else(|_| panic!("invalid value {raw:?} for {name}")),
-        );
+        return raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value {raw:?} for {name}"));
     }
-    None
+    Ok(None)
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -239,25 +280,25 @@ mod tests {
     fn threads_arg_accepts_both_forms() {
         assert_eq!(
             parse_arg_usize(&argv(&["bin", "--threads", "4"]), "--threads"),
-            Some(4)
+            Ok(Some(4))
         );
         assert_eq!(
             parse_arg_usize(&argv(&["bin", "--threads=8"]), "--threads"),
-            Some(8)
+            Ok(Some(8))
         );
-        assert_eq!(parse_arg_usize(&argv(&["bin"]), "--threads"), None);
+        assert_eq!(parse_arg_usize(&argv(&["bin"]), "--threads"), Ok(None));
     }
 
     #[test]
-    #[should_panic(expected = "invalid value")]
-    fn threads_arg_rejects_garbage() {
-        let _ = parse_arg_usize(&argv(&["bin", "--threads", "1x"]), "--threads");
+    fn threads_arg_rejects_garbage_as_error() {
+        let err = parse_arg_usize(&argv(&["bin", "--threads", "1x"]), "--threads").unwrap_err();
+        assert!(err.contains("invalid value"), "err={err}");
     }
 
     #[test]
-    #[should_panic(expected = "needs a value")]
-    fn threads_arg_rejects_missing_value() {
-        let _ = parse_arg_usize(&argv(&["bin", "--threads"]), "--threads");
+    fn threads_arg_rejects_missing_value_as_error() {
+        let err = parse_arg_usize(&argv(&["bin", "--threads"]), "--threads").unwrap_err();
+        assert!(err.contains("needs a value"), "err={err}");
     }
 
     #[test]

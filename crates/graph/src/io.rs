@@ -16,7 +16,17 @@ use crate::hashers::FxHashMap;
 #[derive(Debug)]
 pub enum IoError {
     Io(std::io::Error),
-    Parse { line: usize, content: String },
+    Parse {
+        line: usize,
+        content: String,
+    },
+    /// A line that parses but violates the edge-list contract (self loop,
+    /// duplicate pair) — reported with the offending line so the input
+    /// file can be fixed rather than silently patched.
+    Invalid {
+        line: usize,
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -25,6 +35,9 @@ impl std::fmt::Display for IoError {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse { line, content } => {
                 write!(f, "parse error at line {line}: {content:?}")
+            }
+            IoError::Invalid { line, msg } => {
+                write!(f, "invalid edge list at line {line}: {msg}")
             }
         }
     }
@@ -50,10 +63,17 @@ pub struct LoadedGraph {
 /// Parses an edge list from a reader: one `u v` pair per line, `#`-prefixed
 /// lines and blank lines skipped. Labels are arbitrary u64s, remapped to
 /// `0..n` in first-appearance order.
+///
+/// Self loops (`u == v`) and duplicate pairs (the same undirected pair
+/// listed twice, in either orientation) are rejected with
+/// [`IoError::Invalid`] naming the offending line: both are almost always
+/// artifacts of a broken export, and silently dropping them would publish
+/// a graph that disagrees with its source file's edge count.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
     let mut id_of: FxHashMap<u64, u32> = FxHashMap::default();
     let mut labels: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut seen: crate::hashers::FxHashSet<(u32, u32)> = crate::hashers::FxHashSet::default();
     let intern = |label: u64, labels: &mut Vec<u64>, id_of: &mut FxHashMap<u64, u32>| -> u32 {
         *id_of.entry(label).or_insert_with(|| {
             let id = labels.len() as u32;
@@ -86,11 +106,21 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
                 })
             }
         };
+        if a == b {
+            return Err(IoError::Invalid {
+                line: lineno + 1,
+                msg: format!("self loop at vertex {a}"),
+            });
+        }
         let u = intern(a, &mut labels, &mut id_of);
         let v = intern(b, &mut labels, &mut id_of);
-        if u != v {
-            edges.push((u, v));
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(IoError::Invalid {
+                line: lineno + 1,
+                msg: format!("duplicate edge ({a}, {b})"),
+            });
         }
+        edges.push((u, v));
     }
     let mut builder = GraphBuilder::with_capacity(labels.len(), edges.len());
     builder.extend_edges(edges);
@@ -145,10 +175,28 @@ mod tests {
     }
 
     #[test]
-    fn self_loops_and_duplicates_dropped() {
-        let input = "1 1\n1 2\n2 1\n";
-        let loaded = read_edge_list(input.as_bytes()).unwrap();
-        assert_eq!(loaded.graph.num_edges(), 1);
+    fn self_loop_rejected_with_line() {
+        let input = "1 2\n3 3\n";
+        match read_edge_list(input.as_bytes()) {
+            Err(IoError::Invalid { line, msg }) => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("self loop"), "msg={msg}");
+            }
+            other => panic!("expected invalid error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_rejected_with_line_either_orientation() {
+        for input in ["1 2\n1 2\n", "1 2\n2 1\n"] {
+            match read_edge_list(input.as_bytes()) {
+                Err(IoError::Invalid { line, msg }) => {
+                    assert_eq!(line, 2);
+                    assert!(msg.contains("duplicate"), "msg={msg}");
+                }
+                other => panic!("expected invalid error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! `obf_server`: a long-lived, multi-threaded query server over a
+//! published uncertain graph.
+//!
+//! The paper's published artifact `G̃ = (V, p)` is what analysts consume
+//! (Section 6): they ask for degree distributions, expected degrees,
+//! neighborhoods, and statistics over possible worlds. This crate turns
+//! the one-shot evaluation code into a serving subsystem:
+//!
+//! * start-up loads the graph **once** — from a binary
+//!   [`obf_uncertain::snapshot`] (O(bytes)) or the TSV publication
+//!   format — and shares it immutably across connection threads;
+//! * Monte-Carlo queries draw their worlds from a shared
+//!   [`WorldCache`] keyed by `(master_seed, index)`, so concurrent
+//!   queries reuse sampled worlds instead of re-sampling;
+//! * every answer is **bit-identical at any thread count**: exact
+//!   queries read immutable state, and sampled queries average worlds
+//!   `0..r` of the deterministic [`obf_uncertain::sample_indexed_world`]
+//!   stream in index order — the same guarantee the offline engine
+//!   makes.
+//!
+//! The wire format is a length-prefixed line protocol ([`protocol`]).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use obf_server::{Client, Server};
+//! use obf_uncertain::UncertainGraph;
+//!
+//! let g = Arc::new(UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 1.0)]).unwrap());
+//! let server = Server::bind(g, "127.0.0.1:0", 64).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! assert_eq!(client.request("EXPECTED num_edges").unwrap(), "OK 1.5");
+//! assert_eq!(client.request("EXPECTED_DEGREE 1").unwrap(), "OK 1.5");
+//! server.shutdown();
+//! ```
+
+pub mod protocol;
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use obf_graph::global_clustering_coefficient;
+use obf_graph::DegreeStats;
+use obf_stats::hoeffding::hoeffding_bound;
+use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
+use obf_uncertain::{
+    expected_average_degree, expected_degree_variance, expected_num_edges, expected_triangles,
+    UncertainGraph, WorldCache, WorldCacheStats,
+};
+
+pub use protocol::{read_frame, write_frame, ExactStat, Request, WorldStat};
+
+/// Immutable per-server state shared by every connection thread.
+#[derive(Debug)]
+pub struct ServerState {
+    cache: WorldCache,
+    /// Largest incident-candidate count over all vertices — the degree
+    /// ceiling the Hoeffding ranges need, computed once at start-up so
+    /// `STAT .. eps` requests never rescan the graph.
+    max_incidents: usize,
+    queries_served: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerState {
+    /// Creates the state over a published graph with a world pool of the
+    /// given capacity.
+    pub fn new(graph: Arc<UncertainGraph>, world_cache_capacity: usize) -> Self {
+        let max_incidents = (0..graph.num_vertices() as u32)
+            .map(|v| graph.incident_count(v))
+            .max()
+            .unwrap_or(0);
+        Self {
+            cache: WorldCache::new(graph, world_cache_capacity),
+            max_incidents,
+            queries_served: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The published graph.
+    pub fn graph(&self) -> &UncertainGraph {
+        self.cache.graph()
+    }
+
+    /// World-pool counters.
+    pub fn cache_stats(&self) -> WorldCacheStats {
+        self.cache.stats()
+    }
+
+    /// Total requests answered (including `ERR` answers).
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with `ERR`.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
+    /// Answers one request line: `OK ...` or `ERR ...`.
+    ///
+    /// Pure with respect to the graph and the request (modulo cache and
+    /// counter bookkeeping), so answers are reproducible by construction.
+    pub fn answer(&self, line: &str) -> String {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        match Request::parse(line).and_then(|req| self.answer_request(&req)) {
+            Ok(payload) => format!("OK {payload}"),
+            Err(msg) => {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                format!("ERR {msg}")
+            }
+        }
+    }
+
+    fn answer_request(&self, req: &Request) -> Result<String, String> {
+        let g = self.graph();
+        let n = g.num_vertices();
+        let check_vertex = |v: u32| {
+            if (v as usize) < n {
+                Ok(v)
+            } else {
+                Err(format!("vertex {v} out of range for n={n}"))
+            }
+        };
+        Ok(match *req {
+            Request::Ping => "pong".to_string(),
+            Request::Quit => "bye".to_string(),
+            Request::Info => format!(
+                "n={} candidates={} mass={}",
+                n,
+                g.num_candidates(),
+                g.total_probability_mass()
+            ),
+            Request::ExpectedDegree(v) => g.expected_degree(check_vertex(v)?).to_string(),
+            Request::DegreeDist(v) => {
+                let row = vertex_degree_distribution(g, check_vertex(v)?, DegreeDistMethod::Exact);
+                join_f64(&row)
+            }
+            Request::Neighborhood(v) => {
+                let v = check_vertex(v)?;
+                let mut out = String::new();
+                for (t, p) in g.incident(v) {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(&format!("{t}:{p}"));
+                }
+                out
+            }
+            Request::Expected(stat) => match stat {
+                ExactStat::NumEdges => expected_num_edges(g),
+                ExactStat::AvgDegree => expected_average_degree(g),
+                ExactStat::DegreeVariance => expected_degree_variance(g),
+                ExactStat::Triangles => expected_triangles(g),
+            }
+            .to_string(),
+            Request::Stat {
+                stat,
+                worlds,
+                seed,
+                eps,
+            } => self.answer_stat(stat, worlds, seed, eps),
+            Request::CacheStats => {
+                let s = self.cache_stats();
+                format!(
+                    "hits={} misses={} resident={} capacity={} hit_rate={}",
+                    s.hits,
+                    s.misses,
+                    s.resident,
+                    s.capacity,
+                    s.hit_rate()
+                )
+            }
+        })
+    }
+
+    /// Monte-Carlo estimate `S̄` over worlds `0..r` of the seed stream
+    /// (Eq. 9): index order is fixed, so the floating-point sum — and
+    /// therefore the answer — is identical no matter how many
+    /// connections or threads are active.
+    fn answer_stat(&self, stat: WorldStat, worlds: usize, seed: u64, eps: Option<f64>) -> String {
+        let mut values = Vec::with_capacity(worlds);
+        for i in 0..worlds {
+            let world = self.cache.get_or_sample(seed, i);
+            values.push(world_stat_value(stat, &world));
+        }
+        let mean = values.iter().sum::<f64>() / worlds as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / worlds as f64;
+        let mut out = format!("mean={mean} std={}", var.sqrt());
+        if let Some(eps) = eps {
+            let (a, b) = self.stat_range(stat);
+            out.push_str(&format!(
+                " hoeffding={}",
+                hoeffding_bound(a, b, worlds, eps)
+            ));
+        }
+        out
+    }
+
+    /// A-priori range `[a, b]` of each sampled statistic, for the
+    /// Hoeffding bound of Lemma 2.
+    fn stat_range(&self, stat: WorldStat) -> (f64, f64) {
+        let g = self.graph();
+        let n = g.num_vertices().max(1) as f64;
+        let m = g.num_candidates() as f64;
+        let max_deg = self.max_incidents as f64;
+        match stat {
+            WorldStat::NumEdges => (0.0, m),
+            WorldStat::AvgDegree => (0.0, 2.0 * m / n),
+            WorldStat::MaxDegree => (0.0, max_deg),
+            // Degrees live in [0, max_deg]; a variance over that interval
+            // is at most (max_deg/2)².
+            WorldStat::DegreeVariance => (0.0, max_deg * max_deg / 4.0),
+            WorldStat::Clustering => (0.0, 1.0),
+        }
+    }
+}
+
+/// The per-world value of each sampled statistic.
+fn world_stat_value(stat: WorldStat, world: &obf_graph::Graph) -> f64 {
+    match stat {
+        WorldStat::NumEdges => world.num_edges() as f64,
+        WorldStat::AvgDegree => world.average_degree(),
+        WorldStat::MaxDegree => world.max_degree() as f64,
+        WorldStat::DegreeVariance => DegreeStats::of(world).degree_variance,
+        WorldStat::Clustering => global_clustering_coefficient(world),
+    }
+}
+
+fn join_f64(xs: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&x.to_string());
+    }
+    out
+}
+
+/// A running server: accept loop plus one thread per connection.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, each served by its own thread.
+    pub fn bind<A: ToSocketAddrs>(
+        graph: Arc<UncertainGraph>,
+        addr: A,
+        world_cache_capacity: usize,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new(graph, world_cache_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            // Connection threads detach; they exit when the peer closes
+            // or QUITs, and the process never outlives the test/bin that
+            // owns the Server anyway.
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let state = Arc::clone(&accept_state);
+                        std::thread::spawn(move || serve_connection(stream, &state));
+                    }
+                    Err(e) => {
+                        eprintln!("accept failed: {e}");
+                    }
+                }
+            }
+        });
+        Ok(Self {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server state (for in-process observability).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting and joins the accept loop. Existing connections
+    /// drain on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (i.e. forever, short of
+    /// `shutdown` from another handle or a listener error) — the main
+    /// binary's run mode.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &ServerState) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = std::io::BufWriter::new(write_half);
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,   // framing violation or connection reset
+        };
+        let quitting = line.trim() == "QUIT";
+        let reply = state.answer(&line);
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        if quitting {
+            return;
+        }
+    }
+}
+
+/// Blocking client for the length-prefixed protocol — used by `loadgen`,
+/// the integration tests, and as the reference implementation for other
+/// consumers.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request line and reads the reply.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        write_frame(&mut self.stream, line)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServerState {
+        let g = Arc::new(
+            UncertainGraph::new(
+                4,
+                vec![
+                    (0, 1, 0.7),
+                    (0, 2, 0.9),
+                    (0, 3, 0.8),
+                    (1, 2, 0.8),
+                    (1, 3, 0.1),
+                ],
+            )
+            .unwrap(),
+        );
+        ServerState::new(g, 128)
+    }
+
+    #[test]
+    fn exact_answers_match_library() {
+        let s = state();
+        assert_eq!(s.answer("PING"), "OK pong");
+        assert_eq!(
+            s.answer("EXPECTED_DEGREE 0"),
+            format!("OK {}", s.graph().expected_degree(0))
+        );
+        assert_eq!(
+            s.answer("EXPECTED num_edges"),
+            format!("OK {}", expected_num_edges(s.graph()))
+        );
+        assert_eq!(
+            s.answer("EXPECTED triangles"),
+            format!("OK {}", expected_triangles(s.graph()))
+        );
+        let dist = vertex_degree_distribution(s.graph(), 1, DegreeDistMethod::Exact);
+        assert_eq!(s.answer("DEGREE_DIST 1"), format!("OK {}", join_f64(&dist)));
+        assert_eq!(s.answer("NEIGHBORHOOD 3"), "OK 0:0.8 1:0.1");
+        assert!(s.answer("INFO").starts_with("OK n=4 candidates=5"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let s = state();
+        assert!(s.answer("EXPECTED_DEGREE 99").starts_with("ERR "));
+        assert!(s.answer("BOGUS").starts_with("ERR "));
+        assert!(s.answer("").starts_with("ERR "));
+        assert_eq!(s.protocol_errors(), 3);
+        assert_eq!(s.queries_served(), 3);
+    }
+
+    #[test]
+    fn sampled_stat_deterministic_and_cached() {
+        let s = state();
+        let a = s.answer("STAT num_edges 20 42");
+        let b = s.answer("STAT num_edges 20 42");
+        assert_eq!(a, b);
+        assert!(a.starts_with("OK mean="));
+        let cs = s.cache_stats();
+        assert_eq!(cs.misses, 20);
+        assert_eq!(cs.hits, 20);
+        // The mean matches an out-of-band recomputation over the same
+        // deterministic stream, bit for bit.
+        let values: Vec<f64> = (0..20)
+            .map(|i| obf_uncertain::sample_indexed_world(s.graph(), 42, i).num_edges() as f64)
+            .collect();
+        let mean = values.iter().sum::<f64>() / 20.0;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 20.0;
+        assert_eq!(a, format!("OK mean={mean} std={}", var.sqrt()));
+    }
+
+    #[test]
+    fn hoeffding_bound_attached_when_eps_given() {
+        let s = state();
+        let reply = s.answer("STAT clustering 10 1 0.25");
+        let bound: f64 = reply.split("hoeffding=").nth(1).unwrap().parse().unwrap();
+        assert_eq!(bound, hoeffding_bound(0.0, 1.0, 10, 0.25));
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let g = Arc::new(UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 1.0)]).unwrap());
+        let server = Server::bind(Arc::clone(&g), "127.0.0.1:0", 16).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.request("PING").unwrap(), "OK pong");
+        assert_eq!(c.request("EXPECTED num_edges").unwrap(), "OK 1.5");
+        assert_eq!(c.request("QUIT").unwrap(), "OK bye");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,98 @@
+//! `obf_server` binary: load a published uncertain graph (binary
+//! snapshot or TSV edge list, auto-detected by magic bytes) and serve
+//! possible-world queries until killed.
+//!
+//! ```text
+//! obf_server <graph.snap|graph.up> [--port 0] [--cache 256]
+//! ```
+//!
+//! Prints `LISTENING <addr>` on stdout once bound — scripts scrape this
+//! to learn the ephemeral port — and serves forever.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use obf_server::Server;
+use obf_uncertain::snapshot::SNAPSHOT_MAGIC;
+use obf_uncertain::UncertainGraph;
+
+const USAGE: &str = "usage:
+  obf_server <graph.snap|graph.up> [--port 0] [--cache 256]
+options:
+  --port <P>    TCP port to bind on 127.0.0.1 (default 0 = ephemeral)
+  --cache <N>   world-cache capacity in worlds (default 256)
+  --help, -h    print this help and exit
+The graph file is auto-detected: binary snapshot (OBFUSNAP magic) or
+whitespace-separated `u v p` TSV.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut path: Option<&str> = None;
+    let mut port: u16 = 0;
+    let mut cache: usize = 256;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                let raw = it.next().ok_or("flag --port needs a value")?;
+                port = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value {raw:?} for --port"))?;
+            }
+            "--cache" => {
+                let raw = it.next().ok_or("flag --cache needs a value")?;
+                cache = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value {raw:?} for --cache"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => {
+                if path.replace(other).is_some() {
+                    return Err("more than one graph path given".into());
+                }
+            }
+        }
+    }
+    let path = path.ok_or("missing graph path")?;
+    let graph = load_graph(path)?;
+    eprintln!(
+        "loaded {path}: n = {}, |E_C| = {}, E[edges] = {:.1}",
+        graph.num_vertices(),
+        graph.num_candidates(),
+        obf_uncertain::expected_num_edges(&graph)
+    );
+    let server = Server::bind(Arc::new(graph), ("127.0.0.1", port), cache)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    // Stdout, flushed: the contract line that loadgen and ci.sh scrape.
+    println!("LISTENING {}", server.addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.join();
+    Ok(())
+}
+
+/// Loads the graph from `path`, sniffing the snapshot magic.
+fn load_graph(path: &str) -> Result<UncertainGraph, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.len() >= SNAPSHOT_MAGIC.len() && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC {
+        obf_uncertain::snapshot::decode_snapshot(&bytes).map_err(|e| e.to_string())
+    } else {
+        obf_uncertain::read_uncertain_edge_list(&bytes[..], 0).map_err(|e| e.to_string())
+    }
+}

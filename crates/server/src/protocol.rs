@@ -1,0 +1,312 @@
+//! Wire protocol: length-prefixed UTF-8 lines.
+//!
+//! Every message — request or response — is a 4-byte little-endian
+//! length followed by that many bytes of UTF-8 text (no trailing
+//! newline). Responses start with `OK ` or `ERR `. The text layer keeps
+//! the protocol greppable (`printf '\x04\x00\x00\x00PING' | nc ..`
+//! works); the length prefix keeps framing trivial and rejects rogue
+//! payloads before allocation.
+//!
+//! Requests:
+//!
+//! ```text
+//! PING
+//! INFO
+//! EXPECTED_DEGREE <v>          exact μ_v = Σ_{e∋v} p(e)
+//! DEGREE_DIST <v>              exact Poisson-binomial row of v (Lemma 1)
+//! NEIGHBORHOOD <v>             incident candidates as <target>:<prob>
+//! EXPECTED <stat>              exact expectation via linearity (Section 6.2)
+//!                              stat ∈ num_edges | avg_degree | degree_variance | triangles
+//! STAT <stat> <worlds> <seed> [eps]
+//!                              Monte-Carlo over worlds 0..<worlds> of the
+//!                              <seed> stream (Eq. 9), Hoeffding bound
+//!                              attached when [eps] is given (Lemma 2);
+//!                              stat ∈ num_edges | avg_degree | max_degree |
+//!                                     degree_variance | clustering
+//! CACHE_STATS
+//! QUIT
+//! ```
+
+use std::io::{Read, Write};
+
+/// Frames larger than this are a protocol error, not an allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Largest world count a single `STAT` query may demand.
+pub const MAX_WORLDS: usize = 100_000;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(mut w: W, text: &str) -> std::io::Result<()> {
+    let bytes = text.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME);
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before the length prefix.
+pub fn read_frame<R: Read>(mut r: R) -> std::io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Statistics with a closed-form expectation (Section 6.2 linearity plus
+/// the exact `E[S_DV]` and expected triangle count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactStat {
+    NumEdges,
+    AvgDegree,
+    DegreeVariance,
+    Triangles,
+}
+
+impl ExactStat {
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "num_edges" => ExactStat::NumEdges,
+            "avg_degree" => ExactStat::AvgDegree,
+            "degree_variance" => ExactStat::DegreeVariance,
+            "triangles" => ExactStat::Triangles,
+            _ => return None,
+        })
+    }
+}
+
+/// Statistics estimated by sampling possible worlds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldStat {
+    NumEdges,
+    AvgDegree,
+    MaxDegree,
+    DegreeVariance,
+    Clustering,
+}
+
+impl WorldStat {
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "num_edges" => WorldStat::NumEdges,
+            "avg_degree" => WorldStat::AvgDegree,
+            "max_degree" => WorldStat::MaxDegree,
+            "degree_variance" => WorldStat::DegreeVariance,
+            "clustering" => WorldStat::Clustering,
+            _ => return None,
+        })
+    }
+
+    /// All sampled statistics (loadgen's traffic mix).
+    pub const ALL: [WorldStat; 5] = [
+        WorldStat::NumEdges,
+        WorldStat::AvgDegree,
+        WorldStat::MaxDegree,
+        WorldStat::DegreeVariance,
+        WorldStat::Clustering,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorldStat::NumEdges => "num_edges",
+            WorldStat::AvgDegree => "avg_degree",
+            WorldStat::MaxDegree => "max_degree",
+            WorldStat::DegreeVariance => "degree_variance",
+            WorldStat::Clustering => "clustering",
+        }
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Ping,
+    Info,
+    ExpectedDegree(u32),
+    DegreeDist(u32),
+    Neighborhood(u32),
+    Expected(ExactStat),
+    Stat {
+        stat: WorldStat,
+        worlds: usize,
+        seed: u64,
+        eps: Option<f64>,
+    },
+    CacheStats,
+    Quit,
+}
+
+impl Request {
+    /// Parses a request line; `Err` carries the message for the `ERR`
+    /// reply.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().ok_or("empty request")?;
+        let req = match verb {
+            "PING" => Request::Ping,
+            "INFO" => Request::Info,
+            "EXPECTED_DEGREE" => Request::ExpectedDegree(parse_vertex(parts.next())?),
+            "DEGREE_DIST" => Request::DegreeDist(parse_vertex(parts.next())?),
+            "NEIGHBORHOOD" => Request::Neighborhood(parse_vertex(parts.next())?),
+            "EXPECTED" => {
+                let name = parts.next().ok_or("EXPECTED needs a statistic name")?;
+                Request::Expected(
+                    ExactStat::parse(name)
+                        .ok_or_else(|| format!("unknown exact statistic {name:?}"))?,
+                )
+            }
+            "STAT" => {
+                let name = parts.next().ok_or("STAT needs a statistic name")?;
+                let stat = WorldStat::parse(name)
+                    .ok_or_else(|| format!("unknown sampled statistic {name:?}"))?;
+                let worlds: usize = parts
+                    .next()
+                    .ok_or("STAT needs a world count")?
+                    .parse()
+                    .map_err(|_| "invalid world count".to_string())?;
+                if worlds == 0 || worlds > MAX_WORLDS {
+                    return Err(format!("world count must be in 1..={MAX_WORLDS}"));
+                }
+                let seed: u64 = parts
+                    .next()
+                    .ok_or("STAT needs a seed")?
+                    .parse()
+                    .map_err(|_| "invalid seed".to_string())?;
+                let eps = match parts.next() {
+                    None => None,
+                    Some(raw) => {
+                        let eps: f64 = raw.parse().map_err(|_| "invalid eps".to_string())?;
+                        if !eps.is_finite() || eps <= 0.0 {
+                            return Err("eps must be a positive finite number".into());
+                        }
+                        Some(eps)
+                    }
+                };
+                Request::Stat {
+                    stat,
+                    worlds,
+                    seed,
+                    eps,
+                }
+            }
+            "CACHE_STATS" => Request::CacheStats,
+            "QUIT" => Request::Quit,
+            other => return Err(format!("unknown request {other:?}")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing arguments after {verb}"));
+        }
+        Ok(req)
+    }
+}
+
+fn parse_vertex(raw: Option<&str>) -> Result<u32, String> {
+    raw.ok_or("missing vertex id")?
+        .parse()
+        .map_err(|_| "invalid vertex id".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(Request::parse("PING"), Ok(Request::Ping));
+        assert_eq!(Request::parse("INFO"), Ok(Request::Info));
+        assert_eq!(
+            Request::parse("EXPECTED_DEGREE 7"),
+            Ok(Request::ExpectedDegree(7))
+        );
+        assert_eq!(Request::parse("DEGREE_DIST 0"), Ok(Request::DegreeDist(0)));
+        assert_eq!(
+            Request::parse("NEIGHBORHOOD 3"),
+            Ok(Request::Neighborhood(3))
+        );
+        assert_eq!(
+            Request::parse("EXPECTED degree_variance"),
+            Ok(Request::Expected(ExactStat::DegreeVariance))
+        );
+        assert_eq!(
+            Request::parse("STAT clustering 10 42"),
+            Ok(Request::Stat {
+                stat: WorldStat::Clustering,
+                worlds: 10,
+                seed: 42,
+                eps: None
+            })
+        );
+        assert_eq!(
+            Request::parse("STAT num_edges 100 7 0.5"),
+            Ok(Request::Stat {
+                stat: WorldStat::NumEdges,
+                worlds: 100,
+                seed: 7,
+                eps: Some(0.5)
+            })
+        );
+        assert_eq!(Request::parse("CACHE_STATS"), Ok(Request::CacheStats));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "BOGUS",
+            "EXPECTED_DEGREE",
+            "EXPECTED_DEGREE x",
+            "EXPECTED nope",
+            "STAT clustering",
+            "STAT clustering 0 1",
+            "STAT clustering 10",
+            "STAT clustering 10 x",
+            "STAT clustering 10 1 -0.5",
+            "STAT clustering 10 1 nan",
+            "STAT nope 10 1",
+            "PING extra",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(Request::parse(&format!("STAT num_edges {} 1", MAX_WORLDS + 1)).is_err());
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "HELLO world").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("HELLO world"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(read_frame(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&buf[..]).is_err());
+    }
+}

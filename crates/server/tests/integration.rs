@@ -1,0 +1,115 @@
+//! Integration tests: a real server on an ephemeral port, concurrent
+//! clients, and the determinism guarantee — the same query returns the
+//! bit-identical answer regardless of how many connections are hammering
+//! the server or how the cache is warmed.
+
+use std::sync::Arc;
+
+use obf_server::{Client, Server};
+use obf_uncertain::UncertainGraph;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A mid-sized uncertain graph with mixed probabilities.
+fn published_graph(n: usize, seed: u64) -> Arc<UncertainGraph> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cands = Vec::new();
+    for u in 0..n as u32 {
+        for step in 1..=3u32 {
+            let v = (u + step) % n as u32;
+            if u < v {
+                cands.push((u, v, rng.gen::<f64>()));
+            }
+        }
+    }
+    Arc::new(UncertainGraph::new(n, cands).unwrap())
+}
+
+/// The mixed query script loadgen also uses, as a pure function of a
+/// stream index.
+fn query(i: usize) -> String {
+    match i % 6 {
+        0 => format!("EXPECTED_DEGREE {}", i % 40),
+        1 => format!("DEGREE_DIST {}", i % 40),
+        2 => format!("NEIGHBORHOOD {}", i % 40),
+        3 => "EXPECTED degree_variance".to_string(),
+        4 => format!("STAT num_edges {} 42 0.5", 5 + i % 7),
+        _ => format!("STAT clustering {} 7", 3 + i % 5),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let g = published_graph(40, 1);
+    let server = Server::bind(g, "127.0.0.1:0", 512).unwrap();
+    let addr = server.addr();
+
+    let run_script = move || {
+        let mut c = Client::connect(addr).unwrap();
+        (0..48)
+            .map(|i| c.request(&query(i)).unwrap())
+            .collect::<Vec<_>>()
+    };
+
+    // 8 concurrent connections all run the same script...
+    let handles: Vec<_> = (0..8).map(|_| std::thread::spawn(run_script)).collect();
+    let transcripts: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // ...and every transcript is bit-identical: no answer depends on
+    // scheduling, cache warmth, or which thread sampled a world first.
+    for t in &transcripts[1..] {
+        assert_eq!(t, &transcripts[0]);
+    }
+    for reply in &transcripts[0] {
+        assert!(reply.starts_with("OK "), "protocol error: {reply}");
+    }
+
+    // The cache actually served: 8 connections × the same STAT worlds
+    // must be mostly hits.
+    let stats = server.state().cache_stats();
+    assert!(stats.hits > stats.misses, "stats={stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn answers_identical_across_separate_servers_and_cache_sizes() {
+    // Two servers over the same published graph — one with a cold tiny
+    // cache, one with a big one — must answer the script identically:
+    // the cache is a performance artifact, never a semantic one.
+    let transcripts: Vec<Vec<String>> = [1usize, 4096]
+        .iter()
+        .map(|&capacity| {
+            let server = Server::bind(published_graph(40, 1), "127.0.0.1:0", capacity).unwrap();
+            let mut c = Client::connect(server.addr()).unwrap();
+            let replies = (0..48).map(|i| c.request(&query(i)).unwrap()).collect();
+            server.shutdown();
+            replies
+        })
+        .collect();
+    assert_eq!(transcripts[0], transcripts[1]);
+}
+
+#[test]
+fn malformed_requests_answered_with_err_and_connection_survives() {
+    let server = Server::bind(published_graph(10, 3), "127.0.0.1:0", 16).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert!(c.request("NO_SUCH_VERB 1 2 3").unwrap().starts_with("ERR "));
+    assert!(c
+        .request("EXPECTED_DEGREE 1000")
+        .unwrap()
+        .starts_with("ERR "));
+    // The connection still works after errors.
+    assert_eq!(c.request("PING").unwrap(), "OK pong");
+    assert_eq!(server.state().protocol_errors(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn quit_closes_the_connection() {
+    let server = Server::bind(published_graph(10, 3), "127.0.0.1:0", 16).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.request("QUIT").unwrap(), "OK bye");
+    // The server closed its half; the next request cannot get a reply.
+    assert!(c.request("PING").is_err());
+    server.shutdown();
+}

@@ -86,6 +86,77 @@ impl UncertainGraph {
         })
     }
 
+    /// Assembles a graph from decoded SoA-CSR parts — the snapshot
+    /// loader's fast path, skipping [`UncertainGraph::new`]'s sort and
+    /// CSR rebuild. Every invariant `new` establishes is still verified,
+    /// in O(n + m): the candidate list must be canonical (strictly
+    /// sorted `(lo, hi)` pairs, no self loops, probabilities in
+    /// `[0, 1]`), and the CSR arrays must be exactly what `new` would
+    /// have built from it (checked by replaying `new`'s fill walk as a
+    /// comparison instead of a write).
+    pub(crate) fn from_csr_parts(
+        n: usize,
+        edges: Vec<(u32, u32, f64)>,
+        offsets: Vec<usize>,
+        targets: Vec<u32>,
+        probs: Vec<f64>,
+    ) -> Result<Self, String> {
+        let incidents = edges.len() * 2;
+        if offsets.len() != n + 1
+            || targets.len() != incidents
+            || probs.len() != incidents
+            || offsets.first() != Some(&0)
+            || offsets.last() != Some(&incidents)
+        {
+            return Err("CSR array lengths inconsistent with candidate list".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("CSR offsets not monotone".into());
+        }
+        let mut prev: Option<(u32, u32)> = None;
+        for &(u, v, p) in &edges {
+            if u >= v {
+                return Err(format!("candidate ({u},{v}) not in canonical order"));
+            }
+            if (v as usize) >= n {
+                return Err(format!("pair ({u},{v}) out of range for n={n}"));
+            }
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} out of [0,1] for ({u},{v})"));
+            }
+            if prev.is_some_and(|q| q >= (u, v)) {
+                return Err(format!("candidate list not strictly sorted at ({u},{v})"));
+            }
+            prev = Some((u, v));
+        }
+        // Replay new()'s CSR fill as an equality check.
+        let mut cursor = offsets.clone();
+        for &(u, v, p) in &edges {
+            for &(a, b) in &[(u, v), (v, u)] {
+                let at = cursor[a as usize];
+                if at >= offsets[a as usize + 1] || targets[at] != b || probs[at] != p {
+                    return Err(format!("CSR row {a} disagrees with candidate ({u},{v})"));
+                }
+                cursor[a as usize] = at + 1;
+            }
+        }
+        if cursor
+            .iter()
+            .take(n)
+            .zip(offsets.iter().skip(1))
+            .any(|(c, o)| c != o)
+        {
+            return Err("CSR rows contain entries not backed by candidates".into());
+        }
+        Ok(Self {
+            n,
+            edges,
+            offsets,
+            targets,
+            probs,
+        })
+    }
+
     /// The "certain" embedding of a deterministic graph: every edge gets
     /// probability 1.
     pub fn from_certain(g: &Graph) -> Self {

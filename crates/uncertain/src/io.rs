@@ -12,7 +12,17 @@ use crate::graph::UncertainGraph;
 #[derive(Debug)]
 pub enum UncertainIoError {
     Io(std::io::Error),
-    Parse { line: usize, content: String },
+    Parse {
+        line: usize,
+        content: String,
+    },
+    /// A line that parses but violates the candidate-list contract:
+    /// self loop, duplicate pair, or a probability outside `[0, 1]`
+    /// (including NaN/∞) — named by line so the input can be fixed.
+    InvalidLine {
+        line: usize,
+        msg: String,
+    },
     Invalid(String),
 }
 
@@ -22,6 +32,9 @@ impl std::fmt::Display for UncertainIoError {
             UncertainIoError::Io(e) => write!(f, "I/O error: {e}"),
             UncertainIoError::Parse { line, content } => {
                 write!(f, "parse error at line {line}: {content:?}")
+            }
+            UncertainIoError::InvalidLine { line, msg } => {
+                write!(f, "invalid uncertain graph at line {line}: {msg}")
             }
             UncertainIoError::Invalid(msg) => write!(f, "invalid uncertain graph: {msg}"),
         }
@@ -39,12 +52,19 @@ impl From<std::io::Error> for UncertainIoError {
 /// Reads an uncertain graph over `0..n` vertices from `u v p` lines
 /// (`#`/`%` comments and blank lines skipped). `n` is inferred as
 /// `max(id) + 1` unless `min_vertices` raises it.
+///
+/// Self loops, duplicate candidate pairs (either orientation) and
+/// probabilities outside `[0, 1]` (including NaN) are rejected with
+/// [`UncertainIoError::InvalidLine`] naming the offending line — the
+/// published artifact must match its source file exactly, so nothing is
+/// silently dropped or clamped.
 pub fn read_uncertain_edge_list<R: BufRead>(
     reader: R,
     min_vertices: usize,
 ) -> Result<UncertainGraph, UncertainIoError> {
     let mut candidates: Vec<(u32, u32, f64)> = Vec::new();
     let mut max_id: Option<u32> = None;
+    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let t = line.trim();
@@ -62,6 +82,21 @@ pub fn read_uncertain_edge_list<R: BufRead>(
             line: lineno + 1,
             content: line.clone(),
         })?;
+        let invalid = |msg: String| UncertainIoError::InvalidLine {
+            line: lineno + 1,
+            msg,
+        };
+        if u == v {
+            return Err(invalid(format!("self loop at vertex {u}")));
+        }
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(invalid(format!(
+                "probability {p} out of [0,1] for ({u},{v})"
+            )));
+        }
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(invalid(format!("duplicate candidate pair ({u}, {v})")));
+        }
         max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
         candidates.push((u, v, p));
     }
@@ -126,11 +161,41 @@ mod tests {
 
     #[test]
     fn rejects_bad_probability() {
-        let input = "0 1 1.5\n";
-        assert!(matches!(
-            read_uncertain_edge_list(input.as_bytes(), 0),
-            Err(UncertainIoError::Invalid(_))
-        ));
+        for input in ["0 1 1.5\n", "0 1 -0.1\n", "0 1 NaN\n", "0 1 inf\n"] {
+            match read_uncertain_edge_list(input.as_bytes(), 0) {
+                Err(UncertainIoError::InvalidLine { line, msg }) => {
+                    assert_eq!(line, 1, "input={input:?}");
+                    assert!(msg.contains("probability"), "msg={msg}");
+                }
+                other => panic!("expected invalid-line error for {input:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop_with_line() {
+        let input = "0 1 0.5\n2 2 0.5\n";
+        match read_uncertain_edge_list(input.as_bytes(), 0) {
+            Err(UncertainIoError::InvalidLine { line, msg }) => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("self loop"), "msg={msg}");
+            }
+            other => panic!("expected invalid-line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_pair_with_line_either_orientation() {
+        // Comments don't shift the reported (1-based) line numbers.
+        for input in ["# c\n0 1 0.5\n0 1 0.7\n", "# c\n0 1 0.5\n1 0 0.5\n"] {
+            match read_uncertain_edge_list(input.as_bytes(), 0) {
+                Err(UncertainIoError::InvalidLine { line, msg }) => {
+                    assert_eq!(line, 3, "input={input:?}");
+                    assert!(msg.contains("duplicate"), "msg={msg}");
+                }
+                other => panic!("expected invalid-line error for {input:?}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

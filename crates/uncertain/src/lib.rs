@@ -37,8 +37,10 @@ pub mod graph;
 pub mod io;
 pub mod queries;
 pub mod sampling;
+pub mod snapshot;
 pub mod statistics;
 pub mod triangles;
+pub mod world_cache;
 
 pub use degree_dist::{degree_distribution_exact, degree_distribution_normal, DegreeDistMethod};
 pub use estimator::{estimate_statistic, estimate_statistic_par, EstimateSummary};
@@ -50,8 +52,10 @@ pub use io::{
 };
 pub use queries::{distance_distribution, knn_majority_distance, reliability};
 pub use sampling::{sample_indexed_world, sample_worlds_par, WorldSampler};
+pub use snapshot::{load_snapshot, read_snapshot, save_snapshot, write_snapshot, SnapshotError};
 pub use statistics::{evaluate_uncertain, evaluate_world, StatSuite, UtilityConfig};
 pub use triangles::{
     expected_center_paths, expected_center_paths_par, expected_ratio_clustering,
     expected_triangles, expected_triangles_par,
 };
+pub use world_cache::{WorldCache, WorldCacheStats};

@@ -84,12 +84,27 @@ pub fn sample_worlds_par(
         .map_collect(r, |i| sample_indexed_world(g, master_seed, i))
 }
 
+/// Builder capacity for a sampled world: the expected edge count, clamped
+/// to `[16, num_candidates]`. The clamp keeps the f64→usize cast on the
+/// well-defined path — a non-finite or huge `mass` (conceivable only for
+/// adversarial inputs, but the cast would saturate silently) can never
+/// request more slots than candidates exist, and NaN falls through the
+/// comparison to the floor.
+fn world_capacity(mass: f64, num_candidates: usize) -> usize {
+    let ceil = if mass.is_finite() && mass > 0.0 {
+        mass.ceil().min(num_candidates as f64) as usize
+    } else {
+        0
+    };
+    ceil.clamp(16, num_candidates.max(16))
+}
+
 /// Draws one possible world of `g` (Eq. 1 semantics: each candidate
 /// independently with its probability).
 pub fn sample_world<R: Rng + ?Sized>(g: &UncertainGraph, rng: &mut R) -> Graph {
     let mut b = GraphBuilder::with_capacity(
         g.num_vertices(),
-        (g.total_probability_mass().ceil() as usize).max(16),
+        world_capacity(g.total_probability_mass(), g.num_candidates()),
     );
     for &(u, v, p) in g.candidates() {
         // Branching on the cheap cases first: most probabilities in an
@@ -212,6 +227,33 @@ mod tests {
             );
             assert_eq!(seq, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn world_capacity_clamped_for_extreme_and_nonfinite_mass() {
+        // Ordinary graphs: expected mass, floored at 16.
+        assert_eq!(world_capacity(3.3, 6), 16);
+        assert_eq!(world_capacity(120.7, 500), 121);
+        // Mass can never request more slots than candidates exist.
+        assert_eq!(world_capacity(1e300, 1000), 1000);
+        assert_eq!(world_capacity(f64::MAX, 32), 32);
+        // Non-finite mass degrades to the floor instead of saturating.
+        assert_eq!(world_capacity(f64::INFINITY, 1000), 16);
+        assert_eq!(world_capacity(f64::NAN, 1000), 16);
+        assert_eq!(world_capacity(-1.0, 1000), 16);
+        assert_eq!(world_capacity(0.0, 0), 16);
+    }
+
+    #[test]
+    fn extreme_mass_graph_samples_fine() {
+        // A graph whose total mass equals its candidate count (all-certain):
+        // the capacity path must stay exact and the world complete.
+        let n = 600u32;
+        let cands: Vec<(u32, u32, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        let g = UncertainGraph::new(n as usize, cands).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let w = g.sample_world(&mut rng);
+        assert_eq!(w.num_edges(), n as usize - 1);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! A shared pool of pre-sampled possible worlds.
+//!
+//! A query server answering Monte-Carlo statistics re-visits the same
+//! worlds constantly: every `STAT` request over `(master_seed, r)`
+//! touches worlds `0..r` of the same deterministic stream. The cache
+//! keys each materialised world by `(master_seed, index)` — the exact
+//! arguments of [`sample_indexed_world`] — so concurrent queries share
+//! one copy per world instead of re-sampling, and the answers stay
+//! bit-identical at any thread count: a hit returns the same graph a
+//! miss would have sampled, by construction.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use obf_graph::Graph;
+
+use crate::graph::UncertainGraph;
+use crate::sampling::sample_indexed_world;
+
+/// Cache observability counters, taken atomically enough for reporting
+/// (hits and misses are separate atomics; a snapshot between increments
+/// may be off by one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Worlds currently resident.
+    pub resident: usize,
+    /// Maximum number of resident worlds.
+    pub capacity: usize,
+}
+
+impl WorldCacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An `Arc`-shared pool of sampled possible worlds keyed by
+/// `(master_seed, index)`.
+///
+/// Reads take a shared lock; a miss samples *outside* any lock (two
+/// racing misses for the same key do duplicate work but produce the
+/// same world — determinism is never at stake) and then inserts under
+/// the write lock. When full, new worlds are simply not retained:
+/// bounded memory, no eviction scan, and the determinism guarantee is
+/// unaffected because a miss always re-samples the identical world.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use obf_uncertain::{UncertainGraph, WorldCache};
+///
+/// let g = Arc::new(UncertainGraph::new(3, vec![(0, 1, 0.5), (1, 2, 0.5)]).unwrap());
+/// let cache = WorldCache::new(g, 64);
+/// let a = cache.get_or_sample(7, 0);
+/// let b = cache.get_or_sample(7, 0);
+/// assert!(Arc::ptr_eq(&a, &b)); // second lookup is a hit
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct WorldCache {
+    graph: Arc<UncertainGraph>,
+    capacity: usize,
+    worlds: RwLock<HashMap<(u64, u64), Arc<Graph>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WorldCache {
+    /// Creates a cache over the published graph holding at most
+    /// `capacity` worlds.
+    pub fn new(graph: Arc<UncertainGraph>, capacity: usize) -> Self {
+        Self {
+            graph,
+            capacity,
+            worlds: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The published graph the worlds are drawn from.
+    pub fn graph(&self) -> &Arc<UncertainGraph> {
+        &self.graph
+    }
+
+    /// World `index` of the `master_seed` stream — served from the pool
+    /// when resident, sampled (and retained, capacity permitting)
+    /// otherwise. Always equal to
+    /// [`sample_indexed_world`]`(graph, master_seed, index)`.
+    pub fn get_or_sample(&self, master_seed: u64, index: usize) -> Arc<Graph> {
+        let key = (master_seed, index as u64);
+        if let Some(world) = self.worlds.read().expect("world cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(world);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let world = Arc::new(sample_indexed_world(&self.graph, master_seed, index));
+        let mut map = self.worlds.write().expect("world cache poisoned");
+        if let Some(existing) = map.get(&key) {
+            // A racing miss inserted first; both sampled the identical
+            // world, keep the resident copy so pointers stay shared.
+            return Arc::clone(existing);
+        }
+        if map.len() < self.capacity {
+            map.insert(key, Arc::clone(&world));
+        }
+        world
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WorldCacheStats {
+        WorldCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            resident: self.worlds.read().expect("world cache poisoned").len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize) -> WorldCache {
+        let g = Arc::new(
+            UncertainGraph::new(5, vec![(0, 1, 0.5), (1, 2, 0.7), (2, 3, 0.2), (3, 4, 0.9)])
+                .unwrap(),
+        );
+        WorldCache::new(g, capacity)
+    }
+
+    #[test]
+    fn hit_returns_identical_world() {
+        let c = cache(8);
+        let first = c.get_or_sample(42, 3);
+        let again = c.get_or_sample(42, 3);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(*first, sample_indexed_world(c.graph(), 42, 3));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_worlds() {
+        let c = cache(8);
+        let a = c.get_or_sample(1, 0);
+        let b = c.get_or_sample(2, 0);
+        let d = c.get_or_sample(1, 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(c.stats().resident, 3);
+    }
+
+    #[test]
+    fn capacity_bounds_residency_without_breaking_answers() {
+        let c = cache(2);
+        for i in 0..10 {
+            let w = c.get_or_sample(9, i);
+            assert_eq!(*w, sample_indexed_world(c.graph(), 9, i));
+        }
+        let s = c.stats();
+        assert_eq!(s.resident, 2);
+        assert_eq!(s.capacity, 2);
+        // Uncached worlds still answer correctly (and count as misses).
+        assert_eq!(
+            *c.get_or_sample(9, 7),
+            sample_indexed_world(c.graph(), 9, 7)
+        );
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let c = Arc::new(cache(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    (0..16)
+                        .map(|i| c.get_or_sample(5, i).num_edges())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<usize>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 64);
+        assert_eq!(s.resident, 16);
+    }
+}

@@ -123,6 +123,51 @@ proptest! {
     }
 
     #[test]
+    fn snapshot_round_trip_is_identity(ug in arb_uncertain(30)) {
+        use obf_uncertain::snapshot::{decode_snapshot, snapshot_bytes};
+        let bytes = snapshot_bytes(&ug);
+        let back = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(&ug, &back);
+        // And TSV → snapshot → load matches the TSV round trip too.
+        let mut tsv = Vec::new();
+        obf_uncertain::write_uncertain_edge_list(&ug, &mut tsv).unwrap();
+        let from_tsv =
+            obf_uncertain::read_uncertain_edge_list(&tsv[..], ug.num_vertices()).unwrap();
+        prop_assert_eq!(&from_tsv, &back);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_and_truncation(
+        ug in arb_uncertain(16),
+        pos_frac in 0.0f64..1.0,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use obf_uncertain::snapshot::{decode_snapshot, SnapshotError};
+        let bytes = obf_uncertain::snapshot::snapshot_bytes(&ug);
+        // Flip one payload bit (past the magic, before the checksum).
+        let lo = 8;
+        let hi = bytes.len() - 8;
+        let pos = lo + ((pos_frac * (hi - lo) as f64) as usize).min(hi - lo - 1);
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x10;
+        let decoded = decode_snapshot(&corrupt);
+        match decoded {
+            Err(_) => {}
+            Ok(g) => prop_assert_eq!(g, ug, "undetected corruption must be a no-op flip"),
+        }
+        // Truncate anywhere: never accepted.
+        let cut = ((cut_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let err = decode_snapshot(&bytes[..cut]);
+        prop_assert!(err.is_err());
+        if cut >= 28 {
+            prop_assert!(
+                matches!(err, Err(SnapshotError::Truncated { .. })),
+                "cut={} expected Truncated", cut
+            );
+        }
+    }
+
+    #[test]
     fn parallel_statistics_bit_identical_across_threads(
         ug in arb_uncertain(14),
         seed in 0u64..500,
