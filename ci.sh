@@ -9,6 +9,7 @@
 #   ./ci.sh test       # debug tests + docs only
 #   ./ci.sh release    # release build + bench compile + determinism matrix
 #   ./ci.sh serve      # obf_server integration tests + loadgen smoke + digest check
+#   ./ci.sh evolve     # obf_evolve tests + republish bench smoke + digest check
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -96,11 +97,34 @@ serve() {
     echo "serving OK: zero protocol errors, stable digest $digest1"
 }
 
+evolve() {
+    step "obf_evolve unit + property tests"
+    cargo test -q -p obf_evolve
+
+    step "republish bench (toy-scale delta stream, end-to-end)"
+    cargo build --release -p obf_bench -p obf_server
+    OBF_FAST=1 ./target/release/republish --batches 4
+    test -s results/BENCH_evolve.json \
+        || { echo "republish did not emit results/BENCH_evolve.json"; exit 1; }
+    digest1=$(grep evolve_digest results/BENCH_evolve.json)
+
+    # Evolve determinism: the same seed must reproduce the same sigma
+    # trajectory, rows-recomputed counts and snapshot checksums bit for
+    # bit (wall-clock fields are excluded from the digest).
+    step "republish determinism (evolve digest across runs)"
+    OBF_FAST=1 ./target/release/republish --batches 4
+    digest2=$(grep evolve_digest results/BENCH_evolve.json)
+    [ "$digest1" = "$digest2" ] \
+        || { echo "evolve digest differs between runs: $digest1 vs $digest2"; exit 1; }
+    echo "evolve OK: zero dropped connections, stable digest $digest1"
+}
+
 case "${1:-all}" in
     lint) lint ;;
     test) run_tests ;;
     release) release ;;
     serve) serve ;;
+    evolve) evolve ;;
     fast)
         lint
         run_tests
@@ -110,9 +134,10 @@ case "${1:-all}" in
         run_tests
         release
         serve
+        evolve
         ;;
     *)
-        echo "unknown step '${1}' (expected lint|test|release|serve|fast)" >&2
+        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|fast)" >&2
         exit 2
         ;;
 esac

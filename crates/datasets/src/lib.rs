@@ -26,9 +26,9 @@
 //! ```
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use obf_graph::{generators, Graph};
+use obf_graph::{generators, stream_seed, EdgeBatch, Graph};
 
 /// The three evaluation datasets of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +145,127 @@ impl DatasetSpec {
     }
 }
 
+/// An evolving workload: a base release plus a stream of timestamped
+/// delta batches over a fixed vertex set — the input of the
+/// `obf_evolve` republish pipeline.
+#[derive(Debug, Clone)]
+pub struct EvolvingDataset {
+    pub dataset: Dataset,
+    pub seed: u64,
+    /// The first release.
+    pub base: Graph,
+    /// Consistent, timestamped batches: replaying them in order with
+    /// `Graph::apply_batch` never inserts an existing edge or deletes a
+    /// missing one.
+    pub batches: Vec<EdgeBatch>,
+}
+
+impl EvolvingDataset {
+    /// Replays every batch, returning one graph per release (the base
+    /// first — `out.len() == batches.len() + 1`).
+    pub fn releases(&self) -> Vec<Graph> {
+        let mut out = Vec::with_capacity(self.batches.len() + 1);
+        out.push(self.base.clone());
+        for b in &self.batches {
+            let next = out
+                .last()
+                .unwrap()
+                .apply_batch(b)
+                .expect("generator emits consistent batches");
+            out.push(next);
+        }
+        out
+    }
+}
+
+/// Deterministically synthesises an evolving version of `dataset`:
+/// the usual synthetic base graph at `n` vertices, followed by
+/// `num_batches` delta batches each churning roughly `churn · m` edges —
+/// three quarters growth (new edges attached preferentially, mimicking
+/// how social graphs densify) and one quarter decay (uniformly random
+/// removals). Timestamps are one day apart.
+///
+/// The same `(dataset, n, num_batches, churn, seed)` always yields the
+/// same workload, and every batch is consistent with the release it
+/// applies to.
+///
+/// # Examples
+///
+/// ```
+/// use obf_datasets::{evolving_dataset, Dataset};
+///
+/// let w = evolving_dataset(Dataset::Dblp, 300, 3, 0.02, 7);
+/// assert_eq!(w.batches.len(), 3);
+/// assert_eq!(w.releases().len(), 4);
+/// assert!(w.batches.iter().all(|b| b.num_ops() > 0));
+/// ```
+pub fn evolving_dataset(
+    dataset: Dataset,
+    n: usize,
+    num_batches: usize,
+    churn: f64,
+    seed: u64,
+) -> EvolvingDataset {
+    let base = DatasetSpec::synthetic(dataset, n, seed).graph;
+    let mut current = base.clone();
+    let mut batches = Vec::with_capacity(num_batches);
+    for b in 0..num_batches {
+        let mut rng = SmallRng::seed_from_u64(stream_seed(seed ^ 0xEE0, b as u64));
+        let m = current.num_edges();
+        assert!(m > 0, "evolving base graph has no edges");
+        let target_ops = ((churn * m as f64).ceil() as usize).max(4);
+        let want_deletes = target_ops / 4;
+        let want_inserts = target_ops - want_deletes;
+
+        // Decay: uniformly random existing edges, distinct by index.
+        let edges: Vec<(u32, u32)> = current.edges().collect();
+        let mut deletes: Vec<(u32, u32)> = Vec::with_capacity(want_deletes);
+        let mut picked = vec![false; edges.len()];
+        while deletes.len() < want_deletes.min(edges.len()) {
+            let i = rng.gen_range(0..edges.len());
+            if !picked[i] {
+                picked[i] = true;
+                deletes.push(edges[i]);
+            }
+        }
+
+        // Growth: one endpoint degree-biased (an endpoint of a random
+        // edge), the other uniform — preferential attachment without an
+        // alias table rebuild per batch.
+        let mut inserts: Vec<(u32, u32)> = Vec::with_capacity(want_inserts);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0usize;
+        while inserts.len() < want_inserts && attempts < want_inserts * 60 {
+            attempts += 1;
+            let (a, b2) = edges[rng.gen_range(0..edges.len())];
+            let u = if rng.gen::<bool>() { a } else { b2 };
+            let v = rng.gen_range(0..n as u32);
+            if u == v || current.has_edge(u, v) {
+                continue;
+            }
+            let pair = if u < v { (u, v) } else { (v, u) };
+            // An insert colliding with a delete of this same batch is
+            // skipped too: batches keep one meaning per pair.
+            if seen.insert(pair) && !deletes.contains(&pair) {
+                inserts.push(pair);
+            }
+        }
+
+        let batch = EdgeBatch::new(86_400 * (b as u64 + 1), inserts, deletes)
+            .expect("generated batch is canonical");
+        current = current
+            .apply_batch(&batch)
+            .expect("generated batch is consistent");
+        batches.push(batch);
+    }
+    EvolvingDataset {
+        dataset,
+        seed,
+        base,
+        batches,
+    }
+}
+
 /// Convenience constructors mirroring the paper's dataset names.
 pub fn dblp_like(n: usize, seed: u64) -> Graph {
     DatasetSpec::synthetic(Dataset::Dblp, n, seed).graph
@@ -239,6 +360,28 @@ mod tests {
         assert_eq!(Dataset::Dblp.paper_n(), 226_413);
         assert!((Dataset::Flickr.paper_avg_degree() - 19.73).abs() < 0.01);
         assert_eq!(Dataset::Y360.name(), "y360");
+    }
+
+    #[test]
+    fn evolving_workload_is_deterministic_and_consistent() {
+        let a = evolving_dataset(Dataset::Dblp, 400, 4, 0.02, 9);
+        let b = evolving_dataset(Dataset::Dblp, 400, 4, 0.02, 9);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.batches, b.batches);
+        assert_ne!(
+            a.batches,
+            evolving_dataset(Dataset::Dblp, 400, 4, 0.02, 10).batches
+        );
+        // Batches replay cleanly (releases() asserts consistency) and
+        // the workload is growth-dominated.
+        let releases = a.releases();
+        assert_eq!(releases.len(), 5);
+        assert!(releases.last().unwrap().num_edges() > a.base.num_edges());
+        for (b, ts) in a.batches.iter().zip([86_400u64, 172_800, 259_200, 345_600]) {
+            assert_eq!(b.timestamp, ts);
+            assert!(b.inserts.len() >= b.deletes.len());
+            assert!(b.num_ops() > 0);
+        }
     }
 
     #[test]

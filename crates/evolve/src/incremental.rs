@@ -1,0 +1,422 @@
+//! The incremental Definition 2 adversary check.
+//!
+//! An edge batch only changes the incident-probability rows — and hence
+//! the degree distributions `X_v(ω)` (Lemma 1) — of its endpoint
+//! vertices. Everything else the check consumes is a *column* reduction
+//! over those rows: the entropy of `Y_ω` needs `(Σ_v X_v(ω),
+//! Σ_v X_v(ω)·log₂ X_v(ω))`. So a republish only has to
+//!
+//! 1. re-derive the rows of the touched endpoints, and
+//! 2. patch the column accumulators.
+//!
+//! Floating-point subtraction is not exact, so "subtract the old row,
+//! add the new row" on a flat accumulator would drift from a
+//! from-scratch build. Instead the accumulators are kept **per chunk**
+//! of the engine's fixed chunk decomposition ([`Parallelism`]): a patch
+//! recomputes, in full, only the partials of chunks containing touched
+//! vertices — the old rows' contributions are *replaced*, never
+//! subtracted — and a query merges the per-chunk partials in chunk
+//! order, exactly like
+//! [`MemoizedAdversary::entropies`](obf_core::MemoizedAdversary) and
+//! [`AdversaryTable::entropies`](obf_core::AdversaryTable). Every
+//! surviving operation therefore runs in the same order as a
+//! from-scratch build, and the entropies — and the (k, ε) verdict — are
+//! **bit-identical** to it at any thread count (property-tested in
+//! `crates/evolve/tests`).
+
+use obf_core::DegreeProfile;
+use obf_graph::Parallelism;
+use obf_stats::entropy::entropy_from_partials;
+use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
+use obf_uncertain::UncertainGraph;
+
+/// Per-chunk column partials: `mass[ω] = Σ_v X_v(ω)` and
+/// `xlogx[ω] = Σ_v X_v(ω)·log₂ X_v(ω)` over the chunk's vertices, for
+/// every `ω ≤ omega_cap`.
+#[derive(Debug, Clone, Default)]
+struct ChunkPartials {
+    mass: Vec<f64>,
+    xlogx: Vec<f64>,
+}
+
+/// Maintained adversary state of one published release: every `X_v` row
+/// plus chunk-ordered entropy partials, patchable per delta batch.
+#[derive(Debug, Clone)]
+pub struct IncrementalAdversary {
+    method: DegreeDistMethod,
+    /// Chunk decomposition the partials are kept under — fixed at build
+    /// time so patched and from-scratch reductions share one merge tree.
+    chunk_size: usize,
+    /// Full (untruncated) degree-distribution rows, one per vertex.
+    rows: Vec<Vec<f64>>,
+    /// Partials per chunk of `0..n`, each covering `ω ∈ 0..=omega_cap`.
+    chunks: Vec<ChunkPartials>,
+    /// Largest ω any accumulator covers; grows when a batch raises a
+    /// vertex's incident-candidate count past it, never shrinks.
+    omega_cap: usize,
+    rows_built: u64,
+    rows_patched: u64,
+}
+
+impl IncrementalAdversary {
+    /// Builds the full state: one Lemma 1 row per vertex (sharded), then
+    /// the chunk partials. `par.chunk_size()` is captured as the fixed
+    /// reduction granularity for the lifetime of this value.
+    pub fn build(g: &UncertainGraph, method: DegreeDistMethod, par: &Parallelism) -> Self {
+        let n = g.num_vertices();
+        let rows: Vec<Vec<f64>> =
+            par.map_collect(n, |v| vertex_degree_distribution(g, v as u32, method));
+        let omega_cap = rows.iter().map(|r| r.len() - 1).max().unwrap_or(0);
+        let mut out = Self {
+            method,
+            chunk_size: par.chunk_size(),
+            rows,
+            chunks: Vec::new(),
+            omega_cap,
+            rows_built: n as u64,
+            rows_patched: 0,
+        };
+        out.chunks = par.map_chunks(n, |range| out.accumulate(range.start, range.end, 0));
+        out
+    }
+
+    /// Number of vertices (rows).
+    pub fn num_vertices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Largest column index the accumulators cover.
+    pub fn omega_cap(&self) -> usize {
+        self.omega_cap
+    }
+
+    /// Lemma 1 rows computed in total (initial build + every patch).
+    pub fn rows_built(&self) -> u64 {
+        self.rows_built
+    }
+
+    /// Rows recomputed by patches alone — the incremental work metric
+    /// (`rows_built - num_vertices` for a never-rebuilt instance).
+    pub fn rows_patched(&self) -> u64 {
+        self.rows_patched
+    }
+
+    /// Column partials over `vertices[from..to]` for `ω ∈ from_omega..=
+    /// omega_cap`: the exact accumulation loop of the from-scratch
+    /// entropy sweeps (vertex-ascending within the chunk, `x > 0` mass
+    /// only).
+    fn accumulate(&self, from: usize, to: usize, from_omega: usize) -> ChunkPartials {
+        let width = self.omega_cap + 1 - from_omega;
+        let mut mass = vec![0.0f64; width];
+        let mut xlogx = vec![0.0f64; width];
+        for row in &self.rows[from..to] {
+            let hi = row.len().min(self.omega_cap + 1);
+            for (j, &x) in row[from_omega.min(hi)..hi].iter().enumerate() {
+                if x > 0.0 {
+                    mass[j] += x;
+                    xlogx[j] += x * x.log2();
+                }
+            }
+        }
+        ChunkPartials { mass, xlogx }
+    }
+
+    /// The fixed chunk decomposition (same rule as
+    /// [`Parallelism::chunk_ranges`], captured at build time).
+    fn chunk_of(&self, v: usize) -> usize {
+        v / self.chunk_size
+    }
+
+    /// Patches the state for a new release of the published graph.
+    /// `touched` must be the sorted endpoints of every candidate pair
+    /// whose probability changed (insertions, overwrites and removals
+    /// alike); all other vertices must have bit-identical incident rows
+    /// in `g` — exactly what
+    /// [`UncertainGraph::apply_delta`] guarantees for the endpoints of
+    /// its change list.
+    ///
+    /// Only the touched rows are re-derived (the `O(ℓ²)` Lemma 1 work),
+    /// and only the chunks containing them are re-accumulated. The
+    /// resulting state is bit-identical to
+    /// [`IncrementalAdversary::build`] over `g`.
+    pub fn patch(&mut self, g: &UncertainGraph, touched: &[u32], par: &Parallelism) {
+        assert_eq!(
+            g.num_vertices(),
+            self.rows.len(),
+            "evolving releases share one vertex set"
+        );
+        if touched.is_empty() {
+            return;
+        }
+        debug_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+        // 1. Re-derive the touched rows (sharded; deterministic order).
+        let method = self.method;
+        let fresh: Vec<Vec<f64>> = par.map_collect(touched.len(), |i| {
+            vertex_degree_distribution(g, touched[i], method)
+        });
+        for (&v, row) in touched.iter().zip(fresh) {
+            self.rows[v as usize] = row;
+        }
+        self.rows_built += touched.len() as u64;
+        self.rows_patched += touched.len() as u64;
+
+        // 2. Grow the accumulators if a row now reaches past the cap.
+        // The extension columns are accumulated for *every* chunk from
+        // the (already current) rows; untouched chunks keep their old
+        // prefix — those sums are unchanged by construction.
+        let new_cap = self
+            .rows
+            .iter()
+            .map(|r| r.len() - 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.omega_cap);
+        if new_cap > self.omega_cap {
+            let from_omega = self.omega_cap + 1;
+            self.omega_cap = new_cap;
+            // One extension per *stored* chunk — the build-time
+            // decomposition, never the caller's (a `par` with a
+            // different chunk size only changes how the work is
+            // dispatched, not which ranges are accumulated).
+            let n = self.rows.len();
+            let chunk_size = self.chunk_size;
+            let extensions: Vec<ChunkPartials> = par.map_collect(self.chunks.len(), |c| {
+                self.accumulate(c * chunk_size, ((c + 1) * chunk_size).min(n), from_omega)
+            });
+            for (chunk, ext) in self.chunks.iter_mut().zip(extensions) {
+                chunk.mass.extend(ext.mass);
+                chunk.xlogx.extend(ext.xlogx);
+            }
+        }
+
+        // 3. Recompute the partials of every chunk containing a touched
+        // vertex — full replacement, no subtraction, so the per-column
+        // accumulation chain is the same one a fresh build would run.
+        let mut dirty: Vec<usize> = touched.iter().map(|&v| self.chunk_of(v as usize)).collect();
+        dirty.dedup(); // touched is sorted, so chunk ids arrive sorted
+        let n = self.rows.len();
+        let chunk_size = self.chunk_size;
+        let recomputed: Vec<ChunkPartials> = par.map_collect(dirty.len(), |i| {
+            let c = dirty[i];
+            self.accumulate(c * chunk_size, ((c + 1) * chunk_size).min(n), 0)
+        });
+        for (&c, partials) in dirty.iter().zip(recomputed) {
+            self.chunks[c] = partials;
+        }
+    }
+
+    /// Entropies `H(Y_ω)` for the requested columns, parallel to
+    /// `omegas` — the chunk-order merge of the maintained partials,
+    /// bit-identical to
+    /// [`AdversaryTable::entropies`](obf_core::AdversaryTable::entropies)
+    /// over the same graph and chunk size.
+    ///
+    /// Columns beyond [`IncrementalAdversary::omega_cap`] have no
+    /// support anywhere and report entropy 0, like every other empty
+    /// column.
+    pub fn entropies(&self, omegas: &[usize]) -> Vec<f64> {
+        omegas
+            .iter()
+            .map(|&omega| {
+                if omega > self.omega_cap {
+                    return entropy_from_partials(0.0, 0.0);
+                }
+                let mut mass = 0.0f64;
+                let mut xlogx = 0.0f64;
+                for chunk in &self.chunks {
+                    mass += chunk.mass[omega];
+                    xlogx += chunk.xlogx[omega];
+                }
+                entropy_from_partials(mass, xlogx)
+            })
+            .collect()
+    }
+
+    /// The Definition 2 verdict against the original graph's degree
+    /// profile: the same sweep as
+    /// [`ObfuscationCheck::run_with_profile`](obf_core::ObfuscationCheck::run_with_profile),
+    /// producing a bit-identical ε̃ and failed-vertex count.
+    pub fn check(&self, profile: &DegreeProfile, k: usize) -> IncrementalCheck {
+        assert_eq!(
+            profile.num_vertices(),
+            self.rows.len(),
+            "vertex sets differ"
+        );
+        assert!(k >= 1, "k must be at least 1");
+        let n = profile.num_vertices();
+        if n == 0 {
+            return IncrementalCheck {
+                entropy_by_degree: Vec::new(),
+                eps_achieved: 0.0,
+                failed_vertices: 0,
+            };
+        }
+        let distinct = profile.distinct();
+        let entropies = self.entropies(distinct);
+        let threshold = (k as f64).log2();
+        let entropy_by_degree: Vec<(usize, f64)> =
+            distinct.iter().copied().zip(entropies).collect();
+        let mut pass = vec![false; profile.max_degree() + 1];
+        for &(d, h) in &entropy_by_degree {
+            pass[d] = h >= threshold - 1e-12;
+        }
+        let failed_vertices = profile.degrees().iter().filter(|&&d| !pass[d]).count();
+        IncrementalCheck {
+            entropy_by_degree,
+            eps_achieved: failed_vertices as f64 / n as f64,
+            failed_vertices,
+        }
+    }
+}
+
+/// Result of an incremental Definition 2 check — the same fields as
+/// [`ObfuscationCheck`](obf_core::ObfuscationCheck), produced from the
+/// patched accumulators.
+#[derive(Debug, Clone)]
+pub struct IncrementalCheck {
+    /// `(degree, H(Y_degree))` pairs sorted by degree.
+    pub entropy_by_degree: Vec<(usize, f64)>,
+    /// Fraction of vertices not k-obfuscated.
+    pub eps_achieved: f64,
+    /// Number of vertices not k-obfuscated.
+    pub failed_vertices: usize,
+}
+
+impl IncrementalCheck {
+    /// Whether the release satisfies (k, ε)-obfuscation at this ε.
+    pub fn satisfies(&self, eps: f64) -> bool {
+        self.eps_achieved <= eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obf_core::{AdversaryTable, MemoizedAdversary, ObfuscationCheck};
+    use obf_graph::Graph;
+
+    fn published() -> UncertainGraph {
+        UncertainGraph::new(
+            6,
+            vec![
+                (0, 1, 0.7),
+                (0, 2, 0.9),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.1),
+                (2, 3, 0.0),
+                (4, 5, 0.5),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_matches_exhaustive_entropies() {
+        let g = published();
+        for chunk in [1, 2, 64] {
+            let par = Parallelism::sequential().with_chunk_size(chunk);
+            let inc = IncrementalAdversary::build(&g, DegreeDistMethod::Exact, &par);
+            let table = AdversaryTable::build(&g, DegreeDistMethod::Exact);
+            let omegas: Vec<usize> = (0..=4).collect();
+            assert_eq!(
+                inc.entropies(&omegas),
+                table.entropies(&omegas, &par),
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn patch_is_bit_identical_to_rebuild() {
+        let g = published();
+        let par = Parallelism::sequential().with_chunk_size(2);
+        let mut inc = IncrementalAdversary::build(&g, DegreeDistMethod::Exact, &par);
+        // Overwrite (0,1), remove (1,3), insert (3,5): touches 0,1,3,5.
+        let g2 = g
+            .apply_delta(&[(0, 1, Some(0.2)), (1, 3, None), (3, 5, Some(0.9))])
+            .unwrap();
+        inc.patch(&g2, &[0, 1, 3, 5], &par);
+        assert_eq!(inc.rows_patched(), 4);
+
+        let fresh = IncrementalAdversary::build(&g2, DegreeDistMethod::Exact, &par);
+        let omegas: Vec<usize> = (0..=5).collect();
+        assert_eq!(inc.entropies(&omegas), fresh.entropies(&omegas));
+        // And both agree with the memoized fast-path table.
+        let mut memo = MemoizedAdversary::new(&g2, DegreeDistMethod::Exact, 5, &par);
+        assert_eq!(inc.entropies(&omegas), memo.entropies(&omegas, &par));
+    }
+
+    #[test]
+    fn cap_grows_when_a_hub_gains_candidates() {
+        // Vertex 4 starts with 1 incident candidate; the delta raises it
+        // to 3, past the old accumulator cap on its chunk.
+        let g = UncertainGraph::new(5, vec![(4, 0, 0.5)]).unwrap();
+        let par = Parallelism::sequential().with_chunk_size(2);
+        let mut inc = IncrementalAdversary::build(&g, DegreeDistMethod::Exact, &par);
+        assert_eq!(inc.omega_cap(), 1);
+        let g2 = g
+            .apply_delta(&[(1, 4, Some(0.8)), (2, 4, Some(0.7))])
+            .unwrap();
+        inc.patch(&g2, &[1, 2, 4], &par);
+        assert_eq!(inc.omega_cap(), 3);
+        let fresh = IncrementalAdversary::build(&g2, DegreeDistMethod::Exact, &par);
+        let omegas: Vec<usize> = (0..=3).collect();
+        assert_eq!(inc.entropies(&omegas), fresh.entropies(&omegas));
+        // Beyond-cap columns are empty, entropy 0.
+        assert_eq!(inc.entropies(&[9]), vec![0.0]);
+    }
+
+    #[test]
+    fn patch_with_mismatched_parallelism_chunking_still_correct() {
+        // The stored accumulators are laid out by the *build-time*
+        // chunk decomposition; a patch driven by a Parallelism with a
+        // different chunk size must still extend/replace the right
+        // vertex ranges (regression: the cap-growth step once used the
+        // caller's decomposition).
+        let g = UncertainGraph::new(10, vec![(9, 0, 0.5), (1, 2, 0.8)]).unwrap();
+        let build_par = Parallelism::sequential().with_chunk_size(2);
+        let mut inc = IncrementalAdversary::build(&g, DegreeDistMethod::Exact, &build_par);
+        assert_eq!(inc.omega_cap(), 1);
+        // Raise vertex 9's candidate count past the cap, patching with
+        // a coarser (and threaded) Parallelism.
+        let g2 = g
+            .apply_delta(&[(3, 9, Some(0.9)), (4, 9, Some(0.7)), (5, 9, Some(0.6))])
+            .unwrap();
+        let patch_par = Parallelism::new(4).with_chunk_size(4);
+        inc.patch(&g2, &[3, 4, 5, 9], &patch_par);
+        assert_eq!(inc.omega_cap(), 4);
+        let fresh = IncrementalAdversary::build(&g2, DegreeDistMethod::Exact, &build_par);
+        let omegas: Vec<usize> = (0..=4).collect();
+        assert_eq!(inc.entropies(&omegas), fresh.entropies(&omegas));
+    }
+
+    #[test]
+    fn check_matches_obfuscation_check() {
+        let original = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (2, 3), (4, 5)]);
+        let g = published();
+        let par = Parallelism::sequential();
+        let inc = IncrementalAdversary::build(&g, DegreeDistMethod::Exact, &par);
+        let table = AdversaryTable::build(&g, DegreeDistMethod::Exact);
+        let profile = DegreeProfile::new(&original);
+        for k in 1..=4 {
+            let want = ObfuscationCheck::run_with_profile(&profile, &table, k, &par);
+            let got = inc.check(&profile, k);
+            assert_eq!(got.eps_achieved, want.eps_achieved, "k={k}");
+            assert_eq!(got.failed_vertices, want.failed_vertices);
+            assert_eq!(got.entropy_by_degree, want.entropy_by_degree);
+            assert_eq!(got.satisfies(0.2), want.satisfies(0.2));
+        }
+    }
+
+    #[test]
+    fn empty_patch_is_a_no_op() {
+        let g = published();
+        let par = Parallelism::sequential();
+        let mut inc = IncrementalAdversary::build(&g, DegreeDistMethod::Exact, &par);
+        let before = inc.entropies(&[0, 1, 2]);
+        inc.patch(&g, &[], &par);
+        assert_eq!(inc.entropies(&[0, 1, 2]), before);
+        assert_eq!(inc.rows_patched(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Timestamped edge-delta batches and their CSR-merge application.
+//!
+//! Evolving-graph workloads arrive as a stream of batches — "these edges
+//! appeared, those disappeared since the last release". Rebuilding the
+//! CSR from a fresh edge list costs an `O(m log m)` sort per batch;
+//! [`Graph::apply_batch`] instead merges the (already sorted) delta runs
+//! into the existing sorted adjacency arrays in `O(n + m + |batch|)`,
+//! producing a graph bit-identical to a from-scratch rebuild (the
+//! property test in `crates/graph/tests` holds `apply_batch` to exactly
+//! that standard).
+
+use crate::graph::Graph;
+
+/// One timestamped batch of edge changes.
+///
+/// Canonicalised on construction: pairs are stored `(lo, hi)`, each list
+/// is sorted and duplicate-free, and the two lists are disjoint — so a
+/// batch has exactly one meaning and the CSR merge can consume both
+/// lists as sorted runs.
+///
+/// # Examples
+///
+/// ```
+/// use obf_graph::delta::EdgeBatch;
+///
+/// let b = EdgeBatch::new(7, vec![(2, 0)], vec![(1, 3)]).unwrap();
+/// assert_eq!(b.timestamp, 7);
+/// assert_eq!(b.inserts, vec![(0, 2)]); // canonicalised
+/// assert_eq!(b.num_ops(), 2);
+/// assert_eq!(b.touched_vertices(), vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeBatch {
+    /// Logical time of the batch (seconds, release number — the library
+    /// only requires that a log's timestamps never decrease).
+    pub timestamp: u64,
+    /// Edges that appeared, canonical `(lo, hi)`, sorted, unique.
+    pub inserts: Vec<(u32, u32)>,
+    /// Edges that disappeared, canonical `(lo, hi)`, sorted, unique.
+    pub deletes: Vec<(u32, u32)>,
+}
+
+impl EdgeBatch {
+    /// Canonicalises and validates a batch: self loops are rejected, as
+    /// are duplicate pairs within a list and pairs appearing in both
+    /// lists (an insert+delete of the same edge has no well-defined
+    /// order inside one batch).
+    pub fn new(
+        timestamp: u64,
+        inserts: Vec<(u32, u32)>,
+        deletes: Vec<(u32, u32)>,
+    ) -> Result<Self, String> {
+        let inserts = canonicalise("insert", inserts)?;
+        let deletes = canonicalise("delete", deletes)?;
+        let (mut i, mut j) = (0, 0);
+        while i < inserts.len() && j < deletes.len() {
+            match inserts[i].cmp(&deletes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let (u, v) = inserts[i];
+                    return Err(format!("pair ({u},{v}) both inserted and deleted"));
+                }
+            }
+        }
+        Ok(Self {
+            timestamp,
+            inserts,
+            deletes,
+        })
+    }
+
+    /// An empty batch at the given timestamp.
+    pub fn empty(timestamp: u64) -> Self {
+        Self {
+            timestamp,
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Total number of edge operations.
+    pub fn num_ops(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// The sorted, deduplicated endpoints of every operation — exactly
+    /// the vertices whose adjacency (and hence degree distribution)
+    /// this batch can change.
+    pub fn touched_vertices(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .inserts
+            .iter()
+            .chain(&self.deletes)
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn canonicalise(kind: &str, mut pairs: Vec<(u32, u32)>) -> Result<Vec<(u32, u32)>, String> {
+    for (u, v) in pairs.iter_mut() {
+        if u == v {
+            return Err(format!("{kind} of self loop at vertex {u}"));
+        }
+        if u > v {
+            std::mem::swap(u, v);
+        }
+    }
+    pairs.sort_unstable();
+    for w in pairs.windows(2) {
+        if w[0] == w[1] {
+            return Err(format!("duplicate {kind} of pair ({}, {})", w[0].0, w[0].1));
+        }
+    }
+    Ok(pairs)
+}
+
+impl Graph {
+    /// Applies one delta batch, merging the sorted insert/delete runs
+    /// into the CSR arrays — no edge-list re-sort, no hash sets. The
+    /// result is bit-identical to rebuilding the graph from the updated
+    /// edge list.
+    ///
+    /// Strict by design: inserting an edge that already exists or
+    /// deleting one that does not is an error (a delta log that drifts
+    /// from the graph it describes must surface, not be papered over).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obf_graph::delta::EdgeBatch;
+    /// use obf_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+    /// let b = EdgeBatch::new(1, vec![(2, 3)], vec![(0, 1)]).unwrap();
+    /// let g2 = g.apply_batch(&b).unwrap();
+    /// assert_eq!(g2, Graph::from_edges(4, &[(1, 2), (2, 3)]));
+    /// ```
+    pub fn apply_batch(&self, batch: &EdgeBatch) -> Result<Graph, String> {
+        let n = self.num_vertices();
+        for &(u, v) in batch.inserts.iter().chain(&batch.deletes) {
+            if v as usize >= n {
+                return Err(format!("pair ({u},{v}) out of range for n={n}"));
+            }
+        }
+        for &(u, v) in &batch.inserts {
+            if self.has_edge(u, v) {
+                return Err(format!("insert of existing edge ({u},{v})"));
+            }
+        }
+        for &(u, v) in &batch.deletes {
+            if !self.has_edge(u, v) {
+                return Err(format!("delete of missing edge ({u},{v})"));
+            }
+        }
+        // Per-row sorted runs. One pass over each canonical (lo, hi)
+        // sorted list appends to both endpoints' runs; for a fixed row
+        // `x` every target `a < x` (from pairs `(a, x)`) arrives before
+        // every target `w > x` (from pairs `(x, w)`), each group in
+        // ascending order — so the runs come out sorted for free.
+        let mut ins_row: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut del_row: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in &batch.inserts {
+            ins_row[u as usize].push(v);
+            ins_row[v as usize].push(u);
+        }
+        for &(u, v) in &batch.deletes {
+            del_row[u as usize].push(v);
+            del_row[v as usize].push(u);
+        }
+        let new_incidents = 2 * (self.num_edges() + batch.inserts.len() - batch.deletes.len());
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbors: Vec<u32> = Vec::with_capacity(new_incidents);
+        for v in 0..n {
+            let old = self.neighbors(v as u32);
+            let ins = &ins_row[v];
+            let del = &del_row[v];
+            let (mut i, mut j, mut k) = (0, 0, 0);
+            while i < old.len() || j < ins.len() {
+                let take_old = j >= ins.len() || (i < old.len() && old[i] < ins[j]);
+                if take_old {
+                    if k < del.len() && del[k] == old[i] {
+                        k += 1; // deleted: skip
+                    } else {
+                        neighbors.push(old[i]);
+                    }
+                    i += 1;
+                } else {
+                    neighbors.push(ins[j]);
+                    j += 1;
+                }
+            }
+            debug_assert_eq!(k, del.len(), "unconsumed deletes in row {v}");
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(neighbors.len(), new_incidents);
+        let num_edges = self.num_edges() + batch.inserts.len() - batch.deletes.len();
+        Ok(Graph::from_csr(offsets, neighbors, num_edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_canonicalises_and_validates() {
+        let b = EdgeBatch::new(3, vec![(5, 1), (0, 2)], vec![(4, 3)]).unwrap();
+        assert_eq!(b.inserts, vec![(0, 2), (1, 5)]);
+        assert_eq!(b.deletes, vec![(3, 4)]);
+        assert_eq!(b.touched_vertices(), vec![0, 1, 2, 3, 4, 5]);
+        assert!(EdgeBatch::new(0, vec![(1, 1)], vec![]).is_err());
+        assert!(EdgeBatch::new(0, vec![(1, 2), (2, 1)], vec![]).is_err());
+        assert!(EdgeBatch::new(0, vec![(1, 2)], vec![(2, 1)]).is_err());
+        assert_eq!(EdgeBatch::empty(9).num_ops(), 0);
+    }
+
+    #[test]
+    fn apply_matches_rebuild() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (2, 5)]);
+        let b = EdgeBatch::new(1, vec![(0, 5), (1, 3)], vec![(0, 2), (3, 4)]).unwrap();
+        let applied = g.apply_batch(&b).unwrap();
+        let rebuilt = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 5), (0, 5), (1, 3)]);
+        assert_eq!(applied, rebuilt);
+        assert_eq!(applied.num_edges(), 5);
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.apply_batch(&EdgeBatch::empty(0)).unwrap(), g);
+    }
+
+    #[test]
+    fn strict_membership_checks() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let dup = EdgeBatch::new(0, vec![(0, 1)], vec![]).unwrap();
+        assert!(g.apply_batch(&dup).is_err());
+        let missing = EdgeBatch::new(0, vec![], vec![(2, 3)]).unwrap();
+        assert!(g.apply_batch(&missing).is_err());
+        let range = EdgeBatch::new(0, vec![(0, 9)], vec![]).unwrap();
+        assert!(g.apply_batch(&range).is_err());
+    }
+
+    #[test]
+    fn chained_batches_evolve_the_graph() {
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 2)]);
+        let batches = [
+            EdgeBatch::new(1, vec![(2, 3)], vec![]).unwrap(),
+            EdgeBatch::new(2, vec![(3, 4)], vec![(0, 1)]).unwrap(),
+            EdgeBatch::new(3, vec![(0, 4), (0, 1)], vec![(1, 2)]).unwrap(),
+        ];
+        for b in &batches {
+            g = g.apply_batch(b).unwrap();
+        }
+        assert_eq!(g, Graph::from_edges(5, &[(2, 3), (3, 4), (0, 4), (0, 1)]));
+    }
+}

@@ -25,6 +25,7 @@ pub mod alias;
 pub mod builder;
 pub mod components;
 pub mod degstats;
+pub mod delta;
 pub mod distance;
 pub mod extras;
 pub mod generators;
@@ -39,6 +40,7 @@ pub use alias::AliasTable;
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component_size, num_components, UnionFind};
 pub use degstats::DegreeStats;
+pub use delta::EdgeBatch;
 pub use distance::{exact_distance_distribution, sampled_distance_distribution, DistanceStats};
 pub use extras::{core_numbers, degeneracy, degree_assortativity, pagerank};
 pub use graph::Graph;

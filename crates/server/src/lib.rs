@@ -10,15 +10,23 @@
 //!   [`obf_uncertain::snapshot`] (O(bytes)) or the TSV publication
 //!   format — and shares it immutably across connection threads;
 //! * Monte-Carlo queries draw their worlds from a shared
-//!   [`WorldCache`] keyed by `(master_seed, index)`, so concurrent
-//!   queries reuse sampled worlds instead of re-sampling;
+//!   [`WorldCache`] keyed by `(epoch, master_seed, index)`, so
+//!   concurrent queries reuse sampled worlds instead of re-sampling;
 //! * every answer is **bit-identical at any thread count**: exact
 //!   queries read immutable state, and sampled queries average worlds
 //!   `0..r` of the deterministic [`obf_uncertain::sample_indexed_world`]
 //!   stream in index order — the same guarantee the offline engine
-//!   makes.
+//!   makes;
+//! * an evolved release is swapped in **live** via the `RELOAD <path>`
+//!   admin command: the graph behind the `Arc` is replaced atomically,
+//!   the world cache's epoch bump invalidates every stale world, and
+//!   requests in flight finish on the `(epoch, graph)` pair they pinned
+//!   at parse time — no connection is dropped, no answer mixes releases.
 //!
 //! The wire format is a length-prefixed line protocol ([`protocol`]).
+//! Connections idle longer than [`ServerConfig::idle_timeout`] are
+//! closed, and the `SHUTDOWN` admin command stops the accept loop — so
+//! a scripted test can always wind the server down cleanly.
 //!
 //! # Example
 //!
@@ -42,49 +50,90 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use obf_graph::global_clustering_coefficient;
 use obf_graph::DegreeStats;
 use obf_stats::hoeffding::hoeffding_bound;
 use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
+use obf_uncertain::snapshot::SNAPSHOT_MAGIC;
 use obf_uncertain::{
     expected_average_degree, expected_degree_variance, expected_num_edges, expected_triangles,
-    UncertainGraph, WorldCache, WorldCacheStats,
+    SnapshotMeta, UncertainGraph, WorldCache, WorldCacheStats,
 };
 
 pub use protocol::{read_frame, write_frame, ExactStat, Request, WorldStat};
 
-/// Immutable per-server state shared by every connection thread.
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum resident worlds in the shared [`WorldCache`].
+    pub world_cache_capacity: usize,
+    /// Close a connection that sends nothing for this long (`None`
+    /// disables the timeout). The default keeps a wedged client — or a
+    /// test harness that forgot a `QUIT` — from pinning a connection
+    /// thread forever.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            world_cache_capacity: 256,
+            idle_timeout: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// Loads a published graph from disk, auto-detecting the format by the
+/// snapshot magic bytes: binary snapshot (with its release metadata) or
+/// whitespace-separated `u v p` TSV (no metadata).
+pub fn load_published_graph(path: &str) -> Result<(UncertainGraph, Option<SnapshotMeta>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.len() >= SNAPSHOT_MAGIC.len() && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC {
+        obf_uncertain::decode_snapshot_with_meta(&bytes)
+            .map(|(g, meta)| (g, Some(meta)))
+            .map_err(|e| e.to_string())
+    } else {
+        obf_uncertain::read_uncertain_edge_list(&bytes[..], 0)
+            .map(|g| (g, None))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Per-server state shared by every connection thread. The published
+/// graph lives behind the [`WorldCache`]'s epoch-tagged slot; everything
+/// else is immutable or atomic.
 #[derive(Debug)]
 pub struct ServerState {
     cache: WorldCache,
-    /// Largest incident-candidate count over all vertices — the degree
-    /// ceiling the Hoeffding ranges need, computed once at start-up so
-    /// `STAT .. eps` requests never rescan the graph.
-    max_incidents: usize,
     queries_served: AtomicU64,
     protocol_errors: AtomicU64,
+    reloads: AtomicU64,
+    shutdown_requested: AtomicBool,
 }
 
 impl ServerState {
     /// Creates the state over a published graph with a world pool of the
     /// given capacity.
     pub fn new(graph: Arc<UncertainGraph>, world_cache_capacity: usize) -> Self {
-        let max_incidents = (0..graph.num_vertices() as u32)
-            .map(|v| graph.incident_count(v))
-            .max()
-            .unwrap_or(0);
         Self {
             cache: WorldCache::new(graph, world_cache_capacity),
-            max_incidents,
             queries_served: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            shutdown_requested: AtomicBool::new(false),
         }
     }
 
-    /// The published graph.
-    pub fn graph(&self) -> &UncertainGraph {
+    /// The currently served graph.
+    pub fn graph(&self) -> Arc<UncertainGraph> {
         self.cache.graph()
+    }
+
+    /// The current serve epoch (0 at start-up, +1 per `RELOAD`).
+    pub fn epoch(&self) -> u64 {
+        self.cache.epoch()
     }
 
     /// World-pool counters.
@@ -102,10 +151,32 @@ impl ServerState {
         self.protocol_errors.load(Ordering::Relaxed)
     }
 
+    /// Successful `RELOAD`s so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// True once a `SHUTDOWN` request was answered.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Swaps in a new published graph, invalidating all cached worlds.
+    /// Returns the new epoch. In-flight requests finish on the release
+    /// they pinned.
+    pub fn swap_graph(&self, graph: Arc<UncertainGraph>) -> u64 {
+        let epoch = self.cache.swap_graph(graph);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
     /// Answers one request line: `OK ...` or `ERR ...`.
     ///
-    /// Pure with respect to the graph and the request (modulo cache and
-    /// counter bookkeeping), so answers are reproducible by construction.
+    /// The request pins the `(epoch, graph)` pair once, up front; a
+    /// concurrent `RELOAD` cannot change what this request answers
+    /// about. Pure with respect to the pinned graph and the request
+    /// (modulo cache and counter bookkeeping), so answers are
+    /// reproducible by construction.
     pub fn answer(&self, line: &str) -> String {
         self.queries_served.fetch_add(1, Ordering::Relaxed);
         match Request::parse(line).and_then(|req| self.answer_request(&req)) {
@@ -118,7 +189,8 @@ impl ServerState {
     }
 
     fn answer_request(&self, req: &Request) -> Result<String, String> {
-        let g = self.graph();
+        let (epoch, graph) = self.cache.current();
+        let g: &UncertainGraph = &graph;
         let n = g.num_vertices();
         let check_vertex = |v: u32| {
             if (v as usize) < n {
@@ -130,8 +202,13 @@ impl ServerState {
         Ok(match *req {
             Request::Ping => "pong".to_string(),
             Request::Quit => "bye".to_string(),
+            Request::Shutdown => {
+                self.shutdown_requested.store(true, Ordering::SeqCst);
+                "shutting down".to_string()
+            }
+            Request::Reload(ref path) => self.reload(path)?,
             Request::Info => format!(
-                "n={} candidates={} mass={}",
+                "n={} candidates={} mass={} epoch={epoch}",
                 n,
                 g.num_candidates(),
                 g.total_probability_mass()
@@ -164,36 +241,67 @@ impl ServerState {
                 worlds,
                 seed,
                 eps,
-            } => self.answer_stat(stat, worlds, seed, eps),
+            } => self.answer_stat(epoch, g, stat, worlds, seed, eps),
             Request::CacheStats => {
                 let s = self.cache_stats();
                 format!(
-                    "hits={} misses={} resident={} capacity={} hit_rate={}",
+                    "hits={} misses={} resident={} capacity={} hit_rate={} \
+                     epoch={} invalidations={} evictions={}",
                     s.hits,
                     s.misses,
                     s.resident,
                     s.capacity,
-                    s.hit_rate()
+                    s.hit_rate(),
+                    s.epoch,
+                    s.invalidations,
+                    s.evictions
                 )
             }
         })
     }
 
+    /// The `RELOAD <path>` admin command: load the file (snapshot or
+    /// TSV), swap it in atomically, invalidate the world pool.
+    fn reload(&self, path: &str) -> Result<String, String> {
+        let (graph, meta) = load_published_graph(path)?;
+        let n = graph.num_vertices();
+        let m = graph.num_candidates();
+        let epoch = self.swap_graph(Arc::new(graph));
+        let mut out = format!("reloaded epoch={epoch} n={n} candidates={m}");
+        if let Some(meta) = meta {
+            out.push_str(&format!(
+                " snapshot_epoch={} parent_checksum={:#018x}",
+                meta.epoch, meta.parent_checksum
+            ));
+        }
+        Ok(out)
+    }
+
     /// Monte-Carlo estimate `S̄` over worlds `0..r` of the seed stream
     /// (Eq. 9): index order is fixed, so the floating-point sum — and
     /// therefore the answer — is identical no matter how many
-    /// connections or threads are active.
-    fn answer_stat(&self, stat: WorldStat, worlds: usize, seed: u64, eps: Option<f64>) -> String {
+    /// connections or threads are active. Worlds are drawn against the
+    /// request's pinned `(epoch, graph)`, so a mid-request reload can
+    /// never mix releases into one estimate.
+    fn answer_stat(
+        &self,
+        epoch: u64,
+        g: &UncertainGraph,
+        stat: WorldStat,
+        worlds: usize,
+        seed: u64,
+        eps: Option<f64>,
+    ) -> String {
         let mut values = Vec::with_capacity(worlds);
         for i in 0..worlds {
-            let world = self.cache.get_or_sample(seed, i);
+            let world = self.cache.get_or_sample_pinned(epoch, g, seed, i);
             values.push(world_stat_value(stat, &world));
         }
         let mean = values.iter().sum::<f64>() / worlds as f64;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / worlds as f64;
         let mut out = format!("mean={mean} std={}", var.sqrt());
         if let Some(eps) = eps {
-            let (a, b) = self.stat_range(stat);
+            let (a, b) = stat_range(g, stat);
             out.push_str(&format!(
                 " hoeffding={}",
                 hoeffding_bound(a, b, worlds, eps)
@@ -201,23 +309,28 @@ impl ServerState {
         }
         out
     }
+}
 
-    /// A-priori range `[a, b]` of each sampled statistic, for the
-    /// Hoeffding bound of Lemma 2.
-    fn stat_range(&self, stat: WorldStat) -> (f64, f64) {
-        let g = self.graph();
-        let n = g.num_vertices().max(1) as f64;
-        let m = g.num_candidates() as f64;
-        let max_deg = self.max_incidents as f64;
-        match stat {
-            WorldStat::NumEdges => (0.0, m),
-            WorldStat::AvgDegree => (0.0, 2.0 * m / n),
-            WorldStat::MaxDegree => (0.0, max_deg),
-            // Degrees live in [0, max_deg]; a variance over that interval
-            // is at most (max_deg/2)².
-            WorldStat::DegreeVariance => (0.0, max_deg * max_deg / 4.0),
-            WorldStat::Clustering => (0.0, 1.0),
-        }
+/// A-priori range `[a, b]` of each sampled statistic, for the Hoeffding
+/// bound of Lemma 2. The degree ceiling is scanned from the pinned graph
+/// (an O(n) pass; `STAT .. eps` requests sample `r` worlds at O(m) each,
+/// so the scan never dominates — and precomputing it per release would
+/// race with reloads).
+fn stat_range(g: &UncertainGraph, stat: WorldStat) -> (f64, f64) {
+    let n = g.num_vertices().max(1) as f64;
+    let m = g.num_candidates() as f64;
+    let max_deg = (0..g.num_vertices() as u32)
+        .map(|v| g.incident_count(v))
+        .max()
+        .unwrap_or(0) as f64;
+    match stat {
+        WorldStat::NumEdges => (0.0, m),
+        WorldStat::AvgDegree => (0.0, 2.0 * m / n),
+        WorldStat::MaxDegree => (0.0, max_deg),
+        // Degrees live in [0, max_deg]; a variance over that interval
+        // is at most (max_deg/2)².
+        WorldStat::DegreeVariance => (0.0, max_deg * max_deg / 4.0),
+        WorldStat::Clustering => (0.0, 1.0),
     }
 }
 
@@ -254,22 +367,39 @@ pub struct Server {
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections, each served by its own thread.
+    /// accepting connections with the default [`ServerConfig`] idle
+    /// timeout, each connection served by its own thread.
     pub fn bind<A: ToSocketAddrs>(
         graph: Arc<UncertainGraph>,
         addr: A,
         world_cache_capacity: usize,
     ) -> std::io::Result<Self> {
+        Self::bind_with(
+            graph,
+            addr,
+            ServerConfig {
+                world_cache_capacity,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// [`Server::bind`] with explicit tuning knobs.
+    pub fn bind_with<A: ToSocketAddrs>(
+        graph: Arc<UncertainGraph>,
+        addr: A,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new(graph, world_cache_capacity));
+        let state = Arc::new(ServerState::new(graph, config.world_cache_capacity));
         let stop = Arc::new(AtomicBool::new(false));
         let accept_state = Arc::clone(&state);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
-            // Connection threads detach; they exit when the peer closes
-            // or QUITs, and the process never outlives the test/bin that
-            // owns the Server anyway.
+            // Connection threads detach; they exit when the peer closes,
+            // QUITs, or idles past the timeout, and the process never
+            // outlives the test/bin that owns the Server anyway.
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
@@ -277,7 +407,10 @@ impl Server {
                 match conn {
                     Ok(stream) => {
                         let state = Arc::clone(&accept_state);
-                        std::thread::spawn(move || serve_connection(stream, &state));
+                        let stop = Arc::clone(&accept_stop);
+                        std::thread::spawn(move || {
+                            serve_connection(stream, &state, &stop, addr, config.idle_timeout)
+                        });
                     }
                     Err(e) => {
                         eprintln!("accept failed: {e}");
@@ -311,18 +444,20 @@ impl Server {
 
     fn stop_accepting(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
-            return;
+            // Already stopping (e.g. a protocol SHUTDOWN poked the
+            // acceptor); still join so the caller observes the exit.
+        } else {
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
     }
 
-    /// Blocks until the accept loop exits (i.e. forever, short of
-    /// `shutdown` from another handle or a listener error) — the main
-    /// binary's run mode.
+    /// Blocks until the accept loop exits — via [`Server::shutdown`]
+    /// from another handle, a protocol `SHUTDOWN` command, or a listener
+    /// error. This is the main binary's run mode.
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -336,7 +471,25 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, state: &ServerState) {
+/// Sets `stop` and pokes the accept loop awake so it observes the flag —
+/// the shared exit path of [`Server::shutdown`] and the protocol
+/// `SHUTDOWN` command.
+fn trigger_stop(stop: &AtomicBool, addr: SocketAddr) {
+    if !stop.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+    idle_timeout: Option<Duration>,
+) {
+    if stream.set_read_timeout(idle_timeout).is_err() {
+        return;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -346,11 +499,21 @@ fn serve_connection(stream: TcpStream, state: &ServerState) {
         let line = match read_frame(&mut reader) {
             Ok(Some(line)) => line,
             Ok(None) => return, // clean EOF
-            Err(_) => return,   // framing violation or connection reset
+            // Framing violation, connection reset, or idle timeout
+            // (WouldBlock/TimedOut): close the connection either way —
+            // an idling peer can reconnect, a wedged one stops pinning
+            // this thread.
+            Err(_) => return,
         };
-        let quitting = line.trim() == "QUIT";
+        let verb = line.trim();
+        let quitting = verb == "QUIT";
+        let shutting_down = verb == "SHUTDOWN";
         let reply = state.answer(&line);
         if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        if shutting_down {
+            trigger_stop(stop, addr);
             return;
         }
         if quitting {
@@ -418,16 +581,18 @@ mod tests {
         );
         assert_eq!(
             s.answer("EXPECTED num_edges"),
-            format!("OK {}", expected_num_edges(s.graph()))
+            format!("OK {}", expected_num_edges(&s.graph()))
         );
         assert_eq!(
             s.answer("EXPECTED triangles"),
-            format!("OK {}", expected_triangles(s.graph()))
+            format!("OK {}", expected_triangles(&s.graph()))
         );
-        let dist = vertex_degree_distribution(s.graph(), 1, DegreeDistMethod::Exact);
+        let dist = vertex_degree_distribution(&s.graph(), 1, DegreeDistMethod::Exact);
         assert_eq!(s.answer("DEGREE_DIST 1"), format!("OK {}", join_f64(&dist)));
         assert_eq!(s.answer("NEIGHBORHOOD 3"), "OK 0:0.8 1:0.1");
-        assert!(s.answer("INFO").starts_with("OK n=4 candidates=5"));
+        let info = s.answer("INFO");
+        assert!(info.starts_with("OK n=4 candidates=5"), "{info}");
+        assert!(info.ends_with("epoch=0"), "{info}");
     }
 
     #[test]
@@ -436,8 +601,10 @@ mod tests {
         assert!(s.answer("EXPECTED_DEGREE 99").starts_with("ERR "));
         assert!(s.answer("BOGUS").starts_with("ERR "));
         assert!(s.answer("").starts_with("ERR "));
-        assert_eq!(s.protocol_errors(), 3);
-        assert_eq!(s.queries_served(), 3);
+        assert!(s.answer("RELOAD /no/such/file.snap").starts_with("ERR "));
+        assert_eq!(s.protocol_errors(), 4);
+        assert_eq!(s.queries_served(), 4);
+        assert_eq!(s.reloads(), 0);
     }
 
     #[test]
@@ -453,7 +620,7 @@ mod tests {
         // The mean matches an out-of-band recomputation over the same
         // deterministic stream, bit for bit.
         let values: Vec<f64> = (0..20)
-            .map(|i| obf_uncertain::sample_indexed_world(s.graph(), 42, i).num_edges() as f64)
+            .map(|i| obf_uncertain::sample_indexed_world(&s.graph(), 42, i).num_edges() as f64)
             .collect();
         let mean = values.iter().sum::<f64>() / 20.0;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 20.0;
@@ -466,6 +633,50 @@ mod tests {
         let reply = s.answer("STAT clustering 10 1 0.25");
         let bound: f64 = reply.split("hoeffding=").nth(1).unwrap().parse().unwrap();
         assert_eq!(bound, hoeffding_bound(0.0, 1.0, 10, 0.25));
+    }
+
+    #[test]
+    fn reload_swaps_graph_and_invalidates_worlds() {
+        let s = state();
+        let before = s.answer("STAT num_edges 5 7");
+        assert!(s.cache_stats().resident > 0);
+
+        // Write an evolved release and reload it over the protocol.
+        let dir = std::env::temp_dir().join(format!("obf_server_reload_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r1.snap");
+        let g2 =
+            Arc::new(UncertainGraph::new(4, vec![(0, 1, 1.0), (2, 3, 1.0), (1, 2, 0.5)]).unwrap());
+        obf_uncertain::save_snapshot_with_meta(
+            &g2,
+            obf_uncertain::SnapshotMeta {
+                epoch: 1,
+                parent_checksum: 99,
+            },
+            &path,
+        )
+        .unwrap();
+        let reply = s.answer(&format!("RELOAD {}", path.display()));
+        assert!(
+            reply.starts_with("OK reloaded epoch=1 n=4 candidates=3 snapshot_epoch=1"),
+            "{reply}"
+        );
+        assert_eq!(s.reloads(), 1);
+        assert_eq!(s.epoch(), 1);
+        let cs = s.cache_stats();
+        assert_eq!(cs.resident, 0);
+        assert!(cs.invalidations >= 5);
+
+        // The same query now answers about the new release, from fresh
+        // worlds — bit-identical to an out-of-band resample of g2.
+        let after = s.answer("STAT num_edges 5 7");
+        assert_ne!(before, after);
+        let values: Vec<f64> = (0..5)
+            .map(|i| obf_uncertain::sample_indexed_world(&g2, 7, i).num_edges() as f64)
+            .collect();
+        let mean = values.iter().sum::<f64>() / 5.0;
+        assert!(after.starts_with(&format!("OK mean={mean} ")), "{after}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,29 +1,31 @@
 //! `obf_server` binary: load a published uncertain graph (binary
 //! snapshot or TSV edge list, auto-detected by magic bytes) and serve
-//! possible-world queries until killed.
+//! possible-world queries until killed or told to `SHUTDOWN`.
 //!
 //! ```text
-//! obf_server <graph.snap|graph.up> [--port 0] [--cache 256]
+//! obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound — scripts scrape this
-//! to learn the ephemeral port — and serves forever.
+//! to learn the ephemeral port — and serves until the listener closes.
+//! A `RELOAD <path>` request swaps in a new release without a restart.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
-use obf_server::Server;
-use obf_uncertain::snapshot::SNAPSHOT_MAGIC;
-use obf_uncertain::UncertainGraph;
+use obf_server::{load_published_graph, Server, ServerConfig};
 
 const USAGE: &str = "usage:
-  obf_server <graph.snap|graph.up> [--port 0] [--cache 256]
+  obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
 options:
-  --port <P>    TCP port to bind on 127.0.0.1 (default 0 = ephemeral)
-  --cache <N>   world-cache capacity in worlds (default 256)
-  --help, -h    print this help and exit
+  --port <P>          TCP port to bind on 127.0.0.1 (default 0 = ephemeral)
+  --cache <N>         world-cache capacity in worlds (default 256)
+  --idle-timeout <S>  close connections idle for S seconds (0 = never; default 60)
+  --help, -h          print this help and exit
 The graph file is auto-detected: binary snapshot (OBFUSNAP magic) or
-whitespace-separated `u v p` TSV.";
+whitespace-separated `u v p` TSV. Admin commands over the protocol:
+RELOAD <path> swaps in a new release live; SHUTDOWN stops the server.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +48,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut path: Option<&str> = None;
     let mut port: u16 = 0;
     let mut cache: usize = 256;
+    let mut idle_secs: u64 = 60;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -61,6 +64,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("invalid value {raw:?} for --cache"))?;
             }
+            "--idle-timeout" => {
+                let raw = it.next().ok_or("flag --idle-timeout needs a value")?;
+                idle_secs = raw
+                    .parse()
+                    .map_err(|_| format!("invalid value {raw:?} for --idle-timeout"))?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             other => {
                 if path.replace(other).is_some() {
@@ -70,14 +79,22 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or("missing graph path")?;
-    let graph = load_graph(path)?;
+    let (graph, meta) = load_published_graph(path)?;
     eprintln!(
-        "loaded {path}: n = {}, |E_C| = {}, E[edges] = {:.1}",
+        "loaded {path}: n = {}, |E_C| = {}, E[edges] = {:.1}{}",
         graph.num_vertices(),
         graph.num_candidates(),
-        obf_uncertain::expected_num_edges(&graph)
+        obf_uncertain::expected_num_edges(&graph),
+        match meta {
+            Some(m) => format!(", snapshot epoch {}", m.epoch),
+            None => String::new(),
+        }
     );
-    let server = Server::bind(Arc::new(graph), ("127.0.0.1", port), cache)
+    let config = ServerConfig {
+        world_cache_capacity: cache,
+        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
+    };
+    let server = Server::bind_with(Arc::new(graph), ("127.0.0.1", port), config)
         .map_err(|e| format!("bind failed: {e}"))?;
     // Stdout, flushed: the contract line that loadgen and ci.sh scrape.
     println!("LISTENING {}", server.addr());
@@ -85,14 +102,4 @@ fn run(args: &[String]) -> Result<(), String> {
     std::io::stdout().flush().ok();
     server.join();
     Ok(())
-}
-
-/// Loads the graph from `path`, sniffing the snapshot magic.
-fn load_graph(path: &str) -> Result<UncertainGraph, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if bytes.len() >= SNAPSHOT_MAGIC.len() && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC {
-        obf_uncertain::snapshot::decode_snapshot(&bytes).map_err(|e| e.to_string())
-    } else {
-        obf_uncertain::read_uncertain_edge_list(&bytes[..], 0).map_err(|e| e.to_string())
-    }
 }

@@ -24,6 +24,10 @@
 //!                              stat ∈ num_edges | avg_degree | max_degree |
 //!                                     degree_variance | clustering
 //! CACHE_STATS
+//! RELOAD <path>                admin: swap in a new release (snapshot or
+//!                              TSV, auto-detected); bumps the serve
+//!                              epoch and invalidates cached worlds
+//! SHUTDOWN                     admin: stop accepting connections
 //! QUIT
 //! ```
 
@@ -146,6 +150,11 @@ pub enum Request {
         eps: Option<f64>,
     },
     CacheStats,
+    /// Admin: load the file at the path and swap it in as the new
+    /// release.
+    Reload(String),
+    /// Admin: stop the accept loop.
+    Shutdown,
     Quit,
 }
 
@@ -203,6 +212,11 @@ impl Request {
                 }
             }
             "CACHE_STATS" => Request::CacheStats,
+            "RELOAD" => {
+                let path = parts.next().ok_or("RELOAD needs a file path")?;
+                Request::Reload(path.to_string())
+            }
+            "SHUTDOWN" => Request::Shutdown,
             "QUIT" => Request::Quit,
             other => return Err(format!("unknown request {other:?}")),
         };
@@ -259,6 +273,11 @@ mod tests {
             })
         );
         assert_eq!(Request::parse("CACHE_STATS"), Ok(Request::CacheStats));
+        assert_eq!(
+            Request::parse("RELOAD /tmp/release1.snap"),
+            Ok(Request::Reload("/tmp/release1.snap".into()))
+        );
+        assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
     }
 
@@ -278,6 +297,9 @@ mod tests {
             "STAT clustering 10 1 nan",
             "STAT nope 10 1",
             "PING extra",
+            "RELOAD",
+            "RELOAD two paths",
+            "SHUTDOWN now",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -4,8 +4,9 @@
 //! the server or how the cache is warmed.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use obf_server::{Client, Server};
+use obf_server::{Client, Server, ServerConfig};
 use obf_uncertain::UncertainGraph;
 
 use rand::rngs::SmallRng;
@@ -112,4 +113,116 @@ fn quit_closes_the_connection() {
     // The server closed its half; the next request cannot get a reply.
     assert!(c.request("PING").is_err());
     server.shutdown();
+}
+
+#[test]
+fn shutdown_command_stops_the_accept_loop() {
+    let server = Server::bind(published_graph(10, 3), "127.0.0.1:0", 16).unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.request("SHUTDOWN").unwrap(), "OK shutting down");
+    // join() returns because the protocol command closed the listener —
+    // this is the path that keeps scripted runs from hanging CI.
+    assert!(server.state().shutdown_requested());
+    server.join();
+    // New connections may still be accepted by the OS backlog, but the
+    // accept loop is gone: a PING on a fresh connection gets no reply.
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.request("PING").is_err());
+    }
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let server = Server::bind_with(
+        published_graph(10, 3),
+        "127.0.0.1:0",
+        ServerConfig {
+            world_cache_capacity: 16,
+            idle_timeout: Some(Duration::from_millis(100)),
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(c.request("PING").unwrap(), "OK pong");
+    // Sit idle past the timeout: the server closes its half, so the
+    // next request cannot get a reply...
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(c.request("PING").is_err());
+    // ...but a fresh connection is served normally.
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    assert_eq!(c2.request("PING").unwrap(), "OK pong");
+    server.shutdown();
+}
+
+#[test]
+fn reload_under_load_drops_no_connections_and_no_stale_worlds() {
+    // Two releases of an evolving publication: same vertex set,
+    // different candidate probabilities.
+    let g0 = published_graph(40, 1);
+    let g1 = published_graph(40, 2);
+    let dir = std::env::temp_dir().join(format!("obf_server_itest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("r1.snap");
+    obf_uncertain::save_snapshot_with_meta(
+        &g1,
+        obf_uncertain::SnapshotMeta {
+            epoch: 1,
+            parent_checksum: 0,
+        },
+        &path,
+    )
+    .unwrap();
+
+    let server = Server::bind(Arc::clone(&g0), "127.0.0.1:0", 512).unwrap();
+    let addr = server.addr();
+
+    // Background connections hammer the server across the reload; every
+    // reply must be OK — zero dropped connections, zero errors.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut replies = 0usize;
+                let mut i = w;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let reply = c.request(&query(i)).expect("connection survived reload");
+                    assert!(reply.starts_with("OK "), "protocol error: {reply}");
+                    replies += 1;
+                    i += 4;
+                }
+                replies
+            })
+        })
+        .collect();
+
+    // Warm the cache on epoch 0, then reload mid-traffic.
+    let mut admin = Client::connect(addr).unwrap();
+    let warm = admin.request("STAT num_edges 8 42").unwrap();
+    let reply = admin
+        .request(&format!("RELOAD {}", path.display()))
+        .unwrap();
+    assert!(reply.starts_with("OK reloaded epoch=1"), "{reply}");
+
+    // No cross-epoch answer reuse: the same STAT now matches a fresh
+    // out-of-band sample of the *new* release, bit for bit.
+    let after = admin.request("STAT num_edges 8 42").unwrap();
+    let values: Vec<f64> = (0..8)
+        .map(|i| obf_uncertain::sample_indexed_world(&g1, 42, i).num_edges() as f64)
+        .collect();
+    let mean = values.iter().sum::<f64>() / 8.0;
+    assert!(after.starts_with(&format!("OK mean={mean} ")), "{after}");
+    assert_ne!(warm, after);
+    let cache = admin.request("CACHE_STATS").unwrap();
+    assert!(cache.contains("epoch=1"), "{cache}");
+    assert!(!cache.contains("invalidations=0"), "{cache}");
+
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: usize = workers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total > 0, "workers answered nothing");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -292,6 +292,142 @@ impl UncertainGraph {
     pub fn total_probability_mass(&self) -> f64 {
         self.edges.iter().map(|&(_, _, p)| p).sum()
     }
+
+    /// Whether `(u, v)` is a candidate pair (even with `p = 0`).
+    pub fn is_candidate(&self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let pair = VertexPair::new(u, v).as_tuple();
+        self.edges
+            .binary_search_by(|&(a, b, _)| (a, b).cmp(&pair))
+            .is_ok()
+    }
+
+    /// Applies a sorted batch of candidate changes by merging it into
+    /// the candidate list and the SoA-CSR incidence arrays — no re-sort,
+    /// no CSR rebuild from scratch. `Some(p)` inserts the pair or
+    /// overwrites its probability; `None` removes the pair entirely
+    /// (turning it back into a certain non-edge). The result is
+    /// identical to [`UncertainGraph::new`] over the updated candidate
+    /// list (property-tested in `crates/uncertain/tests`), and costs
+    /// `O(n + m + |changes|)`.
+    ///
+    /// `changes` must be strictly sorted canonical `(lo, hi)` pairs;
+    /// removing a pair that is not a candidate is an error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use obf_uncertain::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::new(4, vec![(0, 1, 0.5), (1, 2, 0.9)]).unwrap();
+    /// let g2 = g
+    ///     .apply_delta(&[(0, 1, Some(0.25)), (1, 2, None), (2, 3, Some(1.0))])
+    ///     .unwrap();
+    /// assert_eq!(g2.candidates(), &[(0, 1, 0.25), (2, 3, 1.0)]);
+    /// ```
+    pub fn apply_delta(&self, changes: &[(u32, u32, Option<f64>)]) -> Result<Self, String> {
+        let n = self.n;
+        let mut prev: Option<(u32, u32)> = None;
+        for &(u, v, p) in changes {
+            if u >= v {
+                return Err(format!("change ({u},{v}) not in canonical order"));
+            }
+            if (v as usize) >= n {
+                return Err(format!("change ({u},{v}) out of range for n={n}"));
+            }
+            if let Some(p) = p {
+                if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} out of [0,1] for ({u},{v})"));
+                }
+            }
+            if prev.is_some_and(|q| q >= (u, v)) {
+                return Err(format!("changes not strictly sorted at ({u},{v})"));
+            }
+            prev = Some((u, v));
+        }
+        // Merge the candidate list with the change run, classifying each
+        // change as insert / overwrite / remove on the way.
+        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len() + changes.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut inserted = 0usize;
+        let mut removed = 0usize;
+        while i < self.edges.len() || j < changes.len() {
+            let take_old = match (self.edges.get(i), changes.get(j)) {
+                (Some(&(a, b, _)), Some(&(u, v, _))) => (a, b) < (u, v),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!(),
+            };
+            if take_old {
+                edges.push(self.edges[i]);
+                i += 1;
+            } else {
+                let (u, v, p) = changes[j];
+                let existing = self.edges.get(i).is_some_and(|&(a, b, _)| (a, b) == (u, v));
+                match p {
+                    Some(p) => {
+                        edges.push((u, v, p));
+                        if existing {
+                            i += 1;
+                        } else {
+                            inserted += 1;
+                        }
+                    }
+                    None => {
+                        if !existing {
+                            return Err(format!("removal of non-candidate pair ({u},{v})"));
+                        }
+                        i += 1;
+                        removed += 1;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Per-row sorted change runs: a single canonical-order pass
+        // appends to both endpoints, and each row's run comes out sorted
+        // by target (all `(a, x)` with `a < x` precede all `(x, w)`).
+        let mut row_changes: Vec<Vec<(u32, Option<f64>)>> = vec![Vec::new(); n];
+        for &(u, v, p) in changes {
+            row_changes[u as usize].push((v, p));
+            row_changes[v as usize].push((u, p));
+        }
+        let incidents = 2 * (self.edges.len() + inserted - removed);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<u32> = Vec::with_capacity(incidents);
+        let mut probs: Vec<f64> = Vec::with_capacity(incidents);
+        for (v, run) in row_changes.iter().enumerate() {
+            let old_t = self.incident_targets(v as u32);
+            let old_p = self.incident_probs(v as u32);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old_t.len() || j < run.len() {
+                let take_old = j >= run.len() || (i < old_t.len() && old_t[i] < run[j].0);
+                if take_old {
+                    targets.push(old_t[i]);
+                    probs.push(old_p[i]);
+                    i += 1;
+                } else {
+                    let (t, p) = run[j];
+                    let existing = i < old_t.len() && old_t[i] == t;
+                    if existing {
+                        i += 1; // overwritten or removed below
+                    }
+                    if let Some(p) = p {
+                        targets.push(t);
+                        probs.push(p);
+                    }
+                    j += 1;
+                }
+            }
+            offsets.push(targets.len());
+        }
+        // `from_csr_parts` replays every `new()` invariant in O(n + m),
+        // so a merge bug can never escape as a malformed graph.
+        Self::from_csr_parts(n, edges, offsets, targets, probs)
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +532,53 @@ mod tests {
         assert!((lp - expect).abs() < 1e-12);
         // Excluding the certain edge (index 2) is impossible.
         assert_eq!(g.world_log_probability(&[0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild() {
+        let g = figure1b();
+        // Overwrite, remove, and insert in one batch.
+        let delta = [
+            (0, 1, Some(0.25)),
+            (1, 3, None),
+            (2, 3, Some(0.6)),
+            (1, 2, None),
+        ];
+        let mut sorted = delta;
+        sorted.sort_by_key(|&(u, v, _)| (u, v));
+        let got = g.apply_delta(&sorted).unwrap();
+        let want =
+            UncertainGraph::new(4, vec![(0, 1, 0.25), (0, 2, 0.9), (0, 3, 0.8), (2, 3, 0.6)])
+                .unwrap();
+        assert_eq!(got, want);
+        // Empty delta is the identity.
+        assert_eq!(g.apply_delta(&[]).unwrap(), g);
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_changes() {
+        let g = figure1b();
+        assert!(g.apply_delta(&[(1, 0, Some(0.5))]).is_err()); // orientation
+        assert!(g.apply_delta(&[(0, 9, Some(0.5))]).is_err()); // range
+        assert!(g.apply_delta(&[(0, 1, Some(1.5))]).is_err()); // prob
+        assert!(g.apply_delta(&[(0, 1, Some(f64::NAN))]).is_err());
+        assert!(g
+            .apply_delta(&[(0, 2, Some(0.1)), (0, 1, Some(0.1))])
+            .is_err()); // unsorted
+        assert!(g.apply_delta(&[(0, 1, None), (0, 1, None)]).is_err()); // dup
+        let without = g.apply_delta(&[(1, 3, None)]).unwrap();
+        assert!(without.apply_delta(&[(1, 3, None)]).is_err()); // not a candidate
+    }
+
+    #[test]
+    fn is_candidate_sees_zero_probability_pairs() {
+        let g = figure1b();
+        assert!(g.is_candidate(2, 3)); // p = 0.0 but still a candidate
+        assert!(g.is_candidate(3, 2));
+        assert!(!g.is_candidate(0, 0));
+        // (1, 3) removed by a delta stops being a candidate.
+        let g2 = g.apply_delta(&[(1, 3, None)]).unwrap();
+        assert!(!g2.is_candidate(1, 3));
     }
 
     #[test]

@@ -8,14 +8,23 @@
 //! ```text
 //! offset  size          field
 //! 0       8             magic  b"OBFUSNAP"
-//! 8       4             format version, u32 LE (currently 1)
-//! 12      8             n   = number of vertices, u64 LE
-//! 20      8             m   = number of candidate pairs, u64 LE
-//! 28      8·(n+1)       CSR offsets, u64 LE each
+//! 8       4             format version, u32 LE (currently 2)
+//! 12      8             epoch (release number), u64 LE          [v2 only]
+//! 20      8             parent snapshot checksum, u64 LE        [v2 only]
+//! 28      8             n   = number of vertices, u64 LE
+//! 36      8             m   = number of candidate pairs, u64 LE
+//! 44      8·(n+1)       CSR offsets, u64 LE each
 //! ..      4·2m          CSR targets, u32 LE each
 //! ..      8·2m          CSR probabilities, f64 LE bit patterns
 //! end−8   8             checksum of bytes [8, end−8), u64 LE
 //! ```
+//!
+//! Version 2 adds the epoch/parent fields for the evolving-graph
+//! republish pipeline (`obf_evolve`): each release snapshot names its
+//! epoch and the checksum of the snapshot it was derived from, so a
+//! consumer (e.g. `obf_server`'s `RELOAD`) can verify it is walking an
+//! unbroken release chain. Version 1 files (no epoch fields, 28-byte
+//! header) still decode, with [`SnapshotMeta::default`] metadata.
 //!
 //! Every multi-byte value is little-endian; the checksum covers the
 //! header (minus the magic) and the whole payload, so a flipped bit
@@ -40,7 +49,25 @@ use crate::graph::UncertainGraph;
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"OBFUSNAP";
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The oldest snapshot version the decoder still accepts.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+
+/// Release metadata carried in a version-2 snapshot header.
+///
+/// `epoch` is the release number of the published graph; a freshly
+/// published (non-evolving) graph is epoch 0. `parent_checksum` is the
+/// stored checksum of the snapshot this release was derived from (0 for
+/// a root release), letting consumers verify an unbroken release chain
+/// via [`stored_checksum`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Release number of this snapshot.
+    pub epoch: u64,
+    /// [`stored_checksum`] of the parent release's snapshot (0 = root).
+    pub parent_checksum: u64,
+}
 
 /// Errors from snapshot reading.
 #[derive(Debug)]
@@ -116,13 +143,35 @@ fn checksum64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialises the graph into the snapshot byte layout.
+/// Serialises the graph into the snapshot byte layout with default
+/// (epoch-0, root) metadata.
 pub fn snapshot_bytes(g: &UncertainGraph) -> Vec<u8> {
+    snapshot_bytes_with_meta(g, SnapshotMeta::default())
+}
+
+/// The stored checksum of a well-formed snapshot byte buffer (its last
+/// 8 bytes), or `None` for anything too short to be a snapshot. This is
+/// the value an epoch-chained child records as
+/// [`SnapshotMeta::parent_checksum`].
+pub fn stored_checksum(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < 28 + 8 || !bytes.starts_with(&SNAPSHOT_MAGIC) {
+        return None;
+    }
+    Some(u64::from_le_bytes(
+        bytes[bytes.len() - 8..].try_into().unwrap(),
+    ))
+}
+
+/// Serialises the graph into the version-2 snapshot byte layout with the
+/// given release metadata.
+pub fn snapshot_bytes_with_meta(g: &UncertainGraph, meta: SnapshotMeta) -> Vec<u8> {
     let n = g.num_vertices();
     let m = g.num_candidates();
-    let mut buf = Vec::with_capacity(28 + 8 * (n + 1) + 12 * 2 * m + 8);
+    let mut buf = Vec::with_capacity(44 + 8 * (n + 1) + 12 * 2 * m + 8);
     buf.extend_from_slice(&SNAPSHOT_MAGIC);
     buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&meta.epoch.to_le_bytes());
+    buf.extend_from_slice(&meta.parent_checksum.to_le_bytes());
     buf.extend_from_slice(&(n as u64).to_le_bytes());
     buf.extend_from_slice(&(m as u64).to_le_bytes());
     let mut acc = 0u64;
@@ -158,6 +207,19 @@ pub fn save_snapshot<P: AsRef<Path>>(g: &UncertainGraph, path: P) -> std::io::Re
     write_snapshot(g, std::io::BufWriter::new(file))
 }
 
+/// Saves an epoch-tagged snapshot, returning the stored checksum so the
+/// caller can chain the next release's [`SnapshotMeta::parent_checksum`].
+pub fn save_snapshot_with_meta<P: AsRef<Path>>(
+    g: &UncertainGraph,
+    meta: SnapshotMeta,
+    path: P,
+) -> std::io::Result<u64> {
+    let bytes = snapshot_bytes_with_meta(g, meta);
+    let checksum = stored_checksum(&bytes).expect("snapshot_bytes is well formed");
+    std::fs::write(path, &bytes)?;
+    Ok(checksum)
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -188,19 +250,36 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes a snapshot from its full byte content.
+/// Decodes a snapshot from its full byte content, dropping the release
+/// metadata. See [`decode_snapshot_with_meta`].
+pub fn decode_snapshot(bytes: &[u8]) -> Result<UncertainGraph, SnapshotError> {
+    decode_snapshot_with_meta(bytes).map(|(g, _)| g)
+}
+
+/// Decodes a snapshot (version 1 or 2) and its release metadata.
 ///
 /// Verification order: magic → version → length → checksum → graph
 /// validation, so the error names the outermost layer that failed.
-pub fn decode_snapshot(bytes: &[u8]) -> Result<UncertainGraph, SnapshotError> {
+pub fn decode_snapshot_with_meta(
+    bytes: &[u8],
+) -> Result<(UncertainGraph, SnapshotMeta), SnapshotError> {
     let mut c = Cursor { bytes, pos: 0 };
     if c.take(8).map_err(|_| SnapshotError::BadMagic)? != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic);
     }
     let version = c.u32()?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::BadVersion(version));
     }
+    let meta = if version >= 2 {
+        SnapshotMeta {
+            epoch: c.u64()?,
+            parent_checksum: c.u64()?,
+        }
+    } else {
+        SnapshotMeta::default()
+    };
+    let header_len = c.pos + 16; // n and m still to come
     let n = c.u64()? as usize;
     let m = c.u64()? as usize;
     // All size arithmetic on the untrusted header is checked: a crafted
@@ -215,7 +294,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<UncertainGraph, SnapshotError> {
     let expected = incidents
         .checked_mul(12) // 4 target bytes + 8 prob bytes per incident
         .and_then(|x| x.checked_add(offsets_len))
-        .and_then(|x| x.checked_add(28 + 8))
+        .and_then(|x| x.checked_add(header_len + 8))
         .ok_or_else(header_overflow)?;
     if bytes.len() != expected {
         return Err(SnapshotError::Truncated {
@@ -276,6 +355,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<UncertainGraph, SnapshotError> {
         )));
     }
     UncertainGraph::from_csr_parts(n, candidates, offsets, targets, probs)
+        .map(|g| (g, meta))
         .map_err(SnapshotError::Invalid)
 }
 
@@ -289,6 +369,13 @@ pub fn read_snapshot<R: Read>(mut reader: R) -> Result<UncertainGraph, SnapshotE
 /// Loads a snapshot from a file path.
 pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<UncertainGraph, SnapshotError> {
     decode_snapshot(&std::fs::read(path)?)
+}
+
+/// Loads a snapshot and its release metadata from a file path.
+pub fn load_snapshot_with_meta<P: AsRef<Path>>(
+    path: P,
+) -> Result<(UncertainGraph, SnapshotMeta), SnapshotError> {
+    decode_snapshot_with_meta(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -364,18 +451,23 @@ mod tests {
     fn rejects_corrupted_payload() {
         let g = figure1b();
         let bytes = snapshot_bytes(&g);
-        // Flip one bit in every payload byte position in turn — the
-        // checksum must catch each.
-        for pos in 28..bytes.len() - 8 {
+        // Flip one bit in every byte position after the version in turn
+        // — every flip must be rejected, and flips that leave the
+        // declared sizes intact must be caught by the checksum
+        // specifically (a flipped n/m fails the length check first).
+        for pos in 12..bytes.len() - 8 {
             let mut corrupt = bytes.clone();
             corrupt[pos] ^= 0x01;
-            assert!(
-                matches!(
-                    decode_snapshot(&corrupt),
-                    Err(SnapshotError::ChecksumMismatch { .. })
-                ),
-                "flip at {pos} undetected"
-            );
+            assert!(decode_snapshot(&corrupt).is_err(), "flip at {pos} accepted");
+            if !(28..44).contains(&pos) {
+                assert!(
+                    matches!(
+                        decode_snapshot(&corrupt),
+                        Err(SnapshotError::ChecksumMismatch { .. })
+                    ),
+                    "flip at {pos} undetected by checksum"
+                );
+            }
         }
     }
 
@@ -390,40 +482,95 @@ mod tests {
         }
     }
 
+    /// A v2 header (magic, version, epoch 0, parent 0) followed by the
+    /// given n/m and a placeholder checksum.
+    fn crafted_header(n: u64, m: u64) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // epoch
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // parent checksum
+        bytes.extend_from_slice(&n.to_le_bytes());
+        bytes.extend_from_slice(&m.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // placeholder checksum
+        bytes
+    }
+
     #[test]
     fn crafted_huge_header_is_an_error_not_a_panic() {
         // n = u64::MAX (m = 0): the size arithmetic must reject it via
         // Err instead of overflowing or indexing out of bounds.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
-        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
-        bytes.extend_from_slice(&0u64.to_le_bytes());
-        bytes.extend_from_slice(&0u64.to_le_bytes()); // placeholder checksum
         assert!(matches!(
-            decode_snapshot(&bytes),
+            decode_snapshot(&crafted_header(u64::MAX, 0)),
             Err(SnapshotError::Invalid(_))
         ));
         // A huge-but-representable n must fail the length check without
         // allocating terabytes.
-        let mut bytes2 = Vec::new();
-        bytes2.extend_from_slice(&SNAPSHOT_MAGIC);
-        bytes2.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        bytes2.extend_from_slice(&(1u64 << 40).to_le_bytes());
-        bytes2.extend_from_slice(&0u64.to_le_bytes());
-        bytes2.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
-            decode_snapshot(&bytes2),
+            decode_snapshot(&crafted_header(1 << 40, 0)),
             Err(SnapshotError::Truncated { .. })
         ));
         // And a huge m must be rejected the same way.
-        let mut bytes3 = Vec::new();
-        bytes3.extend_from_slice(&SNAPSHOT_MAGIC);
-        bytes3.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        bytes3.extend_from_slice(&0u64.to_le_bytes());
-        bytes3.extend_from_slice(&u64::MAX.to_le_bytes());
-        bytes3.extend_from_slice(&0u64.to_le_bytes());
-        assert!(decode_snapshot(&bytes3).is_err());
+        assert!(decode_snapshot(&crafted_header(0, u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn meta_round_trips_and_chains() {
+        let g = figure1b();
+        let meta = SnapshotMeta {
+            epoch: 7,
+            parent_checksum: 0xDEAD_BEEF,
+        };
+        let bytes = snapshot_bytes_with_meta(&g, meta);
+        let (back, got) = decode_snapshot_with_meta(&bytes).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(got, meta);
+        // The stored checksum is what the next release's parent field
+        // should carry — and it differs per epoch (the header is summed).
+        let checksum = stored_checksum(&bytes).unwrap();
+        let root = snapshot_bytes(&g);
+        assert_ne!(checksum, stored_checksum(&root).unwrap());
+        assert_eq!(stored_checksum(b"short"), None);
+        // Default meta on the plain constructor.
+        let (_, root_meta) = decode_snapshot_with_meta(&root).unwrap();
+        assert_eq!(root_meta, SnapshotMeta::default());
+    }
+
+    #[test]
+    fn version1_snapshots_still_decode() {
+        // Re-encode figure1b in the 28-byte v1 header layout; the
+        // decoder must accept it with default metadata.
+        let g = figure1b();
+        let v2 = snapshot_bytes(&g);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[28..v2.len() - 8]); // n, m, payload
+        let checksum = checksum64(&v1[8..]);
+        v1.extend_from_slice(&checksum.to_le_bytes());
+        let (back, meta) = decode_snapshot_with_meta(&v1).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(meta, SnapshotMeta::default());
+    }
+
+    #[test]
+    fn file_round_trip_with_meta() {
+        let dir = std::env::temp_dir().join("obfugraph_snapshot_meta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.snap");
+        let g = figure1b();
+        let meta = SnapshotMeta {
+            epoch: 3,
+            parent_checksum: 42,
+        };
+        let checksum = save_snapshot_with_meta(&g, meta, &path).unwrap();
+        let (back, got) = load_snapshot_with_meta(&path).unwrap();
+        assert_eq!((back, got), (g, meta));
+        assert_eq!(
+            checksum,
+            stored_checksum(&std::fs::read(&path).unwrap()).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,13 +1,21 @@
-//! A shared pool of pre-sampled possible worlds.
+//! A shared pool of pre-sampled possible worlds, keyed by epoch.
 //!
 //! A query server answering Monte-Carlo statistics re-visits the same
 //! worlds constantly: every `STAT` request over `(master_seed, r)`
 //! touches worlds `0..r` of the same deterministic stream. The cache
-//! keys each materialised world by `(master_seed, index)` — the exact
-//! arguments of [`sample_indexed_world`] — so concurrent queries share
-//! one copy per world instead of re-sampling, and the answers stay
-//! bit-identical at any thread count: a hit returns the same graph a
-//! miss would have sampled, by construction.
+//! keys each materialised world by `(epoch, master_seed, index)` — the
+//! epoch names the published graph the world was drawn from, the other
+//! two are the exact arguments of [`sample_indexed_world`] — so
+//! concurrent queries share one copy per world instead of re-sampling,
+//! and the answers stay bit-identical at any thread count: a hit
+//! returns the same graph a miss would have sampled, by construction.
+//!
+//! [`WorldCache::swap_graph`] supports live reload of an evolved
+//! release: it atomically replaces the published graph, bumps the
+//! epoch, and purges every stale-epoch world — a world sampled from
+//! release `t` can never answer a query against release `t + 1`.
+//! In-flight queries that pinned `(epoch, graph)` before the swap keep
+//! sampling correct old-epoch worlds; they just stop being retained.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,7 +27,7 @@ use crate::graph::UncertainGraph;
 use crate::sampling::sample_indexed_world;
 
 /// Cache observability counters, taken atomically enough for reporting
-/// (hits and misses are separate atomics; a snapshot between increments
+/// (the counters are separate atomics; a snapshot between increments
 /// may be off by one).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorldCacheStats {
@@ -29,6 +37,14 @@ pub struct WorldCacheStats {
     pub resident: usize,
     /// Maximum number of resident worlds.
     pub capacity: usize,
+    /// Epoch of the current published graph (bumped by
+    /// [`WorldCache::swap_graph`]).
+    pub epoch: u64,
+    /// Stale worlds purged by graph swaps.
+    pub invalidations: u64,
+    /// Sampled worlds not retained — the pool was full, or the world's
+    /// epoch was already stale by insertion time.
+    pub evictions: u64,
 }
 
 impl WorldCacheStats {
@@ -44,7 +60,7 @@ impl WorldCacheStats {
 }
 
 /// An `Arc`-shared pool of sampled possible worlds keyed by
-/// `(master_seed, index)`.
+/// `(epoch, master_seed, index)`.
 ///
 /// Reads take a shared lock; a miss samples *outside* any lock (two
 /// racing misses for the same key do duplicate work but produce the
@@ -65,54 +81,122 @@ impl WorldCacheStats {
 /// let b = cache.get_or_sample(7, 0);
 /// assert!(Arc::ptr_eq(&a, &b)); // second lookup is a hit
 /// assert_eq!(cache.stats().hits, 1);
+///
+/// // Swapping in a new release invalidates the resident worlds.
+/// let g2 = Arc::new(UncertainGraph::new(3, vec![(0, 1, 1.0)]).unwrap());
+/// assert_eq!(cache.swap_graph(g2), 1);
+/// assert_eq!(cache.stats().invalidations, 1);
 /// ```
 #[derive(Debug)]
 pub struct WorldCache {
-    graph: Arc<UncertainGraph>,
+    /// The current release: `(epoch, published graph)`. Swapped as one
+    /// unit so a reader can pin a consistent pair.
+    current: RwLock<(u64, Arc<UncertainGraph>)>,
+    /// Lock-free mirror of the current epoch, for the retention guard
+    /// (avoids nesting the `current` lock inside the `worlds` lock).
+    epoch: AtomicU64,
     capacity: usize,
-    worlds: RwLock<HashMap<(u64, u64), Arc<Graph>>>,
+    worlds: RwLock<HashMap<(u64, u64, u64), Arc<Graph>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl WorldCache {
-    /// Creates a cache over the published graph holding at most
-    /// `capacity` worlds.
+    /// Creates a cache over the published graph (epoch 0) holding at
+    /// most `capacity` worlds.
     pub fn new(graph: Arc<UncertainGraph>, capacity: usize) -> Self {
         Self {
-            graph,
+            current: RwLock::new((0, graph)),
+            epoch: AtomicU64::new(0),
             capacity,
             worlds: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// The published graph the worlds are drawn from.
-    pub fn graph(&self) -> &Arc<UncertainGraph> {
-        &self.graph
+    /// The published graph the worlds are currently drawn from.
+    pub fn graph(&self) -> Arc<UncertainGraph> {
+        Arc::clone(&self.current.read().expect("world cache poisoned").1)
     }
 
-    /// World `index` of the `master_seed` stream — served from the pool
-    /// when resident, sampled (and retained, capacity permitting)
-    /// otherwise. Always equal to
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Pins the current `(epoch, graph)` pair. A request that performs
+    /// several lookups pins once and passes the pair to
+    /// [`WorldCache::get_or_sample_pinned`], so a concurrent
+    /// [`WorldCache::swap_graph`] cannot split it across releases.
+    pub fn current(&self) -> (u64, Arc<UncertainGraph>) {
+        let guard = self.current.read().expect("world cache poisoned");
+        (guard.0, Arc::clone(&guard.1))
+    }
+
+    /// Atomically replaces the published graph, bumping the epoch and
+    /// purging every world sampled from older releases. Returns the new
+    /// epoch. In-flight pinned readers keep their old `(epoch, graph)`
+    /// pair and finish on it.
+    pub fn swap_graph(&self, graph: Arc<UncertainGraph>) -> u64 {
+        let mut current = self.current.write().expect("world cache poisoned");
+        let new_epoch = current.0 + 1;
+        *current = (new_epoch, graph);
+        self.epoch.store(new_epoch, Ordering::SeqCst);
+        // Purge while still holding the `current` write lock so no new
+        // lookup can interleave between the swap and the purge (the
+        // lock order current → worlds is used everywhere).
+        let mut map = self.worlds.write().expect("world cache poisoned");
+        let before = map.len();
+        map.retain(|k, _| k.0 == new_epoch);
+        self.invalidations
+            .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        new_epoch
+    }
+
+    /// World `index` of the `master_seed` stream over the *current*
+    /// release — served from the pool when resident, sampled (and
+    /// retained, capacity permitting) otherwise. Always equal to
     /// [`sample_indexed_world`]`(graph, master_seed, index)`.
     pub fn get_or_sample(&self, master_seed: u64, index: usize) -> Arc<Graph> {
-        let key = (master_seed, index as u64);
+        let (epoch, graph) = self.current();
+        self.get_or_sample_pinned(epoch, &graph, master_seed, index)
+    }
+
+    /// [`WorldCache::get_or_sample`] against a pinned `(epoch, graph)`
+    /// pair from [`WorldCache::current`]. If the pinned epoch went stale
+    /// mid-request the world is still sampled correctly from the pinned
+    /// graph — it is just not retained (counted as an eviction).
+    pub fn get_or_sample_pinned(
+        &self,
+        epoch: u64,
+        graph: &UncertainGraph,
+        master_seed: u64,
+        index: usize,
+    ) -> Arc<Graph> {
+        let key = (epoch, master_seed, index as u64);
         if let Some(world) = self.worlds.read().expect("world cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(world);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let world = Arc::new(sample_indexed_world(&self.graph, master_seed, index));
+        let world = Arc::new(sample_indexed_world(graph, master_seed, index));
         let mut map = self.worlds.write().expect("world cache poisoned");
         if let Some(existing) = map.get(&key) {
             // A racing miss inserted first; both sampled the identical
             // world, keep the resident copy so pointers stay shared.
             return Arc::clone(existing);
         }
-        if map.len() < self.capacity {
+        // Retention guard: never retain a world for a graph that is no
+        // longer current — the purge in `swap_graph` must stay complete.
+        if self.epoch.load(Ordering::SeqCst) == epoch && map.len() < self.capacity {
             map.insert(key, Arc::clone(&world));
+        } else {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         world
     }
@@ -124,6 +208,9 @@ impl WorldCache {
             misses: self.misses.load(Ordering::Relaxed),
             resident: self.worlds.read().expect("world cache poisoned").len(),
             capacity: self.capacity,
+            epoch: self.epoch(),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -132,12 +219,15 @@ impl WorldCache {
 mod tests {
     use super::*;
 
-    fn cache(capacity: usize) -> WorldCache {
-        let g = Arc::new(
+    fn graph() -> Arc<UncertainGraph> {
+        Arc::new(
             UncertainGraph::new(5, vec![(0, 1, 0.5), (1, 2, 0.7), (2, 3, 0.2), (3, 4, 0.9)])
                 .unwrap(),
-        );
-        WorldCache::new(g, capacity)
+        )
+    }
+
+    fn cache(capacity: usize) -> WorldCache {
+        WorldCache::new(graph(), capacity)
     }
 
     #[test]
@@ -146,7 +236,7 @@ mod tests {
         let first = c.get_or_sample(42, 3);
         let again = c.get_or_sample(42, 3);
         assert!(Arc::ptr_eq(&first, &again));
-        assert_eq!(*first, sample_indexed_world(c.graph(), 42, 3));
+        assert_eq!(*first, sample_indexed_world(&c.graph(), 42, 3));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.resident), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
@@ -168,16 +258,56 @@ mod tests {
         let c = cache(2);
         for i in 0..10 {
             let w = c.get_or_sample(9, i);
-            assert_eq!(*w, sample_indexed_world(c.graph(), 9, i));
+            assert_eq!(*w, sample_indexed_world(&c.graph(), 9, i));
         }
         let s = c.stats();
         assert_eq!(s.resident, 2);
         assert_eq!(s.capacity, 2);
+        assert_eq!(s.evictions, 8);
         // Uncached worlds still answer correctly (and count as misses).
         assert_eq!(
             *c.get_or_sample(9, 7),
-            sample_indexed_world(c.graph(), 9, 7)
+            sample_indexed_world(&c.graph(), 9, 7)
         );
+    }
+
+    #[test]
+    fn swap_invalidates_stale_worlds() {
+        let c = cache(64);
+        for i in 0..6 {
+            c.get_or_sample(3, i);
+        }
+        assert_eq!(c.stats().resident, 6);
+        let old_world = c.get_or_sample(3, 0);
+
+        let g2 = Arc::new(UncertainGraph::new(5, vec![(0, 1, 1.0), (2, 4, 1.0)]).unwrap());
+        assert_eq!(c.swap_graph(Arc::clone(&g2)), 1);
+        let s = c.stats();
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.invalidations, 6);
+        assert_eq!(s.resident, 0);
+
+        // The same (seed, index) now resolves against the new release —
+        // never the stale world.
+        let new_world = c.get_or_sample(3, 0);
+        assert!(!Arc::ptr_eq(&old_world, &new_world));
+        assert_eq!(*new_world, sample_indexed_world(&g2, 3, 0));
+        assert!(new_world.has_edge(2, 4));
+    }
+
+    #[test]
+    fn pinned_lookups_survive_a_swap_without_polluting_the_pool() {
+        let c = cache(64);
+        let (epoch, old_graph) = c.current();
+        // Swap happens while a request is mid-flight on the old pin.
+        let g2 = Arc::new(UncertainGraph::new(5, vec![(0, 1, 1.0)]).unwrap());
+        c.swap_graph(g2);
+        // The pinned request still answers from the old graph...
+        let w = c.get_or_sample_pinned(epoch, &old_graph, 11, 4);
+        assert_eq!(*w, sample_indexed_world(&old_graph, 11, 4));
+        // ...but its world is not retained for the new epoch.
+        assert_eq!(c.stats().resident, 0);
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

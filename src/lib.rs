@@ -25,7 +25,9 @@
 //! * [`baselines`] — random sparsification / perturbation and k-degree
 //!   anonymity comparators.
 //! * [`datasets`] — seeded synthetic datasets shaped like the paper's
-//!   dblp / flickr / Y360.
+//!   dblp / flickr / Y360, plus evolving delta-batch workloads.
+//! * [`evolve`] — incremental obfuscation of evolving graphs: delta
+//!   logs, patched adversary checks, warm-started republish.
 //! * [`stats`] — numeric substrate (normal distributions, entropy,
 //!   Hoeffding, jackknife, descriptive statistics).
 //!
@@ -55,6 +57,7 @@
 pub use obf_baselines as baselines;
 pub use obf_core as core;
 pub use obf_datasets as datasets;
+pub use obf_evolve as evolve;
 pub use obf_graph as graph;
 pub use obf_hyperanf as hyperanf;
 pub use obf_stats as stats;

@@ -48,7 +48,7 @@ fn target_registered(meta: &str, kind: &str, name: &str) -> bool {
 
 #[test]
 fn all_packages_present() {
-    // The facade, the nine implementation crates, and the three vendored
+    // The facade, the ten implementation crates, and the three vendored
     // shims must all resolve as workspace members. `cargo pkgid` is the
     // contractual check: it fails for names that are not in the graph.
     for name in [
@@ -60,6 +60,7 @@ fn all_packages_present() {
         "obf_core",
         "obf_baselines",
         "obf_datasets",
+        "obf_evolve",
         "obf_server",
         "obf_bench",
         "rand",
@@ -113,6 +114,7 @@ fn figure_and_table_binaries_registered() {
         "table6",
         "run_all",
         "loadgen",
+        "republish",
         "obf_server",
         "obfugraph-cli",
     ] {
