@@ -80,21 +80,41 @@ serve() {
     step "obf_server integration tests"
     cargo test -q -p obf_server
 
-    step "loadgen smoke (2s of mixed traffic against an in-process server)"
+    # The event-loop hardening suites, named so a failure points straight
+    # at the broken layer: protocol fuzzing, fault injection (slowloris,
+    # half-open, backpressure), transport bit-identity and the 1000-
+    # connection swarm.
+    step "obf_server fuzz + fault-injection + bit-identity + swarm suites"
+    cargo test -q -p obf_server --test fuzz_protocol
+    cargo test -q -p obf_server --test fault_injection
+    cargo test -q -p obf_server --test bit_identity
+    cargo test -q -p obf_server --test high_concurrency
+
+    # Serving determinism: the probe script must answer bit-identically
+    # across runs (throughput may differ, answers not) AND match the
+    # digest pinned when the event loop replaced the blocking core — the
+    # transport rewrite is forbidden from changing a single answer byte.
+    expected_digest="f6ed1718c9ff44a5"
+    step "serving determinism (answers digest across runs)"
     cargo build --release -p obf_bench -p obf_server
+    OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 200ms --open-loop-points 0
+    digest1=$(grep answers_digest results/BENCH_server.json)
+    case "$digest1" in
+        *"$expected_digest"*) ;;
+        *) echo "answers digest drifted from pinned $expected_digest: $digest1"; exit 1 ;;
+    esac
+
+    step "loadgen smoke (2s closed-loop + 6-point open-loop sweep)"
     OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 2s
     test -s results/BENCH_server.json \
         || { echo "loadgen did not emit results/BENCH_server.json"; exit 1; }
-    digest1=$(grep answers_digest results/BENCH_server.json)
-
-    # Serving determinism: a re-run with the same seed must answer the
-    # probe script bit-identically (throughput may differ, answers not).
-    step "serving determinism (answers digest across runs)"
-    OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 200ms
     digest2=$(grep answers_digest results/BENCH_server.json)
     [ "$digest1" = "$digest2" ] \
         || { echo "answers digest differs between runs: $digest1 vs $digest2"; exit 1; }
-    echo "serving OK: zero protocol errors, stable digest $digest1"
+    points=$(grep -c offered_qps results/BENCH_server.json)
+    [ "$points" -ge 5 ] \
+        || { echo "open-loop sweep has $points points, need >= 5"; exit 1; }
+    echo "serving OK: zero protocol errors, stable digest $digest1, $points-point open-loop curve"
 }
 
 evolve() {

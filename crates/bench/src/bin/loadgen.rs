@@ -30,11 +30,15 @@ use rand::{Rng, SeedableRng};
 
 const USAGE: &str = "usage:
   loadgen [--connections 4] [--duration 5s] [--addr host:port] [--probe 64]
+          [--open-loop-points 6] [--open-loop-secs 600ms]
 options:
-  --connections <N>   concurrent client connections (default 4)
-  --duration <D>      timed-phase length, e.g. 5s / 2.5s / 500ms (default 5s)
-  --addr <host:port>  drive an external server instead of an in-process one
-  --probe <N>         probe-script length for the determinism digest (default 64)";
+  --connections <N>        concurrent client connections (default 4)
+  --duration <D>           timed-phase length, e.g. 5s / 2.5s / 500ms (default 5s)
+  --addr <host:port>       drive an external server instead of an in-process one
+  --probe <N>              probe-script length for the determinism digest (default 64)
+  --open-loop-points <N>   offered-load sweep points after the closed-loop
+                           phase, 0 disables the sweep (default 6)
+  --open-loop-secs <D>     offered-arrival window per sweep point (default 600ms)";
 
 fn main() {
     if obf_bench::help_requested() {
@@ -56,6 +60,16 @@ fn main() {
     let probe_len = match arg_value("--probe") {
         None => 64usize,
         Some(v) => v.parse().unwrap_or_else(|_| bad_flag("--probe", &v)),
+    };
+    let open_loop_points = match arg_value("--open-loop-points") {
+        None => 6usize,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| bad_flag("--open-loop-points", &v)),
+    };
+    let open_loop_secs = match arg_value("--open-loop-secs") {
+        None => Duration::from_millis(600),
+        Some(v) => parse_duration(&v).unwrap_or_else(|| bad_flag("--open-loop-secs", &v)),
     };
     let external_addr = arg_value("--addr");
     if connections == 0 {
@@ -179,6 +193,27 @@ fn main() {
     let p50 = percentile_ms(&latencies, 0.50);
     let p99 = percentile_ms(&latencies, 0.99);
 
+    // Open-loop sweep: the closed-loop throughput above is the capacity
+    // estimate; offer Poisson arrivals at fixed fractions of it and
+    // measure latency from each request's *scheduled arrival time*, so
+    // queueing delay counts. Past capacity the backlog grows for the
+    // whole window and the tail blows up — the saturation knee.
+    let sweep = if open_loop_points > 0 {
+        let points = open_loop_sweep(
+            &addr,
+            cfg.seed,
+            cfg.worlds,
+            served_n,
+            throughput,
+            open_loop_points,
+            open_loop_secs,
+        );
+        errors += points.iter().map(|p| p.errors).sum::<usize>();
+        Some(points)
+    } else {
+        None
+    };
+
     // Cache + server-side counters, scraped over the protocol so an
     // external server reports the same way.
     let mut admin = Client::connect(&*addr).expect("connect admin");
@@ -203,6 +238,8 @@ fn main() {
                 ("seed", Json::from(cfg.seed)),
                 ("worlds", Json::from(cfg.worlds)),
                 ("probe_len", Json::from(probe_len)),
+                ("open_loop_points", Json::from(open_loop_points)),
+                ("open_loop_secs", Json::Num(open_loop_secs.as_secs_f64())),
                 (
                     "external_addr",
                     match &external_addr {
@@ -248,6 +285,33 @@ fn main() {
                 ("answers_digest", Json::str(answers_digest)),
             ]),
         ),
+        (
+            // Latency vs offered load, measured open-loop: each point
+            // offers a Poisson arrival stream at a fixed fraction of the
+            // closed-loop capacity estimate and reports scheduled-to-
+            // completion latency. `offered > achieved` plus a p99 cliff
+            // marks the saturation knee.
+            "open_loop",
+            match &sweep {
+                Some(points) => Json::Arr(
+                    points
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("offered_fraction", Json::Num(p.offered_fraction)),
+                                ("offered_qps", Json::Num(p.offered_qps)),
+                                ("achieved_qps", Json::Num(p.achieved_qps)),
+                                ("requests", Json::from(p.requests)),
+                                ("latency_p50_ms", Json::Num(p.p50_ms)),
+                                ("latency_p99_ms", Json::Num(p.p99_ms)),
+                                ("protocol_errors", Json::from(p.errors)),
+                            ])
+                        })
+                        .collect(),
+                ),
+                None => Json::Null,
+            },
+        ),
     ]);
     obf_bench::write_json("BENCH_server.json", &json);
 
@@ -258,6 +322,135 @@ fn main() {
         eprintln!("loadgen: {errors} protocol errors");
         std::process::exit(1);
     }
+}
+
+/// One measured point of the open-loop sweep.
+struct SweepPoint {
+    offered_fraction: f64,
+    offered_qps: f64,
+    achieved_qps: f64,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    errors: usize,
+}
+
+/// How many worker connections carry the open-loop arrival stream. Each
+/// worker is a blocking connection serving a round-robin slice of the
+/// schedule; 16 of them can carry far more than one event-loop core can
+/// answer, so the workers never become the bottleneck being measured.
+const SWEEP_WORKERS: usize = 16;
+
+/// Arrivals per point are capped so a mis-calibrated capacity estimate
+/// cannot turn one sweep point into minutes of backlog drain.
+const SWEEP_MAX_ARRIVALS: usize = 60_000;
+
+/// Offers Poisson arrivals at `0.25 × k × capacity` for `k = 1..=points`
+/// (so ≥5 points always straddle the knee at k = 4) and measures
+/// latency from the scheduled arrival, not the send: a request that
+/// waits behind a backlog pays that wait in its latency, which is what
+/// an open-loop client observes and a closed-loop one hides.
+fn open_loop_sweep(
+    addr: &str,
+    seed: u64,
+    worlds: usize,
+    served_n: u64,
+    capacity_qps: f64,
+    points: usize,
+    window: Duration,
+) -> Vec<SweepPoint> {
+    let capacity = capacity_qps.max(100.0);
+    let mut out = Vec::with_capacity(points);
+    for k in 1..=points {
+        let fraction = 0.25 * k as f64;
+        let rate = capacity * fraction;
+        let arrivals =
+            ((rate * window.as_secs_f64()) as usize).clamp(SWEEP_WORKERS, SWEEP_MAX_ARRIVALS);
+
+        // The Poisson schedule: exponential inter-arrival gaps from a
+        // per-point deterministic RNG, as absolute offsets from t0.
+        let mut rng = SmallRng::seed_from_u64(seed ^ (0xa11c_0de0 + k as u64));
+        let mut offsets = Vec::with_capacity(arrivals);
+        let mut t = 0.0f64;
+        for _ in 0..arrivals {
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / rate;
+            offsets.push(t);
+        }
+
+        // Round-robin the schedule across the workers; a barrier aligns
+        // everyone's t0 after the connects.
+        let barrier = Arc::new(std::sync::Barrier::new(SWEEP_WORKERS + 1));
+        let handles: Vec<_> = (0..SWEEP_WORKERS)
+            .map(|w| {
+                let offsets: Vec<(usize, f64)> = offsets
+                    .iter()
+                    .enumerate()
+                    .skip(w)
+                    .step_by(SWEEP_WORKERS)
+                    .map(|(i, &off)| (i, off))
+                    .collect();
+                let barrier = Arc::clone(&barrier);
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&*addr).expect("connect sweep worker");
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let mut latencies_ns = Vec::with_capacity(offsets.len());
+                    let mut errors = 0usize;
+                    for (i, off) in offsets {
+                        let scheduled = Duration::from_secs_f64(off);
+                        if let Some(wait) = scheduled.checked_sub(t0.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let q = mixed_query(seed, i, worlds, served_n);
+                        match client.request(&q) {
+                            Ok(reply) if reply.starts_with("OK ") => {
+                                let sojourn = t0.elapsed().saturating_sub(scheduled);
+                                latencies_ns.push(sojourn.as_nanos() as u64);
+                            }
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                    }
+                    (latencies_ns, errors, t0.elapsed())
+                })
+            })
+            .collect();
+        barrier.wait();
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut errors = 0usize;
+        let mut drained = Duration::ZERO;
+        for h in handles {
+            let (l, e, took) = h.join().expect("sweep worker panicked");
+            latencies.extend(l);
+            errors += e;
+            drained = drained.max(took);
+        }
+        latencies.sort_unstable();
+        let point = SweepPoint {
+            offered_fraction: fraction,
+            offered_qps: rate,
+            achieved_qps: latencies.len() as f64 / drained.as_secs_f64().max(1e-9),
+            requests: latencies.len(),
+            p50_ms: percentile_ms(&latencies, 0.50),
+            p99_ms: percentile_ms(&latencies, 0.99),
+            errors,
+        };
+        eprintln!(
+            "[open-loop {:.2}x: offered {:.0} req/s, achieved {:.0} req/s, \
+             p50 {:.3} ms, p99 {:.3} ms]",
+            point.offered_fraction,
+            point.offered_qps,
+            point.achieved_qps,
+            point.p50_ms,
+            point.p99_ms
+        );
+        out.push(point);
+        // Let the server drain fully between points so one overloaded
+        // point cannot pollute the next one's latencies.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    out
 }
 
 /// The mixed traffic: a pure function of `(seed, index, served n)` so
@@ -346,12 +539,14 @@ fn field_f64(reply: &str, key: &str) -> Option<f64> {
 
 /// Flags that take a value, in either `--name value` or `--name=value`
 /// form (`--threads` belongs to the shared harness).
-const VALUE_FLAGS: [&str; 5] = [
+const VALUE_FLAGS: [&str; 7] = [
     "--connections",
     "--duration",
     "--addr",
     "--probe",
     "--threads",
+    "--open-loop-points",
+    "--open-loop-secs",
 ];
 
 /// A misspelled flag must not silently fall back to a default — the

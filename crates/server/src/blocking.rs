@@ -1,0 +1,101 @@
+//! The original thread-per-connection serving path, kept as the
+//! reference implementation the event loop is regression-tested
+//! against.
+//!
+//! One accept loop, one detached thread per connection, blocking
+//! framed reads with the idle timeout mapped onto `set_read_timeout`.
+//! Requests are answered by the same [`ServerState::answer`] the event
+//! loop uses, so for any deterministic traffic the two cores must
+//! produce byte-identical transcripts (`tests/bit_identity.rs` replays
+//! the same script against both). Its concurrency ceiling — one OS
+//! thread per peer — is exactly why the event loop replaced it as the
+//! default ([`crate::ServerMode`]).
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame};
+use crate::ServerState;
+
+/// Sets `stop` and pokes the accept loop awake so it observes the flag —
+/// the shared exit path of [`crate::Server::shutdown`] and the protocol
+/// `SHUTDOWN` command.
+fn trigger_stop(stop: &AtomicBool, addr: SocketAddr) {
+    if !stop.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// The blocking accept loop: runs on its own thread until `stop` is
+/// set; each accepted connection is served by a detached thread.
+pub(crate) fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    idle_timeout: Option<Duration>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let state = Arc::clone(&state);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    serve_connection(stream, &state, &stop, addr, idle_timeout)
+                });
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+    idle_timeout: Option<Duration>,
+) {
+    if stream.set_read_timeout(idle_timeout).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    state.note_connection_opened(1);
+    let mut reader = BufReader::new(stream);
+    let mut writer = std::io::BufWriter::new(write_half);
+    loop {
+        let line = match read_frame(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return, // clean EOF
+            // Framing violation, connection reset, or idle timeout
+            // (WouldBlock/TimedOut): close the connection either way —
+            // an idling peer can reconnect, a wedged one stops pinning
+            // this thread.
+            Err(_) => return,
+        };
+        let verb = line.trim();
+        let quitting = verb == "QUIT";
+        let shutting_down = verb == "SHUTDOWN";
+        let reply = state.answer(&line);
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+        if shutting_down {
+            trigger_stop(stop, addr);
+            return;
+        }
+        if quitting {
+            return;
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! `obf_server`: a long-lived, multi-threaded query server over a
+//! `obf_server`: a long-lived, event-driven query server over a
 //! published uncertain graph.
 //!
 //! The paper's published artifact `G̃ = (V, p)` is what analysts consume
@@ -8,11 +8,23 @@
 //!
 //! * start-up loads the graph **once** — from a binary
 //!   [`obf_uncertain::snapshot`] (O(bytes)) or the TSV publication
-//!   format — and shares it immutably across connection threads;
+//!   format — and shares it immutably across the serving core;
+//! * connections are multiplexed by a **readiness event loop**
+//!   ([`event_loop`]) over a hand-rolled epoll/`poll(2)` shim
+//!   ([`sys`]): nonblocking accept with admission control (`ERR BUSY`
+//!   past [`ServerConfig::max_connections`]), per-connection state
+//!   machines with bounded read/write buffers, request pipelining,
+//!   explicit backpressure (a peer that stops reading its replies stops
+//!   being read from), and idle-timeout reaping — so concurrency is
+//!   bounded by file descriptors, not OS threads;
+//! * the original thread-per-connection core is retained
+//!   ([`ServerMode::ThreadPerConnection`]) purely as the reference the
+//!   event loop is regression-tested against: both answer through the
+//!   same [`ServerState::answer`], so transcripts are byte-identical;
 //! * Monte-Carlo queries draw their worlds from a shared
 //!   [`WorldCache`] keyed by `(epoch, master_seed, index)`, so
 //!   concurrent queries reuse sampled worlds instead of re-sampling;
-//! * every answer is **bit-identical at any thread count**: exact
+//! * every answer is **bit-identical at any concurrency**: exact
 //!   queries read immutable state, and sampled queries average worlds
 //!   `0..r` of the deterministic [`obf_uncertain::sample_indexed_world`]
 //!   stream in index order — the same guarantee the offline engine
@@ -25,7 +37,7 @@
 //!
 //! The wire format is a length-prefixed line protocol ([`protocol`]).
 //! Connections idle longer than [`ServerConfig::idle_timeout`] are
-//! closed, and the `SHUTDOWN` admin command stops the accept loop — so
+//! closed, and the `SHUTDOWN` admin command stops the event loop — so
 //! a scripted test can always wind the server down cleanly.
 //!
 //! # Example
@@ -43,9 +55,11 @@
 //! server.shutdown();
 //! ```
 
+mod blocking;
+pub mod event_loop;
 pub mod protocol;
+pub mod sys;
 
-use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -62,7 +76,22 @@ use obf_uncertain::{
     SnapshotMeta, UncertainGraph, WorldCache, WorldCacheStats,
 };
 
+pub use event_loop::BUSY_REPLY;
 pub use protocol::{read_frame, write_frame, ExactStat, Request, WorldStat};
+pub use sys::PollerKind;
+
+/// Which serving core multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// The readiness event loop: one thread, poll/epoll multiplexing,
+    /// bounded buffers, backpressure and admission control.
+    #[default]
+    Event,
+    /// The original blocking core: one OS thread per connection. Kept
+    /// as the reference implementation for bit-identity regression
+    /// tests; concurrency is capped at thread count.
+    ThreadPerConnection,
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,8 +101,27 @@ pub struct ServerConfig {
     /// Close a connection that sends nothing for this long (`None`
     /// disables the timeout). The default keeps a wedged client — or a
     /// test harness that forgot a `QUIT` — from pinning a connection
-    /// thread forever.
+    /// slot forever; it is also what bounds half-open and never-reading
+    /// peers.
     pub idle_timeout: Option<Duration>,
+    /// Which serving core to run ([`ServerMode::Event`] by default).
+    pub mode: ServerMode,
+    /// Readiness backend for the event loop (epoll on Linux, `poll(2)`
+    /// elsewhere or when forced).
+    pub poller: PollerKind,
+    /// Admission control: connections past this limit receive a single
+    /// `ERR BUSY` frame and are closed (event mode).
+    pub max_connections: usize,
+    /// Per-connection cap on buffered *unparsed* request bytes. Must
+    /// exceed [`protocol::MAX_FRAME`]` + 4` to accept maximum-size
+    /// frames; smaller values tighten the per-connection memory bound
+    /// at the cost of rejecting large frames.
+    pub read_buffer_cap: usize,
+    /// Per-connection high-water mark on buffered *unsent* reply bytes:
+    /// past it the loop stops reading (and parsing) from the connection
+    /// until the peer drains below half the mark. The true bound is
+    /// this cap plus one reply, since a queued reply is never split.
+    pub write_buffer_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +129,11 @@ impl Default for ServerConfig {
         Self {
             world_cache_capacity: 256,
             idle_timeout: Some(Duration::from_secs(60)),
+            mode: ServerMode::Event,
+            poller: PollerKind::default(),
+            max_connections: 4096,
+            read_buffer_cap: protocol::MAX_FRAME + 4,
+            write_buffer_cap: 256 * 1024,
         }
     }
 }
@@ -101,8 +154,8 @@ pub fn load_published_graph(path: &str) -> Result<(UncertainGraph, Option<Snapsh
     }
 }
 
-/// Per-server state shared by every connection thread. The published
-/// graph lives behind the [`WorldCache`]'s epoch-tagged slot; everything
+/// Per-server state shared by the serving core. The published graph
+/// lives behind the [`WorldCache`]'s epoch-tagged slot; everything
 /// else is immutable or atomic.
 #[derive(Debug)]
 pub struct ServerState {
@@ -110,6 +163,11 @@ pub struct ServerState {
     queries_served: AtomicU64,
     protocol_errors: AtomicU64,
     reloads: AtomicU64,
+    connections_accepted: AtomicU64,
+    peak_connections: AtomicU64,
+    busy_rejections: AtomicU64,
+    idle_reaped: AtomicU64,
+    buffer_peak_bytes: AtomicU64,
     shutdown_requested: AtomicBool,
 }
 
@@ -122,6 +180,11 @@ impl ServerState {
             queries_served: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            peak_connections: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            buffer_peak_bytes: AtomicU64::new(0),
             shutdown_requested: AtomicBool::new(false),
         }
     }
@@ -141,12 +204,14 @@ impl ServerState {
         self.cache.stats()
     }
 
-    /// Total requests answered (including `ERR` answers).
+    /// Total request lines answered (including `ERR` answers).
     pub fn queries_served(&self) -> u64 {
         self.queries_served.load(Ordering::Relaxed)
     }
 
-    /// Requests answered with `ERR`.
+    /// Requests answered with `ERR`, plus frame-level violations
+    /// (oversized length prefix, non-UTF-8 payload) that never became a
+    /// request line.
     pub fn protocol_errors(&self) -> u64 {
         self.protocol_errors.load(Ordering::Relaxed)
     }
@@ -156,9 +221,58 @@ impl ServerState {
         self.reloads.load(Ordering::Relaxed)
     }
 
+    /// Connections admitted by the serving core since start-up.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously open connections (event mode).
+    pub fn peak_connections(&self) -> u64 {
+        self.peak_connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected by admission control with `ERR BUSY`.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by the idle-timeout sweep.
+    pub fn idle_reaped(&self) -> u64 {
+        self.idle_reaped.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of any single connection's buffered bytes
+    /// (unparsed requests + unsent replies) — the observable side of
+    /// the bounded-memory guarantee.
+    pub fn buffer_peak_bytes(&self) -> u64 {
+        self.buffer_peak_bytes.load(Ordering::Relaxed)
+    }
+
     /// True once a `SHUTDOWN` request was answered.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn note_connection_opened(&self, active_now: u64) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.peak_connections
+            .fetch_max(active_now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_buffer_level(&self, bytes: u64) {
+        self.buffer_peak_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 
     /// Swaps in a new published graph, invalidating all cached worlds.
@@ -257,6 +371,18 @@ impl ServerState {
                     s.evictions
                 )
             }
+            Request::ServerStats => format!(
+                "accepted={} peak_connections={} busy_rejections={} idle_reaped={} \
+                 protocol_errors={} queries_served={} reloads={} buffer_peak_bytes={}",
+                self.connections_accepted(),
+                self.peak_connections(),
+                self.busy_rejections(),
+                self.idle_reaped(),
+                self.protocol_errors(),
+                self.queries_served(),
+                self.reloads(),
+                self.buffer_peak_bytes()
+            ),
         })
     }
 
@@ -280,9 +406,9 @@ impl ServerState {
     /// Monte-Carlo estimate `S̄` over worlds `0..r` of the seed stream
     /// (Eq. 9): index order is fixed, so the floating-point sum — and
     /// therefore the answer — is identical no matter how many
-    /// connections or threads are active. Worlds are drawn against the
-    /// request's pinned `(epoch, graph)`, so a mid-request reload can
-    /// never mix releases into one estimate.
+    /// connections are active. Worlds are drawn against the request's
+    /// pinned `(epoch, graph)`, so a mid-request reload can never mix
+    /// releases into one estimate.
     fn answer_stat(
         &self,
         epoch: u64,
@@ -356,19 +482,19 @@ fn join_f64(xs: &[f64]) -> String {
     out
 }
 
-/// A running server: accept loop plus one thread per connection.
+/// A running server: the serving core on its own thread(s) plus the
+/// shared state handle.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    core_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections with the default [`ServerConfig`] idle
-    /// timeout, each connection served by its own thread.
+    /// the default event-driven core with the default [`ServerConfig`].
     pub fn bind<A: ToSocketAddrs>(
         graph: Arc<UncertainGraph>,
         addr: A,
@@ -394,35 +520,23 @@ impl Server {
         let addr = listener.local_addr()?;
         let state = Arc::new(ServerState::new(graph, config.world_cache_capacity));
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_state = Arc::clone(&state);
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            // Connection threads detach; they exit when the peer closes,
-            // QUITs, or idles past the timeout, and the process never
-            // outlives the test/bin that owns the Server anyway.
-            for conn in listener.incoming() {
-                if accept_stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                match conn {
-                    Ok(stream) => {
-                        let state = Arc::clone(&accept_state);
-                        let stop = Arc::clone(&accept_stop);
-                        std::thread::spawn(move || {
-                            serve_connection(stream, &state, &stop, addr, config.idle_timeout)
-                        });
-                    }
-                    Err(e) => {
-                        eprintln!("accept failed: {e}");
-                    }
-                }
+        let core_state = Arc::clone(&state);
+        let core_stop = Arc::clone(&stop);
+        let core_thread = match config.mode {
+            ServerMode::Event => {
+                let event_loop =
+                    event_loop::EventLoop::new(listener, core_state, core_stop, config)?;
+                std::thread::spawn(move || event_loop.run())
             }
-        });
+            ServerMode::ThreadPerConnection => std::thread::spawn(move || {
+                blocking::accept_loop(listener, core_state, core_stop, addr, config.idle_timeout)
+            }),
+        };
         Ok(Self {
             addr,
             state,
             stop,
-            accept_thread: Some(accept_thread),
+            core_thread: Some(core_thread),
         })
     }
 
@@ -436,30 +550,32 @@ impl Server {
         &self.state
     }
 
-    /// Stops accepting and joins the accept loop. Existing connections
-    /// drain on their own threads.
+    /// Stops the serving core and joins its thread. The event loop
+    /// flushes pending replies within a short drain window; blocking
+    /// mode lets existing connection threads drain on their own.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
+        self.stop_core();
     }
 
-    fn stop_accepting(&mut self) {
+    fn stop_core(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             // Already stopping (e.g. a protocol SHUTDOWN poked the
-            // acceptor); still join so the caller observes the exit.
+            // core); still join so the caller observes the exit.
         } else {
-            // Unblock the accept loop with a throwaway connection.
+            // Wake the core with a throwaway connection so it observes
+            // the flag even while blocked in accept/wait.
             let _ = TcpStream::connect(self.addr);
         }
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.core_thread.take() {
             let _ = t.join();
         }
     }
 
-    /// Blocks until the accept loop exits — via [`Server::shutdown`]
+    /// Blocks until the serving core exits — via [`Server::shutdown`]
     /// from another handle, a protocol `SHUTDOWN` command, or a listener
     /// error. This is the main binary's run mode.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.core_thread.take() {
             let _ = t.join();
         }
     }
@@ -467,58 +583,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_accepting();
-    }
-}
-
-/// Sets `stop` and pokes the accept loop awake so it observes the flag —
-/// the shared exit path of [`Server::shutdown`] and the protocol
-/// `SHUTDOWN` command.
-fn trigger_stop(stop: &AtomicBool, addr: SocketAddr) {
-    if !stop.swap(true, Ordering::SeqCst) {
-        let _ = TcpStream::connect(addr);
-    }
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    state: &ServerState,
-    stop: &AtomicBool,
-    addr: SocketAddr,
-    idle_timeout: Option<Duration>,
-) {
-    if stream.set_read_timeout(idle_timeout).is_err() {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = std::io::BufWriter::new(write_half);
-    loop {
-        let line = match read_frame(&mut reader) {
-            Ok(Some(line)) => line,
-            Ok(None) => return, // clean EOF
-            // Framing violation, connection reset, or idle timeout
-            // (WouldBlock/TimedOut): close the connection either way —
-            // an idling peer can reconnect, a wedged one stops pinning
-            // this thread.
-            Err(_) => return,
-        };
-        let verb = line.trim();
-        let quitting = verb == "QUIT";
-        let shutting_down = verb == "SHUTDOWN";
-        let reply = state.answer(&line);
-        if write_frame(&mut writer, &reply).is_err() {
-            return;
-        }
-        if shutting_down {
-            trigger_stop(stop, addr);
-            return;
-        }
-        if quitting {
-            return;
-        }
+        self.stop_core();
     }
 }
 
@@ -547,6 +612,38 @@ impl Client {
                 "server closed before replying",
             )
         })
+    }
+
+    /// Pipelines a batch: writes every request frame back-to-back, then
+    /// reads the replies in order. Exercises the server's pipelining
+    /// path; answers must match one-at-a-time [`Client::request`]s
+    /// byte for byte.
+    pub fn pipeline(&mut self, lines: &[&str]) -> std::io::Result<Vec<String>> {
+        let mut batch = Vec::new();
+        for line in lines {
+            let bytes = line.as_bytes();
+            batch.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            batch.extend_from_slice(bytes);
+        }
+        use std::io::Write as _;
+        self.stream.write_all(&batch)?;
+        self.stream.flush()?;
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in 0..lines.len() {
+            let reply = read_frame(&mut self.stream)?.ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-pipeline",
+                )
+            })?;
+            replies.push(reply);
+        }
+        Ok(replies)
+    }
+
+    /// The raw stream, for tests that need byte-level control.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
     }
 }
 
@@ -605,6 +702,25 @@ mod tests {
         assert_eq!(s.protocol_errors(), 4);
         assert_eq!(s.queries_served(), 4);
         assert_eq!(s.reloads(), 0);
+    }
+
+    #[test]
+    fn server_stats_reports_counters() {
+        let s = state();
+        assert!(s.answer("BOGUS").starts_with("ERR "));
+        s.note_busy_rejection();
+        s.note_idle_reaped();
+        s.note_buffer_level(12345);
+        s.note_connection_opened(3);
+        let reply = s.answer("SERVER_STATS");
+        assert!(
+            reply.starts_with("OK accepted=1 peak_connections=3 "),
+            "{reply}"
+        );
+        assert!(reply.contains("busy_rejections=1"), "{reply}");
+        assert!(reply.contains("idle_reaped=1"), "{reply}");
+        assert!(reply.contains("protocol_errors=1"), "{reply}");
+        assert!(reply.contains("buffer_peak_bytes=12345"), "{reply}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
+//!            [--max-conns 4096] [--poller epoll|poll] [--blocking]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound — scripts scrape this
@@ -14,14 +15,21 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use obf_server::{load_published_graph, Server, ServerConfig};
+use obf_server::{load_published_graph, PollerKind, Server, ServerConfig, ServerMode};
 
 const USAGE: &str = "usage:
   obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
+             [--max-conns 4096] [--poller epoll|poll] [--blocking]
 options:
   --port <P>          TCP port to bind on 127.0.0.1 (default 0 = ephemeral)
   --cache <N>         world-cache capacity in worlds (default 256)
   --idle-timeout <S>  close connections idle for S seconds (0 = never; default 60)
+  --max-conns <N>     admission control: reject connections past N with ERR BUSY
+                      (default 4096)
+  --poller <B>        readiness backend: epoll (Linux default) or poll; the
+                      OBF_POLLER env var sets the same
+  --blocking          serve thread-per-connection (the regression reference)
+                      instead of the event loop
   --help, -h          print this help and exit
 The graph file is auto-detected: binary snapshot (OBFUSNAP magic) or
 whitespace-separated `u v p` TSV. Admin commands over the protocol:
@@ -47,9 +55,12 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut path: Option<&str> = None;
     let mut port: u16 = 0;
-    let mut cache: usize = 256;
-    let mut idle_secs: u64 = 60;
+    let mut config = ServerConfig::default();
     let mut it = args.iter();
+    if let Ok(raw) = std::env::var("OBF_POLLER") {
+        config.poller =
+            PollerKind::parse(&raw).ok_or(format!("invalid OBF_POLLER value {raw:?}"))?;
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--port" => {
@@ -60,16 +71,31 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--cache" => {
                 let raw = it.next().ok_or("flag --cache needs a value")?;
-                cache = raw
+                config.world_cache_capacity = raw
                     .parse()
                     .map_err(|_| format!("invalid value {raw:?} for --cache"))?;
             }
             "--idle-timeout" => {
                 let raw = it.next().ok_or("flag --idle-timeout needs a value")?;
-                idle_secs = raw
+                let secs: u64 = raw
                     .parse()
                     .map_err(|_| format!("invalid value {raw:?} for --idle-timeout"))?;
+                config.idle_timeout = (secs > 0).then(|| Duration::from_secs(secs));
             }
+            "--max-conns" => {
+                let raw = it.next().ok_or("flag --max-conns needs a value")?;
+                config.max_connections = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(format!("invalid value {raw:?} for --max-conns"))?;
+            }
+            "--poller" => {
+                let raw = it.next().ok_or("flag --poller needs a value")?;
+                config.poller =
+                    PollerKind::parse(raw).ok_or(format!("invalid value {raw:?} for --poller"))?;
+            }
+            "--blocking" => config.mode = ServerMode::ThreadPerConnection,
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             other => {
                 if path.replace(other).is_some() {
@@ -90,10 +116,6 @@ fn run(args: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
-    let config = ServerConfig {
-        world_cache_capacity: cache,
-        idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
-    };
     let server = Server::bind_with(Arc::new(graph), ("127.0.0.1", port), config)
         .map_err(|e| format!("bind failed: {e}"))?;
     // Stdout, flushed: the contract line that loadgen and ci.sh scrape.

@@ -24,6 +24,9 @@
 //!                              stat ∈ num_edges | avg_degree | max_degree |
 //!                                     degree_variance | clustering
 //! CACHE_STATS
+//! SERVER_STATS                 serving-core counters: connections
+//!                              accepted/peak, BUSY rejections, idle
+//!                              reaps, protocol errors, buffer peak
 //! RELOAD <path>                admin: swap in a new release (snapshot or
 //!                              TSV, auto-detected); bumps the serve
 //!                              epoch and invalidates cached worlds
@@ -150,6 +153,8 @@ pub enum Request {
         eps: Option<f64>,
     },
     CacheStats,
+    /// Serving-core counters (admission control, reaping, buffers).
+    ServerStats,
     /// Admin: load the file at the path and swap it in as the new
     /// release.
     Reload(String),
@@ -212,6 +217,7 @@ impl Request {
                 }
             }
             "CACHE_STATS" => Request::CacheStats,
+            "SERVER_STATS" => Request::ServerStats,
             "RELOAD" => {
                 let path = parts.next().ok_or("RELOAD needs a file path")?;
                 Request::Reload(path.to_string())
@@ -273,6 +279,7 @@ mod tests {
             })
         );
         assert_eq!(Request::parse("CACHE_STATS"), Ok(Request::CacheStats));
+        assert_eq!(Request::parse("SERVER_STATS"), Ok(Request::ServerStats));
         assert_eq!(
             Request::parse("RELOAD /tmp/release1.snap"),
             Ok(Request::Reload("/tmp/release1.snap".into()))

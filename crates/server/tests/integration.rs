@@ -140,6 +140,7 @@ fn idle_connections_are_reaped() {
         ServerConfig {
             world_cache_capacity: 16,
             idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
         },
     )
     .unwrap();
