@@ -10,6 +10,7 @@
 #   ./ci.sh release    # release build + bench compile + determinism matrix
 #   ./ci.sh serve      # obf_server integration tests + loadgen smoke + digest check
 #   ./ci.sh evolve     # obf_evolve tests + republish bench smoke + digest check
+#   ./ci.sh cluster    # obf_cluster tests + cluster_bench toy run + fleet digest check
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -139,12 +140,52 @@ evolve() {
     echo "evolve OK: zero dropped connections, stable digest $digest1"
 }
 
+cluster() {
+    step "obf_cluster unit + property tests"
+    cargo test -q -p obf_cluster
+
+    # The scale-out acceptance suites: distributed bit-identity at
+    # workers {1,2,4} on both transports (incl. ragged splits), fault
+    # injection (dead workers, garbage frames, replica drain/death), and
+    # epoch-consistent fleet rollout.
+    step "cluster bit-identity + fault-injection + fleet-reload suites"
+    cargo test -q --test cluster_bit_identity
+    cargo test -q --test cluster_fault_injection
+    cargo test -q --test fleet_reload
+
+    # cluster_bench: 2-worker toy run with real child processes. The
+    # serving digest must be the same pinned value the serve step
+    # checks — routing through the replica fleet is forbidden from
+    # changing a single answer byte — and every distributed check run
+    # must be bit-identical before its timing is recorded (the binary
+    # exits non-zero otherwise).
+    expected_digest="f6ed1718c9ff44a5"
+    step "cluster_bench (check matrix + router digest pin)"
+    cargo build --release -p obf_bench -p obf_cluster
+    OBF_FAST=1 ./target/release/cluster_bench --duration 300ms --processes
+    test -s results/BENCH_cluster.json \
+        || { echo "cluster_bench did not emit results/BENCH_cluster.json"; exit 1; }
+    digest=$(grep answers_digest results/BENCH_cluster.json)
+    case "$digest" in
+        *"$expected_digest"*) ;;
+        *) echo "fleet answers digest drifted from pinned $expected_digest: $digest"; exit 1 ;;
+    esac
+    grep -q '"digest_match": true' results/BENCH_cluster.json \
+        || { echo "router digest differs from direct serving"; exit 1; }
+
+    step "loadgen through the fleet router (digest must survive the fleet path)"
+    OBF_FAST=1 ./target/release/loadgen --fleet 2 --connections 2 --duration 200ms \
+        --open-loop-points 0 --expect-digest "$expected_digest"
+    echo "cluster OK: bit-identical at every worker count, stable digest $expected_digest"
+}
+
 case "${1:-all}" in
     lint) lint ;;
     test) run_tests ;;
     release) release ;;
     serve) serve ;;
     evolve) evolve ;;
+    cluster) cluster ;;
     fast)
         lint
         run_tests
@@ -155,9 +196,10 @@ case "${1:-all}" in
         release
         serve
         evolve
+        cluster
         ;;
     *)
-        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|fast)" >&2
+        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|fast)" >&2
         exit 2
         ;;
 esac

@@ -13,16 +13,21 @@
 //! 64-query probe script (a pure function of the seed) and folds every
 //! `(query, answer)` pair into an FNV digest. Two runs with the same
 //! `--seed` report the bit-identical `answers_digest` — throughput and
-//! latency may differ, the answers may not.
+//! latency may differ, the answers may not. `--fleet N` serves the same
+//! graph from N replicas behind the `obf_cluster` router instead of one
+//! server; the digest must survive that path too, and `--expect-digest`
+//! turns a drift into a non-zero exit.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use obf_bench::json::Json;
+use obf_bench::traffic::{field_f64, mixed_query, parse_duration, percentile_ms, probe_digest};
 use obf_bench::HarnessConfig;
+use obf_cluster::{Fleet, RouterConfig};
 use obf_datasets::Dataset;
-use obf_server::{Client, Server, WorldStat};
+use obf_server::{Client, Server, ServerConfig};
 use obf_uncertain::UncertainGraph;
 
 use rand::rngs::SmallRng;
@@ -30,15 +35,38 @@ use rand::{Rng, SeedableRng};
 
 const USAGE: &str = "usage:
   loadgen [--connections 4] [--duration 5s] [--addr host:port] [--probe 64]
+          [--fleet 0] [--expect-digest <hex>]
           [--open-loop-points 6] [--open-loop-secs 600ms]
 options:
   --connections <N>        concurrent client connections (default 4)
   --duration <D>           timed-phase length, e.g. 5s / 2.5s / 500ms (default 5s)
   --addr <host:port>       drive an external server instead of an in-process one
   --probe <N>              probe-script length for the determinism digest (default 64)
+  --fleet <N>              serve from N in-process replicas behind the obf_cluster
+                           router instead of one server (0 = single server, default)
+  --expect-digest <hex>    exit non-zero unless answers_digest equals this value
   --open-loop-points <N>   offered-load sweep points after the closed-loop
                            phase, 0 disables the sweep (default 6)
   --open-loop-secs <D>     offered-arrival window per sweep point (default 600ms)";
+
+/// What answers the traffic: an in-process single server, an
+/// in-process replica fleet behind the router, or something external
+/// we only know by address.
+enum Backend {
+    Single(Server),
+    Fleet(Fleet),
+    External,
+}
+
+impl Backend {
+    fn shutdown(self) {
+        match self {
+            Backend::Single(server) => server.shutdown(),
+            Backend::Fleet(fleet) => fleet.shutdown(),
+            Backend::External => {}
+        }
+    }
+}
 
 fn main() {
     if obf_bench::help_requested() {
@@ -71,9 +99,19 @@ fn main() {
         None => Duration::from_millis(600),
         Some(v) => parse_duration(&v).unwrap_or_else(|| bad_flag("--open-loop-secs", &v)),
     };
+    let fleet_replicas = match arg_value("--fleet") {
+        None => 0usize,
+        Some(v) => v.parse().unwrap_or_else(|_| bad_flag("--fleet", &v)),
+    };
+    let expect_digest = arg_value("--expect-digest");
     let external_addr = arg_value("--addr");
     if connections == 0 {
         bad_flag("--connections", "0");
+    }
+    if fleet_replicas > 0 && external_addr.is_some() {
+        eprintln!("error: --fleet launches in-process replicas and conflicts with --addr");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
     }
 
     // In-process mode publishes the 0.05-scale dblp shape (unless
@@ -81,7 +119,7 @@ fn main() {
     // external mode (`--addr`) measures only the server it was pointed
     // at — synthesising a local graph there would record stats about a
     // graph that was never served.
-    let (server, load_timing) = if external_addr.is_none() {
+    let (backend, load_timing) = if external_addr.is_none() {
         let scale = if std::env::var("OBF_SCALE").is_ok() {
             cfg.scale
         } else {
@@ -108,14 +146,31 @@ fn main() {
             "[load paths: TSV parse {tsv_secs:.4}s, snapshot load {snap_secs:.4}s, speedup {:.1}x]",
             tsv_secs / snap_secs
         );
-        let server = Server::bind(graph, "127.0.0.1:0", 1024).expect("bind server");
-        (Some(server), Some((tsv_secs, snap_secs)))
+        let backend = if fleet_replicas > 0 {
+            let config = ServerConfig {
+                world_cache_capacity: 1024,
+                ..ServerConfig::default()
+            };
+            let fleet = Fleet::launch(graph, fleet_replicas, config, RouterConfig::default())
+                .expect("launch fleet");
+            eprintln!(
+                "[fleet: {fleet_replicas} replicas behind router {}]",
+                fleet.addr()
+            );
+            Backend::Fleet(fleet)
+        } else {
+            Backend::Single(Server::bind(graph, "127.0.0.1:0", 1024).expect("bind server"))
+        };
+        (backend, Some((tsv_secs, snap_secs)))
     } else {
-        (None, None)
+        (Backend::External, None)
     };
-    let addr = external_addr
-        .clone()
-        .unwrap_or_else(|| server.as_ref().unwrap().addr().to_string());
+    let addr = match (&external_addr, &backend) {
+        (Some(a), _) => a.clone(),
+        (None, Backend::Single(server)) => server.addr().to_string(),
+        (None, Backend::Fleet(fleet)) => fleet.addr().to_string(),
+        (None, Backend::External) => unreachable!("external backend implies --addr"),
+    };
     eprintln!("[driving {addr}]");
 
     // Learn the served graph's shape over the protocol — the query mix
@@ -128,22 +183,19 @@ fn main() {
     assert!(served_n > 0, "server reports an empty graph: {info}");
 
     // Probe phase: the determinism digest.
-    let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    let mut probe_errors = 0usize;
-    for i in 0..probe_len {
-        let q = mixed_query(cfg.seed, i, cfg.worlds, served_n);
-        let reply = probe.request(&q).expect("probe request");
-        if !reply.starts_with("OK ") {
-            probe_errors += 1;
-            eprintln!("[probe protocol error on {q:?}: {reply}]");
-        }
-        for b in q.bytes().chain([b'\n']).chain(reply.bytes()).chain([b'\n']) {
-            digest ^= b as u64;
-            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    let answers_digest = format!("{digest:016x}");
+    let (answers_digest, probe_errors) =
+        probe_digest(&mut probe, cfg.seed, cfg.worlds, probe_len, served_n);
     eprintln!("[probe done: answers_digest = {answers_digest}]");
+    if let Some(expected) = &expect_digest {
+        if expected != &answers_digest {
+            eprintln!(
+                "loadgen: answers_digest {answers_digest} does not match \
+                 the expected {expected} — the serving path changed an answer"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[answers_digest matches the pinned {expected}]");
+    }
 
     // Timed phase: N connections of mixed traffic.
     let stop = Arc::new(AtomicBool::new(false));
@@ -240,6 +292,7 @@ fn main() {
                 ("probe_len", Json::from(probe_len)),
                 ("open_loop_points", Json::from(open_loop_points)),
                 ("open_loop_secs", Json::Num(open_loop_secs.as_secs_f64())),
+                ("fleet_replicas", Json::from(fleet_replicas)),
                 (
                     "external_addr",
                     match &external_addr {
@@ -315,9 +368,7 @@ fn main() {
     ]);
     obf_bench::write_json("BENCH_server.json", &json);
 
-    if let Some(server) = server {
-        server.shutdown();
-    }
+    backend.shutdown();
     if errors > 0 {
         eprintln!("loadgen: {errors} protocol errors");
         std::process::exit(1);
@@ -453,34 +504,6 @@ fn open_loop_sweep(
     out
 }
 
-/// The mixed traffic: a pure function of `(seed, index, served n)` so
-/// every run with the same seed against the same graph issues the same
-/// queries in the same per-connection order. Exact queries dominate
-/// (they are the cheap hot path); sampled statistics reuse a handful of
-/// seeds so the world cache sees real sharing.
-fn mixed_query(seed: u64, i: usize, worlds: usize, n: u64) -> String {
-    let h = obf_graph::splitmix64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    let v = (h >> 8) % n.max(1);
-    match h % 10 {
-        0 | 1 => format!("EXPECTED_DEGREE {v}"),
-        2 | 3 => format!("DEGREE_DIST {v}"),
-        4 | 5 => format!("NEIGHBORHOOD {v}"),
-        6 => "EXPECTED num_edges".to_string(),
-        7 => "EXPECTED degree_variance".to_string(),
-        8 => {
-            let stat = WorldStat::ALL[(h >> 16) as usize % WorldStat::ALL.len()];
-            let r = (worlds.max(2) / 2) + (h >> 24) as usize % worlds.max(2);
-            format!(
-                "STAT {} {} {}",
-                stat.name(),
-                r.clamp(1, 200),
-                seed ^ (h % 4)
-            )
-        }
-        _ => "INFO".to_string(),
-    }
-}
-
 /// Times TSV parse vs snapshot load of the same graph: three batches of
 /// ten full loads each (open + read + decode), per-load time = best
 /// batch / 10, so one-off syscall spikes don't decide the ratio.
@@ -518,33 +541,16 @@ fn time_load_paths(g: &UncertainGraph) -> (f64, f64) {
     (tsv_best, snap_best.max(1e-9))
 }
 
-fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    sorted_ns[idx] as f64 / 1e6
-}
-
-/// `key=value` scraping from a protocol reply.
-fn field_f64(reply: &str, key: &str) -> Option<f64> {
-    reply
-        .split(key)
-        .nth(1)?
-        .split_whitespace()
-        .next()?
-        .parse()
-        .ok()
-}
-
 /// Flags that take a value, in either `--name value` or `--name=value`
 /// form (`--threads` belongs to the shared harness).
-const VALUE_FLAGS: [&str; 7] = [
+const VALUE_FLAGS: [&str; 9] = [
     "--connections",
     "--duration",
     "--addr",
     "--probe",
     "--threads",
+    "--fleet",
+    "--expect-digest",
     "--open-loop-points",
     "--open-loop-secs",
 ];
@@ -589,22 +595,6 @@ fn arg_value(name: &str) -> Option<String> {
         }
     }
     None
-}
-
-/// `5s` / `2.5s` / `500ms` / bare seconds.
-fn parse_duration(raw: &str) -> Option<Duration> {
-    let (num, scale) = if let Some(ms) = raw.strip_suffix("ms") {
-        (ms, 1e-3)
-    } else if let Some(s) = raw.strip_suffix('s') {
-        (s, 1.0)
-    } else {
-        (raw, 1.0)
-    };
-    let secs: f64 = num.parse().ok()?;
-    if !secs.is_finite() || secs <= 0.0 {
-        return None;
-    }
-    Some(Duration::from_secs_f64(secs * scale))
 }
 
 fn bad_flag(name: &str, value: &str) -> ! {

@@ -38,6 +38,7 @@
 pub mod experiments;
 pub mod json;
 pub mod table;
+pub mod traffic;
 
 use obf_core::{CheckStrategy, ObfuscationParams};
 use obf_datasets::{Dataset, DatasetSpec};

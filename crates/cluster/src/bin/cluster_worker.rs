@@ -1,0 +1,52 @@
+//! Standalone cluster worker process.
+//!
+//! Binds a loopback listener, prints `LISTENING <addr>` on stdout (the
+//! coordinator's process-spawn handshake), then serves coordinators
+//! one at a time until one sends `Shutdown`.
+//!
+//! ```text
+//! cluster_worker [--port <p>]
+//! ```
+
+use obf_cluster::run_worker_listener;
+use std::net::TcpListener;
+
+fn main() {
+    let mut port: u16 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--port needs a number"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: cluster_worker [--port <p>]");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => die(&format!("cannot bind 127.0.0.1:{port}: {e}")),
+    };
+    match listener.local_addr() {
+        Ok(addr) => {
+            // The spawn handshake: the parent reads this line to learn
+            // the ephemeral port.
+            println!("LISTENING {addr}");
+        }
+        Err(e) => die(&format!("no local address: {e}")),
+    }
+    if let Err(e) = run_worker_listener(listener) {
+        die(&format!("worker listener failed: {e}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("cluster_worker: {msg}");
+    std::process::exit(2);
+}

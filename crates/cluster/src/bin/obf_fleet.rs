@@ -1,0 +1,90 @@
+//! Replica-fleet server: N `obf_server` replicas behind one router.
+//!
+//! ```text
+//! obf_fleet <graph.snap|graph.tsv> [--replicas <n>] [--port <p>] [--cache <worlds>]
+//! ```
+//!
+//! Prints `LISTENING <router addr>` once serving, then one
+//! `REPLICA <i> <addr>` line per replica. Clients speak the ordinary
+//! `obf_server` protocol to the router address; `RELOAD <path>` there
+//! runs the epoch-consistent fleet rollout. Stop with the protocol
+//! `SHUTDOWN` verb.
+
+use obf_cluster::{Fleet, RouterConfig};
+use obf_server::{load_published_graph, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut replicas: usize = 2;
+    let mut port: u16 = 0;
+    let mut cache: usize = 256;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--replicas" => replicas = parse(args.next(), "--replicas"),
+            "--port" => port = parse(args.next(), "--port"),
+            "--cache" => cache = parse(args.next(), "--cache"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: obf_fleet <graph.snap|graph.tsv> [--replicas <n>] \
+                     [--port <p>] [--cache <worlds>]"
+                );
+                return;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        die("missing graph path (snapshot or TSV)");
+    };
+    if replicas == 0 {
+        die("--replicas must be at least 1");
+    }
+    let (graph, meta) = match load_published_graph(&path) {
+        Ok(loaded) => loaded,
+        Err(e) => die(&e),
+    };
+    eprintln!(
+        "loaded {path}: n={} candidates={}{}",
+        graph.num_vertices(),
+        graph.num_candidates(),
+        meta.map(|m| format!(" snapshot_epoch={}", m.epoch))
+            .unwrap_or_default()
+    );
+    let config = ServerConfig {
+        world_cache_capacity: cache,
+        ..ServerConfig::default()
+    };
+    // The router binds the requested port; replicas always take
+    // ephemeral loopback ports.
+    let fleet = match launch(Arc::new(graph), replicas, config, port) {
+        Ok(f) => f,
+        Err(e) => die(&format!("cannot launch fleet: {e}")),
+    };
+    println!("LISTENING {}", fleet.addr());
+    for (i, addr) in fleet.replica_addrs().iter().enumerate() {
+        println!("REPLICA {i} {addr}");
+    }
+    fleet.serve_until_shutdown();
+}
+
+fn launch(
+    graph: Arc<obf_uncertain::UncertainGraph>,
+    replicas: usize,
+    config: ServerConfig,
+    port: u16,
+) -> std::io::Result<Fleet> {
+    Fleet::launch_on(graph, replicas, config, RouterConfig::default(), port)
+}
+
+fn parse<T: std::str::FromStr>(raw: Option<String>, flag: &str) -> T {
+    raw.and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("obf_fleet: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,674 @@
+//! Replica-fleet serving: a front-end router over N `obf_server`
+//! replicas.
+//!
+//! The router speaks the same length-prefixed text protocol as the
+//! replicas. Each client connection is **lazily bound** to one replica
+//! at its first forwarded request (admin-only connections never pin a
+//! replica) and stays bound for its lifetime, so a connection's answers
+//! all come from one server — the unit of the epoch-consistency
+//! guarantee below.
+//!
+//! Router-intercepted verbs:
+//!
+//! ```text
+//! FLEET_STATS        per-replica active/assigned/draining counters
+//! FLEET_HEALTH       probe every replica's HEALTH, report epochs
+//! DRAIN <i>          stop assigning new connections to replica i
+//! UNDRAIN <i>        resume assignments to replica i
+//! RELOAD <path>      epoch-consistent rollout (below)
+//! SHUTDOWN           stop the router's accept loop
+//! ```
+//!
+//! Everything else is forwarded verbatim to the bound replica.
+//!
+//! # Epoch-consistent rollout
+//!
+//! `RELOAD` through the router is a two-phase protocol over the
+//! replicas' `RELOAD_PREPARE` / `RELOAD_COMMIT` verbs:
+//!
+//! 1. **Prepare everywhere.** Every replica loads the new release into
+//!    its staged slot; the old epoch keeps serving. A replica that
+//!    fails to prepare aborts the rollout before anything flips.
+//! 2. **Drain and flip one replica at a time.** The replica is marked
+//!    draining (no new connections assigned — enforced by a SeqCst
+//!    increment-then-recheck handshake against the assigner), the
+//!    router waits for its routed connections to finish, commits the
+//!    staged release, then undrains.
+//!
+//! A routed connection therefore never spans a flip: every connection
+//! that ever saw an old-epoch answer has closed before its replica
+//! commits, and connections assigned after the flip see only the new
+//! epoch. No client observes answers from two epochs on one
+//! connection. (The admin connection that *issues* the `RELOAD` is the
+//! one exception — if it was bound, its binding is released first so
+//! it cannot deadlock its own rollout.)
+
+use obf_server::{read_frame, write_frame, Client, Server, ServerConfig};
+use obf_uncertain::UncertainGraph;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// How long a rollout waits for one replica's routed connections
+    /// to finish before aborting with `ERR`.
+    pub drain_timeout: Duration,
+    /// Read timeout for `FLEET_HEALTH` probes.
+    pub health_timeout: Duration,
+    /// Read timeout for rollout control requests (`RELOAD_PREPARE`
+    /// does the actual load, so this is the generous one).
+    pub admin_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            drain_timeout: Duration::from_secs(10),
+            health_timeout: Duration::from_secs(2),
+            admin_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+struct ReplicaSlot {
+    addr: SocketAddr,
+    /// Routed connections currently bound to this replica.
+    active: AtomicUsize,
+    /// Total connections ever assigned (FLEET_STATS).
+    assigned: AtomicU64,
+    /// Draining: the assigner skips this replica.
+    draining: AtomicBool,
+}
+
+struct RouterShared {
+    /// The router's own listen address (to self-connect and wake the
+    /// accept loop on protocol `SHUTDOWN`).
+    router_addr: SocketAddr,
+    replicas: Vec<ReplicaSlot>,
+    next: AtomicUsize,
+    rollouts: AtomicU64,
+    rollout_lock: Mutex<()>,
+    config: RouterConfig,
+    stop: AtomicBool,
+}
+
+impl RouterShared {
+    /// Picks a replica round-robin, skipping draining ones, and binds
+    /// a connection to it. The increment-then-recheck handshake pairs
+    /// with the rollout's store-then-wait: either the rollout sees our
+    /// increment and waits for us, or we see its draining flag and
+    /// back off — a connection can never slip onto a flipping replica.
+    fn assign(&self) -> Option<(usize, TcpStream)> {
+        let n = self.replicas.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..n {
+            let i = (start + offset) % n;
+            let r = &self.replicas[i];
+            if r.draining.load(Ordering::SeqCst) {
+                continue;
+            }
+            r.active.fetch_add(1, Ordering::SeqCst);
+            if r.draining.load(Ordering::SeqCst) {
+                r.active.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            match TcpStream::connect(r.addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    r.assigned.fetch_add(1, Ordering::Relaxed);
+                    return Some((i, stream));
+                }
+                Err(_) => {
+                    r.active.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+            }
+        }
+        None
+    }
+
+    fn release(&self, replica: usize) {
+        self.replicas[replica].active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn stats_line(&self) -> String {
+        let join = |f: &dyn Fn(&ReplicaSlot) -> String| -> String {
+            self.replicas.iter().map(f).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            "OK replicas={} rollouts={} active={} assigned={} draining={}",
+            self.replicas.len(),
+            self.rollouts.load(Ordering::Relaxed),
+            join(&|r| r.active.load(Ordering::SeqCst).to_string()),
+            join(&|r| r.assigned.load(Ordering::Relaxed).to_string()),
+            join(&|r| u8::from(r.draining.load(Ordering::SeqCst)).to_string()),
+        )
+    }
+
+    fn health_line(&self) -> String {
+        let mut epochs = Vec::with_capacity(self.replicas.len());
+        let mut healthy = 0usize;
+        for r in &self.replicas {
+            match probe_health(r.addr, self.config.health_timeout) {
+                Some(epoch) => {
+                    healthy += 1;
+                    epochs.push(epoch);
+                }
+                None => epochs.push("-".into()),
+            }
+        }
+        format!(
+            "OK healthy={healthy}/{} epochs={}",
+            self.replicas.len(),
+            epochs.join(",")
+        )
+    }
+
+    /// The two-phase rollout. Returns the `OK`/`ERR` reply line.
+    fn rollout(&self, path: &str) -> String {
+        let _guard = self
+            .rollout_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Phase 1: stage the release on every replica while the old
+        // epoch keeps serving. Any failure aborts with nothing flipped.
+        let mut controls = Vec::with_capacity(self.replicas.len());
+        for (i, r) in self.replicas.iter().enumerate() {
+            let mut control = match control_client(r.addr, self.config.admin_timeout) {
+                Ok(c) => c,
+                Err(e) => return format!("ERR rollout aborted: replica {i} unreachable: {e}"),
+            };
+            match control.request(&format!("RELOAD_PREPARE {path}")) {
+                Ok(reply) if reply.starts_with("OK ") => controls.push(control),
+                Ok(reply) => {
+                    return format!("ERR rollout aborted: replica {i} refused prepare: {reply}")
+                }
+                Err(e) => return format!("ERR rollout aborted: replica {i} prepare io: {e}"),
+            }
+        }
+        // Phase 2: drain and flip one replica at a time.
+        let mut last_epoch = String::from("?");
+        for (i, r) in self.replicas.iter().enumerate() {
+            r.draining.store(true, Ordering::SeqCst);
+            let deadline = Instant::now() + self.config.drain_timeout;
+            while r.active.load(Ordering::SeqCst) != 0 {
+                if Instant::now() > deadline {
+                    r.draining.store(false, Ordering::SeqCst);
+                    return format!(
+                        "ERR rollout stalled: replica {i} still has {} routed connections \
+                         after {:?} (committed {i} of {})",
+                        r.active.load(Ordering::SeqCst),
+                        self.config.drain_timeout,
+                        self.replicas.len()
+                    );
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            match controls[i].request("RELOAD_COMMIT") {
+                Ok(reply) if reply.starts_with("OK ") => {
+                    if let Some(epoch) = field(&reply, "epoch=") {
+                        last_epoch = epoch.to_string();
+                    }
+                }
+                Ok(reply) => {
+                    r.draining.store(false, Ordering::SeqCst);
+                    return format!("ERR rollout stalled: replica {i} refused commit: {reply}");
+                }
+                Err(e) => {
+                    r.draining.store(false, Ordering::SeqCst);
+                    return format!("ERR rollout stalled: replica {i} commit io: {e}");
+                }
+            }
+            r.draining.store(false, Ordering::SeqCst);
+        }
+        self.rollouts.fetch_add(1, Ordering::Relaxed);
+        format!(
+            "OK fleet reloaded replicas={} epoch={last_epoch}",
+            self.replicas.len()
+        )
+    }
+}
+
+fn control_client(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+    let mut c = Client::connect(addr)?;
+    c.stream().set_read_timeout(Some(timeout))?;
+    Ok(c)
+}
+
+fn probe_health(addr: SocketAddr, timeout: Duration) -> Option<String> {
+    let mut c = control_client(addr, timeout).ok()?;
+    let reply = c.request("HEALTH").ok()?;
+    if !reply.starts_with("OK ") {
+        return None;
+    }
+    Some(field(&reply, "epoch=").unwrap_or("?").to_string())
+}
+
+/// Extracts the value of a `key=value` token from a reply line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+}
+
+/// The fleet front end: accepts protocol connections and proxies each
+/// to a replica.
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds the router (port 0 for ephemeral) in front of `replicas`.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        replicas: Vec<SocketAddr>,
+        config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(RouterShared {
+            router_addr: addr,
+            replicas: replicas
+                .into_iter()
+                .map(|addr| ReplicaSlot {
+                    addr,
+                    active: AtomicUsize::new(0),
+                    assigned: AtomicU64::new(0),
+                    draining: AtomicBool::new(false),
+                })
+                .collect(),
+            next: AtomicUsize::new(0),
+            rollouts: AtomicU64::new(0),
+            rollout_lock: Mutex::new(()),
+            config,
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || handle_client(stream, &conn_shared));
+            }
+        });
+        Ok(Router {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. Existing proxied
+    /// connections drain on their own.
+    pub fn shutdown(mut self) {
+        self.stop_accept();
+    }
+
+    /// Blocks until the accept loop exits (protocol `SHUTDOWN` or
+    /// [`Router::shutdown`] from another handle).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop_accept(&mut self) {
+        if !self.shared.stop.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.stop_accept();
+    }
+}
+
+/// One proxied client connection.
+fn handle_client(mut client: TcpStream, shared: &RouterShared) {
+    let _ = client.set_nodelay(true);
+    // (replica index, upstream connection) once bound.
+    let mut upstream: Option<(usize, TcpStream)> = None;
+    loop {
+        let line = match read_frame(&mut client) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) => {
+                let _ = write_frame(&mut client, &format!("ERR protocol: {e}"));
+                break;
+            }
+        };
+        let verb = line.split_whitespace().next().unwrap_or("");
+        match verb {
+            "FLEET_STATS" => {
+                if write_frame(&mut client, &shared.stats_line()).is_err() {
+                    break;
+                }
+            }
+            "FLEET_HEALTH" => {
+                if write_frame(&mut client, &shared.health_line()).is_err() {
+                    break;
+                }
+            }
+            "DRAIN" | "UNDRAIN" => {
+                let reply = match line
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&i| i < shared.replicas.len())
+                {
+                    Some(i) => {
+                        let flag = verb == "DRAIN";
+                        shared.replicas[i].draining.store(flag, Ordering::SeqCst);
+                        format!(
+                            "OK {} replica={i} active={}",
+                            if flag { "draining" } else { "undrained" },
+                            shared.replicas[i].active.load(Ordering::SeqCst)
+                        )
+                    }
+                    None => format!(
+                        "ERR {verb} needs a replica index in 0..{}",
+                        shared.replicas.len()
+                    ),
+                };
+                if write_frame(&mut client, &reply).is_err() {
+                    break;
+                }
+            }
+            "RELOAD" => {
+                // Release our own binding first: a bound admin
+                // connection would deadlock waiting for itself to
+                // drain.
+                if let Some((idx, conn)) = upstream.take() {
+                    drop(conn);
+                    shared.release(idx);
+                }
+                let reply = match line.split_whitespace().nth(1) {
+                    Some(path) if line.split_whitespace().count() == 2 => shared.rollout(path),
+                    _ => "ERR RELOAD needs exactly one file path".to_string(),
+                };
+                if write_frame(&mut client, &reply).is_err() {
+                    break;
+                }
+            }
+            "SHUTDOWN" => {
+                if !shared.stop.swap(true, Ordering::SeqCst) {
+                    // The accept loop only checks the flag per
+                    // connection; self-connect to wake it.
+                    let _ = TcpStream::connect(shared.router_addr);
+                    let _ = write_frame(&mut client, "OK router stopping");
+                } else {
+                    let _ = write_frame(&mut client, "OK router already stopping");
+                }
+                break;
+            }
+            _ => {
+                if upstream.is_none() {
+                    match shared.assign() {
+                        Some(bound) => upstream = Some(bound),
+                        None => {
+                            let _ = write_frame(
+                                &mut client,
+                                "ERR NO_REPLICA every replica is draining or unreachable",
+                            );
+                            break;
+                        }
+                    }
+                }
+                let (_, conn) = upstream.as_mut().expect("bound above");
+                let relay = write_frame(&mut *conn, &line).and_then(|()| read_frame(&mut *conn));
+                match relay {
+                    Ok(Some(reply)) => {
+                        let client_ok = write_frame(&mut client, &reply).is_ok();
+                        if verb == "QUIT" || !client_ok {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = write_frame(
+                            &mut client,
+                            "ERR REPLICA_LOST replica died mid-request; reconnect to rebind",
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if let Some((idx, _)) = upstream {
+        shared.release(idx);
+    }
+    let _ = client.flush();
+}
+
+/// An in-process fleet: N replica servers plus a router, all on
+/// loopback ephemeral ports. Convenience for tests, benches, and the
+/// `obf_fleet` binary.
+pub struct Fleet {
+    replicas: Vec<Option<Server>>,
+    router: Option<Router>,
+}
+
+impl Fleet {
+    /// Launches `n_replicas` servers over the shared graph and a
+    /// router in front of them, all on ephemeral loopback ports.
+    pub fn launch(
+        graph: Arc<UncertainGraph>,
+        n_replicas: usize,
+        server_config: ServerConfig,
+        router_config: RouterConfig,
+    ) -> std::io::Result<Fleet> {
+        Self::launch_on(graph, n_replicas, server_config, router_config, 0)
+    }
+
+    /// [`Fleet::launch`] with an explicit router port (0 = ephemeral);
+    /// replicas always take ephemeral ports.
+    pub fn launch_on(
+        graph: Arc<UncertainGraph>,
+        n_replicas: usize,
+        server_config: ServerConfig,
+        router_config: RouterConfig,
+        router_port: u16,
+    ) -> std::io::Result<Fleet> {
+        assert!(n_replicas >= 1, "need at least one replica");
+        let mut replicas = Vec::with_capacity(n_replicas);
+        for _ in 0..n_replicas {
+            replicas.push(Some(Server::bind_with(
+                Arc::clone(&graph),
+                "127.0.0.1:0",
+                server_config,
+            )?));
+        }
+        let addrs: Vec<SocketAddr> = replicas
+            .iter()
+            .map(|s| s.as_ref().expect("just launched").addr())
+            .collect();
+        let router = Router::bind(("127.0.0.1", router_port), addrs, router_config)?;
+        Ok(Fleet {
+            replicas,
+            router: Some(router),
+        })
+    }
+
+    /// The router's address — what clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.router.as_ref().expect("router running").addr()
+    }
+
+    /// Direct replica addresses (for tests and diagnostics).
+    pub fn replica_addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.iter().flatten().map(|s| s.addr()).collect()
+    }
+
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Kills replica `i` abruptly (fault injection in tests). The
+    /// router keeps running; connections bound to the dead replica get
+    /// `ERR REPLICA_LOST`.
+    pub fn kill_replica(&mut self, i: usize) {
+        if let Some(server) = self.replicas[i].take() {
+            server.shutdown();
+        }
+    }
+
+    /// Blocks until the router's accept loop exits (protocol
+    /// `SHUTDOWN`), then stops the replicas — the `obf_fleet` binary's
+    /// run mode.
+    pub fn serve_until_shutdown(mut self) {
+        if let Some(router) = self.router.take() {
+            router.join();
+        }
+        for server in self.replicas.iter_mut().filter_map(Option::take) {
+            server.shutdown();
+        }
+    }
+
+    /// Stops the router, then every replica.
+    pub fn shutdown(mut self) {
+        if let Some(router) = self.router.take() {
+            router.shutdown();
+        }
+        for server in self.replicas.iter_mut().filter_map(Option::take) {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_fleet(n: usize) -> Fleet {
+        let g =
+            Arc::new(UncertainGraph::new(4, vec![(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.25)]).unwrap());
+        Fleet::launch(g, n, ServerConfig::default(), RouterConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn routes_queries_and_answers_match_direct() {
+        let fleet = toy_fleet(2);
+        let mut via_router = Client::connect(fleet.addr()).unwrap();
+        let mut direct = Client::connect(fleet.replica_addrs()[0]).unwrap();
+        for q in ["PING", "INFO", "EXPECTED num_edges", "STAT num_edges 16 7"] {
+            assert_eq!(
+                via_router.request(q).unwrap(),
+                direct.request(q).unwrap(),
+                "{q}"
+            );
+        }
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn admin_verbs_do_not_pin_a_replica() {
+        let fleet = toy_fleet(2);
+        let mut admin = Client::connect(fleet.addr()).unwrap();
+        let stats = admin.request("FLEET_STATS").unwrap();
+        assert!(stats.starts_with("OK replicas=2"), "{stats}");
+        assert!(stats.contains("active=0,0"), "{stats}");
+        let health = admin.request("FLEET_HEALTH").unwrap();
+        assert!(health.starts_with("OK healthy=2/2"), "{health}");
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn connections_spread_over_replicas_and_release() {
+        let fleet = toy_fleet(2);
+        let mut a = Client::connect(fleet.addr()).unwrap();
+        let mut b = Client::connect(fleet.addr()).unwrap();
+        a.request("PING").unwrap();
+        b.request("PING").unwrap();
+        let mut admin = Client::connect(fleet.addr()).unwrap();
+        let stats = admin.request("FLEET_STATS").unwrap();
+        assert!(stats.contains("active=1,1"), "{stats}");
+        drop(a);
+        drop(b);
+        // Release is asynchronous with the drop; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        loop {
+            let stats = admin.request("FLEET_STATS").unwrap();
+            if stats.contains("active=0,0") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "binding never released: {stats}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn drain_diverts_new_connections() {
+        let fleet = toy_fleet(2);
+        let mut admin = Client::connect(fleet.addr()).unwrap();
+        assert!(admin.request("DRAIN 0").unwrap().starts_with("OK draining"));
+        for _ in 0..3 {
+            let mut c = Client::connect(fleet.addr()).unwrap();
+            c.request("PING").unwrap();
+            let stats = admin.request("FLEET_STATS").unwrap();
+            assert!(
+                field(&stats, "active=").unwrap().starts_with("0,"),
+                "{stats}"
+            );
+            c.request("QUIT").unwrap();
+        }
+        assert!(admin
+            .request("UNDRAIN 0")
+            .unwrap()
+            .starts_with("OK undrained"));
+        assert!(admin.request("DRAIN 9").unwrap().starts_with("ERR"));
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn all_replicas_draining_is_typed_rejection() {
+        let fleet = toy_fleet(1);
+        let mut admin = Client::connect(fleet.addr()).unwrap();
+        admin.request("DRAIN 0").unwrap();
+        let mut c = Client::connect(fleet.addr()).unwrap();
+        let reply = c.request("PING").unwrap();
+        assert!(reply.starts_with("ERR NO_REPLICA"), "{reply}");
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn dead_replica_surfaces_as_replica_lost() {
+        let mut fleet = toy_fleet(2);
+        // Bind a connection to each replica, then kill one.
+        let mut a = Client::connect(fleet.addr()).unwrap();
+        let mut b = Client::connect(fleet.addr()).unwrap();
+        a.request("PING").unwrap();
+        b.request("PING").unwrap();
+        fleet.kill_replica(0);
+        let ra = a.request("INFO").unwrap();
+        let rb = b.request("INFO").unwrap();
+        let lost = [&ra, &rb]
+            .iter()
+            .filter(|r| r.starts_with("ERR REPLICA_LOST"))
+            .count();
+        let ok = [&ra, &rb].iter().filter(|r| r.starts_with("OK")).count();
+        assert_eq!((lost, ok), (1, 1), "ra={ra} rb={rb}");
+        fleet.shutdown();
+    }
+}

@@ -1,0 +1,267 @@
+//! Frame transports between the coordinator and its workers.
+//!
+//! A [`Transport`] moves opaque byte frames in order, reliably, with
+//! backpressure — the encoding of what is *in* a frame lives in
+//! [`crate::wire`]. Two backends:
+//!
+//! * [`InProcTransport`] — a pair of SPSC channels; workers are threads
+//!   in the coordinator's process. Zero serialization is skipped on
+//!   purpose: the bytes that cross an in-proc transport are the same
+//!   bytes that would cross a socket, so every test of the in-proc
+//!   path exercises the codec too.
+//! * [`SocketTransport`] — a `TcpStream` carrying `u32` little-endian
+//!   length-prefixed frames (the same framing idiom as
+//!   `obf_server::protocol`, with a larger cap because graph snapshots
+//!   ride this wire). Workers are separate OS processes.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Duration;
+
+/// Largest frame either side will accept: big enough for a snapshot of
+/// a multi-million-candidate graph, small enough that a garbage length
+/// prefix is an error instead of an allocation.
+pub const MAX_WIRE_FRAME: usize = 256 << 20;
+
+/// Why a transport operation failed.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer is gone: clean EOF, closed channel, or dead process.
+    Closed,
+    /// The peer announced a frame longer than [`MAX_WIRE_FRAME`].
+    Oversized(u64),
+    /// The underlying IO failed (reset, timeout, truncated frame).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "peer closed the transport"),
+            TransportError::Oversized(len) => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_WIRE_FRAME}-byte cap"
+                )
+            }
+            TransportError::Io(e) => write!(f, "transport io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// An ordered, reliable, bidirectional frame pipe.
+pub trait Transport: Send {
+    /// Sends one frame; blocks on backpressure.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Receives the next frame; blocks until one arrives or the peer
+    /// goes away.
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
+    /// Backend name for diagnostics (`"in_proc"` or `"socket"`).
+    fn kind(&self) -> &'static str;
+}
+
+/// In-process transport: one half of a pair of SPSC channels.
+pub struct InProcTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Builds a connected pair of in-process transports; frames sent on one
+/// end arrive, in order, at the other.
+pub fn in_proc_pair() -> (InProcTransport, InProcTransport) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        InProcTransport { tx: a_tx, rx: a_rx },
+        InProcTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+impl Transport for InProcTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.len() > MAX_WIRE_FRAME {
+            return Err(TransportError::Oversized(frame.len() as u64));
+        }
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn kind(&self) -> &'static str {
+        "in_proc"
+    }
+}
+
+/// TCP transport: `u32` little-endian length prefix, then the frame.
+pub struct SocketTransport {
+    stream: TcpStream,
+}
+
+impl SocketTransport {
+    /// Connects to a listening worker.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SocketTransport { stream })
+    }
+
+    /// Wraps an accepted connection (the worker side).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(SocketTransport { stream })
+    }
+
+    /// Caps how long `recv` may block; `None` blocks forever.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.len() > MAX_WIRE_FRAME {
+            return Err(TransportError::Oversized(frame.len() as u64));
+        }
+        let write = (|| {
+            self.stream.write_all(&(frame.len() as u32).to_le_bytes())?;
+            self.stream.write_all(frame)?;
+            self.stream.flush()
+        })();
+        write.map_err(|e| match e.kind() {
+            std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset => {
+                TransportError::Closed
+            }
+            _ => TransportError::Io(e),
+        })
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        let mut len_buf = [0u8; 4];
+        match self.stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            // EOF before a length prefix is a clean close; anything
+            // else (including EOF mid-prefix) is an IO failure.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(TransportError::Closed)
+            }
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_WIRE_FRAME {
+            return Err(TransportError::Oversized(len as u64));
+        }
+        let mut buf = vec![0u8; len];
+        self.stream.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TransportError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("peer closed mid-frame ({len}-byte frame truncated)"),
+                ))
+            } else {
+                TransportError::Io(e)
+            }
+        })?;
+        Ok(buf)
+    }
+
+    fn kind(&self) -> &'static str {
+        "socket"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn in_proc_round_trips_frames_in_order() {
+        let (mut a, mut b) = in_proc_pair();
+        a.send(b"first").unwrap();
+        a.send(b"").unwrap();
+        a.send(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        assert_eq!(b.recv().unwrap(), b"first");
+        assert_eq!(b.recv().unwrap(), b"");
+        assert_eq!(b.recv().unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn in_proc_drop_is_closed_not_panic() {
+        let (mut a, b) = in_proc_pair();
+        drop(b);
+        assert!(matches!(a.send(b"x"), Err(TransportError::Closed)));
+        assert!(matches!(a.recv(), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn socket_round_trips_frames_in_order() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = SocketTransport::from_stream(stream).unwrap();
+            let f = t.recv().unwrap();
+            t.send(&f).unwrap(); // echo
+            let f = t.recv().unwrap();
+            t.send(&f).unwrap();
+        });
+        let mut t = SocketTransport::connect(addr).unwrap();
+        t.send(b"hello over tcp").unwrap();
+        assert_eq!(t.recv().unwrap(), b"hello over tcp");
+        let big = vec![0x5a; 100_000];
+        t.send(&big).unwrap();
+        assert_eq!(t.recv().unwrap(), big);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn socket_peer_close_is_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream);
+        });
+        let mut t = SocketTransport::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(t.recv(), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn socket_truncated_frame_is_io_not_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Announce 8 bytes, deliver 3, hang up.
+            stream.write_all(&8u32.to_le_bytes()).unwrap();
+            stream.write_all(b"abc").unwrap();
+        });
+        let mut t = SocketTransport::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(t.recv(), Err(TransportError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_announcement_rejected_before_allocation() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        });
+        let mut t = SocketTransport::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(t.recv(), Err(TransportError::Oversized(_))));
+    }
+}

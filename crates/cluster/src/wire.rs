@@ -1,0 +1,614 @@
+//! The worker wire codec: what goes inside a transport frame.
+//!
+//! Hand-rolled little-endian encoding, one message per frame:
+//!
+//! ```text
+//! [version u8] [tag u8] [body...]
+//! ```
+//!
+//! Floating-point values travel as raw IEEE-754 bit patterns
+//! (`f64::to_le_bytes`), so a partial sum computed on a worker is
+//! **bit-identical** after the round trip — the distributed check's
+//! equality guarantee depends on this, not on any decimal formatting.
+//!
+//! Decoding never panics and never allocates proportionally to a
+//! length field without first checking it against the bytes actually
+//! present: a truncated or garbage frame is a typed [`WireError`].
+
+use obf_uncertain::DegreeDistMethod;
+use std::fmt;
+
+/// Wire format version; bumped on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame ended before the announced content.
+    Truncated,
+    /// Bytes left over after a complete message.
+    TrailingBytes,
+    /// First byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown message tag for this direction.
+    BadTag(u8),
+    /// A string field is not UTF-8.
+    BadUtf8,
+    /// A count field is absurd (larger than the frame could hold).
+    BadCount,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadVersion(v) => write!(f, "wire version {v} (expected {WIRE_VERSION})"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not utf-8"),
+            WireError::BadCount => write!(f, "count field exceeds frame size"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Coordinator → worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerRequest {
+    /// Liveness probe.
+    Ping,
+    /// Ship a published graph as snapshot bytes
+    /// (`obf_uncertain::snapshot_bytes`); replaces any previous graph.
+    LoadGraph { snapshot: Vec<u8> },
+    /// Compute per-chunk entropy partials for chunk indices
+    /// `first_chunk..first_chunk + n_chunks` of the fixed chunking of
+    /// `0..n` vertices into `chunk_size`-sized pieces.
+    CheckChunks {
+        method: DegreeDistMethod,
+        chunk_size: u64,
+        first_chunk: u64,
+        n_chunks: u64,
+        omegas: Vec<u64>,
+    },
+    /// Sample worlds `start..start + count` of the `master_seed`
+    /// stream (`obf_uncertain::sample_indexed_world`).
+    SampleWorlds {
+        master_seed: u64,
+        start: u64,
+        count: u64,
+    },
+    /// Orderly exit: the worker replies [`WorkerResponse::Bye`] and its
+    /// serve loop returns.
+    Shutdown,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerResponse {
+    /// Reply to [`WorkerRequest::Ping`].
+    Pong,
+    /// Graph decoded and installed; echoes its shape for validation.
+    Loaded { n: u64, candidates: u64 },
+    /// Per-chunk partials, parallel to the requested chunk range: for
+    /// chunk `first_chunk + i`, `mass[i]` and `xlogx[i]` each hold one
+    /// `f64` per requested ω.
+    ChunkPartials {
+        first_chunk: u64,
+        mass: Vec<Vec<f64>>,
+        xlogx: Vec<Vec<f64>>,
+    },
+    /// Sampled worlds as edge lists over `n_vertices` vertices, in
+    /// world-index order.
+    Worlds {
+        start: u64,
+        n_vertices: u64,
+        worlds: Vec<Vec<(u32, u32)>>,
+    },
+    /// Typed failure (no graph loaded, bad request frame, snapshot
+    /// rejected, ...). The serve loop stays alive after sending this.
+    Error { message: String },
+    /// Reply to [`WorkerRequest::Shutdown`].
+    Bye,
+}
+
+// Request tags.
+const REQ_PING: u8 = 0;
+const REQ_LOAD: u8 = 1;
+const REQ_CHECK: u8 = 2;
+const REQ_SAMPLE: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+// Response tags.
+const RESP_PONG: u8 = 0;
+const RESP_LOADED: u8 = 1;
+const RESP_PARTIALS: u8 = 2;
+const RESP_WORLDS: u8 = 3;
+const RESP_ERROR: u8 = 4;
+const RESP_BYE: u8 = 5;
+
+// Method tags.
+const METHOD_EXACT: u8 = 0;
+const METHOD_NORMAL: u8 = 1;
+const METHOD_AUTO: u8 = 2;
+
+/// Bounds-checked forward-only reader over a frame.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A count that must be plausible for `bytes_each`-byte items in
+    /// the rest of the frame — rejects absurd lengths before any
+    /// allocation sized by them.
+    fn count(&mut self, bytes_each: usize) -> Result<usize, WireError> {
+        let raw = self.u64()?;
+        let raw = usize::try_from(raw).map_err(|_| WireError::BadCount)?;
+        if raw
+            .checked_mul(bytes_each.max(1))
+            .is_none_or(|total| total > self.remaining())
+        {
+            return Err(WireError::BadCount);
+        }
+        Ok(raw)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.count(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(())
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    vec![WIRE_VERSION, tag]
+}
+
+fn read_header(c: &mut Cursor<'_>) -> Result<u8, WireError> {
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    c.u8()
+}
+
+fn put_method(out: &mut Vec<u8>, method: DegreeDistMethod) {
+    match method {
+        DegreeDistMethod::Exact => out.push(METHOD_EXACT),
+        DegreeDistMethod::Normal => out.push(METHOD_NORMAL),
+        DegreeDistMethod::Auto { threshold } => {
+            out.push(METHOD_AUTO);
+            put_u64(out, threshold as u64);
+        }
+    }
+}
+
+fn read_method(c: &mut Cursor<'_>) -> Result<DegreeDistMethod, WireError> {
+    match c.u8()? {
+        METHOD_EXACT => Ok(DegreeDistMethod::Exact),
+        METHOD_NORMAL => Ok(DegreeDistMethod::Normal),
+        METHOD_AUTO => {
+            let threshold = usize::try_from(c.u64()?).map_err(|_| WireError::BadCount)?;
+            Ok(DegreeDistMethod::Auto { threshold })
+        }
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Encodes a request into one frame.
+pub fn encode_request(req: &WorkerRequest) -> Vec<u8> {
+    match req {
+        WorkerRequest::Ping => header(REQ_PING),
+        WorkerRequest::LoadGraph { snapshot } => {
+            let mut out = header(REQ_LOAD);
+            put_bytes(&mut out, snapshot);
+            out
+        }
+        WorkerRequest::CheckChunks {
+            method,
+            chunk_size,
+            first_chunk,
+            n_chunks,
+            omegas,
+        } => {
+            let mut out = header(REQ_CHECK);
+            put_method(&mut out, *method);
+            put_u64(&mut out, *chunk_size);
+            put_u64(&mut out, *first_chunk);
+            put_u64(&mut out, *n_chunks);
+            put_u64(&mut out, omegas.len() as u64);
+            for &w in omegas {
+                put_u64(&mut out, w);
+            }
+            out
+        }
+        WorkerRequest::SampleWorlds {
+            master_seed,
+            start,
+            count,
+        } => {
+            let mut out = header(REQ_SAMPLE);
+            put_u64(&mut out, *master_seed);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *count);
+            out
+        }
+        WorkerRequest::Shutdown => header(REQ_SHUTDOWN),
+    }
+}
+
+/// Decodes a request frame.
+pub fn decode_request(frame: &[u8]) -> Result<WorkerRequest, WireError> {
+    let mut c = Cursor::new(frame);
+    let tag = read_header(&mut c)?;
+    let req = match tag {
+        REQ_PING => WorkerRequest::Ping,
+        REQ_LOAD => WorkerRequest::LoadGraph {
+            snapshot: c.bytes()?,
+        },
+        REQ_CHECK => {
+            let method = read_method(&mut c)?;
+            let chunk_size = c.u64()?;
+            let first_chunk = c.u64()?;
+            let n_chunks = c.u64()?;
+            let n_omegas = c.count(8)?;
+            let mut omegas = Vec::with_capacity(n_omegas);
+            for _ in 0..n_omegas {
+                omegas.push(c.u64()?);
+            }
+            WorkerRequest::CheckChunks {
+                method,
+                chunk_size,
+                first_chunk,
+                n_chunks,
+                omegas,
+            }
+        }
+        REQ_SAMPLE => WorkerRequest::SampleWorlds {
+            master_seed: c.u64()?,
+            start: c.u64()?,
+            count: c.u64()?,
+        },
+        REQ_SHUTDOWN => WorkerRequest::Shutdown,
+        other => return Err(WireError::BadTag(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response into one frame.
+pub fn encode_response(resp: &WorkerResponse) -> Vec<u8> {
+    match resp {
+        WorkerResponse::Pong => header(RESP_PONG),
+        WorkerResponse::Loaded { n, candidates } => {
+            let mut out = header(RESP_LOADED);
+            put_u64(&mut out, *n);
+            put_u64(&mut out, *candidates);
+            out
+        }
+        WorkerResponse::ChunkPartials {
+            first_chunk,
+            mass,
+            xlogx,
+        } => {
+            debug_assert_eq!(mass.len(), xlogx.len());
+            let n_omegas = mass.first().map_or(0, Vec::len);
+            let mut out = header(RESP_PARTIALS);
+            put_u64(&mut out, *first_chunk);
+            put_u64(&mut out, mass.len() as u64);
+            put_u64(&mut out, n_omegas as u64);
+            for (m, x) in mass.iter().zip(xlogx) {
+                debug_assert_eq!(m.len(), n_omegas);
+                debug_assert_eq!(x.len(), n_omegas);
+                for &v in m {
+                    put_f64(&mut out, v);
+                }
+                for &v in x {
+                    put_f64(&mut out, v);
+                }
+            }
+            out
+        }
+        WorkerResponse::Worlds {
+            start,
+            n_vertices,
+            worlds,
+        } => {
+            let mut out = header(RESP_WORLDS);
+            put_u64(&mut out, *start);
+            put_u64(&mut out, *n_vertices);
+            put_u64(&mut out, worlds.len() as u64);
+            for edges in worlds {
+                put_u64(&mut out, edges.len() as u64);
+                for &(u, v) in edges {
+                    out.extend_from_slice(&u.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            out
+        }
+        WorkerResponse::Error { message } => {
+            let mut out = header(RESP_ERROR);
+            put_bytes(&mut out, message.as_bytes());
+            out
+        }
+        WorkerResponse::Bye => header(RESP_BYE),
+    }
+}
+
+/// Decodes a response frame.
+pub fn decode_response(frame: &[u8]) -> Result<WorkerResponse, WireError> {
+    let mut c = Cursor::new(frame);
+    let tag = read_header(&mut c)?;
+    let resp = match tag {
+        RESP_PONG => WorkerResponse::Pong,
+        RESP_LOADED => WorkerResponse::Loaded {
+            n: c.u64()?,
+            candidates: c.u64()?,
+        },
+        RESP_PARTIALS => {
+            let first_chunk = c.u64()?;
+            let n_chunks = usize::try_from(c.u64()?).map_err(|_| WireError::BadCount)?;
+            let n_omegas = usize::try_from(c.u64()?).map_err(|_| WireError::BadCount)?;
+            // Each chunk carries 2·n_omegas f64s. A chunked reply with
+            // zero omegas would make n_chunks unbacked by any bytes, so
+            // the protocol forbids it (the coordinator never asks for
+            // an empty omega list).
+            if n_chunks > 0 && n_omegas == 0 {
+                return Err(WireError::BadCount);
+            }
+            if n_chunks
+                .checked_mul(n_omegas.checked_mul(16).ok_or(WireError::BadCount)?)
+                .is_none_or(|total| total > c.remaining())
+            {
+                return Err(WireError::BadCount);
+            }
+            let mut mass = Vec::with_capacity(n_chunks);
+            let mut xlogx = Vec::with_capacity(n_chunks);
+            for _ in 0..n_chunks {
+                let mut m = Vec::with_capacity(n_omegas);
+                for _ in 0..n_omegas {
+                    m.push(c.f64()?);
+                }
+                let mut x = Vec::with_capacity(n_omegas);
+                for _ in 0..n_omegas {
+                    x.push(c.f64()?);
+                }
+                mass.push(m);
+                xlogx.push(x);
+            }
+            WorkerResponse::ChunkPartials {
+                first_chunk,
+                mass,
+                xlogx,
+            }
+        }
+        RESP_WORLDS => {
+            let start = c.u64()?;
+            let n_vertices = c.u64()?;
+            let n_worlds = c.count(8)?;
+            let mut worlds = Vec::with_capacity(n_worlds);
+            for _ in 0..n_worlds {
+                let n_edges = c.count(8)?;
+                let mut edges = Vec::with_capacity(n_edges);
+                for _ in 0..n_edges {
+                    let u = c.u32()?;
+                    let v = c.u32()?;
+                    edges.push((u, v));
+                }
+                worlds.push(edges);
+            }
+            WorkerResponse::Worlds {
+                start,
+                n_vertices,
+                worlds,
+            }
+        }
+        RESP_ERROR => {
+            let bytes = c.bytes()?;
+            WorkerResponse::Error {
+                message: String::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?,
+            }
+        }
+        RESP_BYE => WorkerResponse::Bye,
+        other => return Err(WireError::BadTag(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_fixtures() -> Vec<WorkerRequest> {
+        vec![
+            WorkerRequest::Ping,
+            WorkerRequest::LoadGraph {
+                snapshot: vec![1, 2, 3, 255, 0],
+            },
+            WorkerRequest::CheckChunks {
+                method: DegreeDistMethod::Auto { threshold: 30 },
+                chunk_size: 1024,
+                first_chunk: 7,
+                n_chunks: 3,
+                omegas: vec![0, 2, 5, 900],
+            },
+            WorkerRequest::CheckChunks {
+                method: DegreeDistMethod::Normal,
+                chunk_size: 1,
+                first_chunk: 0,
+                n_chunks: 0,
+                omegas: vec![],
+            },
+            WorkerRequest::SampleWorlds {
+                master_seed: u64::MAX,
+                start: 3,
+                count: 9,
+            },
+            WorkerRequest::Shutdown,
+        ]
+    }
+
+    fn response_fixtures() -> Vec<WorkerResponse> {
+        vec![
+            WorkerResponse::Pong,
+            WorkerResponse::Loaded {
+                n: 10,
+                candidates: 45,
+            },
+            WorkerResponse::ChunkPartials {
+                first_chunk: 2,
+                mass: vec![vec![0.5, 1.5], vec![f64::MIN_POSITIVE, 3.0]],
+                xlogx: vec![vec![-0.5, 0.25], vec![0.0, -1.0e-300]],
+            },
+            WorkerResponse::ChunkPartials {
+                first_chunk: 0,
+                mass: vec![],
+                xlogx: vec![],
+            },
+            WorkerResponse::Worlds {
+                start: 4,
+                n_vertices: 6,
+                worlds: vec![vec![(0, 1), (4, 5)], vec![], vec![(2, 3)]],
+            },
+            WorkerResponse::Error {
+                message: "no graph loaded".into(),
+            },
+            WorkerResponse::Bye,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in request_fixtures() {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        for resp in response_fixtures() {
+            let frame = encode_response(&resp);
+            let back = decode_response(&frame).unwrap();
+            // PartialEq on f64 vectors is exactly the bit check we
+            // need here (no NaNs in partials by construction).
+            assert_eq!(back, resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for req in request_fixtures() {
+            let frame = encode_request(&req);
+            for cut in 0..frame.len() {
+                assert!(
+                    decode_request(&frame[..cut]).is_err(),
+                    "{req:?} cut at {cut}"
+                );
+            }
+        }
+        for resp in response_fixtures() {
+            let frame = encode_response(&resp);
+            for cut in 0..frame.len() {
+                assert!(
+                    decode_response(&frame[..cut]).is_err(),
+                    "{resp:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode_request(&WorkerRequest::Ping);
+        frame.push(0);
+        assert_eq!(decode_request(&frame), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_version_and_tag_rejected() {
+        assert_eq!(
+            decode_request(&[9, REQ_PING]),
+            Err(WireError::BadVersion(9))
+        );
+        assert_eq!(
+            decode_request(&[WIRE_VERSION, 200]),
+            Err(WireError::BadTag(200))
+        );
+        assert_eq!(
+            decode_response(&[WIRE_VERSION, 200]),
+            Err(WireError::BadTag(200))
+        );
+    }
+
+    #[test]
+    fn absurd_counts_rejected_before_allocation() {
+        // LoadGraph announcing u64::MAX snapshot bytes in a 30-byte frame.
+        let mut frame = vec![WIRE_VERSION, REQ_LOAD];
+        frame.extend_from_slice(&u64::MAX.to_le_bytes());
+        frame.extend_from_slice(&[0; 20]);
+        assert_eq!(decode_request(&frame), Err(WireError::BadCount));
+
+        // ChunkPartials announcing 2^40 chunks.
+        let mut frame = vec![WIRE_VERSION, RESP_PARTIALS];
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        frame.extend_from_slice(&8u64.to_le_bytes());
+        assert_eq!(decode_response(&frame), Err(WireError::BadCount));
+    }
+}

@@ -294,7 +294,32 @@ impl ObfuscationCheck {
             published.num_vertices(),
             "vertex sets differ"
         );
+        if profile.num_vertices() == 0 {
+            assert!(k >= 1, "k must be at least 1");
+            return Self {
+                entropy_by_degree: Vec::new(),
+                eps_achieved: 0.0,
+                failed_vertices: 0,
+            };
+        }
+        let entropies = published.entropies(profile.distinct(), par);
+        Self::from_entropies(profile, entropies, k)
+    }
+
+    /// Assembles the Definition 2 verdict from already-computed column
+    /// entropies (parallel to [`DegreeProfile::distinct`]). This is the
+    /// shared tail of every check front end — exhaustive, memoized, and
+    /// the scatter/gather path of `obf_cluster` all hand their entropies
+    /// to the same comparison and counting code, so a distributed check
+    /// that reproduces the entropy bits reproduces the verdict and ε̃
+    /// bits too.
+    pub fn from_entropies(profile: &DegreeProfile, entropies: Vec<f64>, k: usize) -> Self {
         assert!(k >= 1, "k must be at least 1");
+        assert_eq!(
+            entropies.len(),
+            profile.distinct().len(),
+            "one entropy per distinct degree"
+        );
         let n = profile.num_vertices();
         if n == 0 {
             return Self {
@@ -303,11 +328,9 @@ impl ObfuscationCheck {
                 failed_vertices: 0,
             };
         }
-        let distinct = profile.distinct();
-        let entropies = published.entropies(distinct, par);
         let threshold = (k as f64).log2();
         let entropy_by_degree: Vec<(usize, f64)> =
-            distinct.iter().copied().zip(entropies).collect();
+            profile.distinct().iter().copied().zip(entropies).collect();
         // Map degree -> pass/fail.
         let mut pass = vec![false; profile.max_degree() + 1];
         for &(d, h) in &entropy_by_degree {
@@ -325,6 +348,39 @@ impl ObfuscationCheck {
     pub fn satisfies(&self, eps: f64) -> bool {
         self.eps_achieved <= eps
     }
+}
+
+/// The per-chunk entropy partials `(Σ_v X_v(ω), Σ_v X_v(ω)·log₂ X_v(ω))`
+/// over one contiguous vertex range, one pair of accumulators per
+/// requested `ω` — the scatter kernel of the distributed Definition 2
+/// check (`obf_cluster`).
+///
+/// Rows are derived on the fly with the same
+/// [`vertex_degree_distribution`] call that [`AdversaryTable::build_par`]
+/// uses, and the accumulation loop is ordered exactly like the chunk
+/// body of [`AdversaryTable::entropies`] (vertices ascending, then
+/// `omegas` in caller order). A coordinator that left-folds these
+/// per-chunk partials in global chunk order therefore reproduces the
+/// single-process entropy bits exactly, at any worker count.
+pub fn chunk_entropy_partials(
+    g: &UncertainGraph,
+    method: DegreeDistMethod,
+    omegas: &[usize],
+    vertices: std::ops::Range<usize>,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut mass = vec![0.0f64; omegas.len()];
+    let mut xlogx = vec![0.0f64; omegas.len()];
+    for v in vertices {
+        let row = vertex_degree_distribution(g, v as u32, method);
+        for (j, &omega) in omegas.iter().enumerate() {
+            let x = row.get(omega).copied().unwrap_or(0.0);
+            if x > 0.0 {
+                mass[j] += x;
+                xlogx[j] += x * x.log2();
+            }
+        }
+    }
+    (mass, xlogx)
 }
 
 /// Per-vertex obfuscation levels `2^H(Y_{deg_G(v)})` for the anonymity
@@ -535,6 +591,55 @@ mod tests {
         assert_eq!(a.entropy_by_degree, b.entropy_by_degree);
         assert_eq!(a.eps_achieved, b.eps_achieved);
         assert_eq!(a.failed_vertices, b.failed_vertices);
+    }
+
+    #[test]
+    fn from_entropies_matches_run_with_profile() {
+        let (g, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let par = Parallelism::sequential();
+        let profile = DegreeProfile::new(&g);
+        let direct = ObfuscationCheck::run_with_profile(&profile, &t, 3, &par);
+        let entropies = t.entropies(profile.distinct(), &par);
+        let assembled = ObfuscationCheck::from_entropies(&profile, entropies, 3);
+        assert_eq!(direct.entropy_by_degree, assembled.entropy_by_degree);
+        assert_eq!(direct.eps_achieved, assembled.eps_achieved);
+        assert_eq!(direct.failed_vertices, assembled.failed_vertices);
+    }
+
+    #[test]
+    fn chunked_partials_fold_to_table_entropies() {
+        // Per-chunk scatter partials, folded in chunk order, must equal
+        // the single-process `entropies` bits — the contract the
+        // distributed check is built on. Chunk size 1 maximises the
+        // number of fold steps.
+        let (_, ug) = paper_pair();
+        let t = AdversaryTable::build(&ug, DegreeDistMethod::Exact);
+        let omegas: Vec<usize> = vec![0, 1, 2, 3];
+        for chunk_size in [1usize, 2, 3] {
+            let par = Parallelism::sequential().with_chunk_size(chunk_size);
+            let want = t.entropies(&omegas, &par);
+            let mut mass = vec![0.0f64; omegas.len()];
+            let mut xlogx = vec![0.0f64; omegas.len()];
+            for c in 0..par.num_chunks(ug.num_vertices()) {
+                let (cm, cx) = chunk_entropy_partials(
+                    &ug,
+                    DegreeDistMethod::Exact,
+                    &omegas,
+                    par.chunk_range(ug.num_vertices(), c),
+                );
+                for j in 0..omegas.len() {
+                    mass[j] += cm[j];
+                    xlogx[j] += cx[j];
+                }
+            }
+            let got: Vec<f64> = mass
+                .iter()
+                .zip(&xlogx)
+                .map(|(&w, &acc)| entropy_from_partials(w, acc))
+                .collect();
+            assert_eq!(got, want, "chunk_size={chunk_size}");
+        }
     }
 
     #[test]

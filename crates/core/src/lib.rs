@@ -45,7 +45,7 @@ pub mod commonness;
 pub mod fastpath;
 pub mod property;
 
-pub use adversary::{AdversaryTable, DegreeProfile, ObfuscationCheck};
+pub use adversary::{chunk_entropy_partials, AdversaryTable, DegreeProfile, ObfuscationCheck};
 pub use algorithm::{
     generate_obfuscation, generate_obfuscation_with_excluded, obfuscate, obfuscate_with_stats,
     CheckStrategy, GenerateOutcome, ObfuscationError, ObfuscationParams, ObfuscationResult,

@@ -62,7 +62,7 @@ pub mod sys;
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -160,6 +160,11 @@ pub fn load_published_graph(path: &str) -> Result<(UncertainGraph, Option<Snapsh
 #[derive(Debug)]
 pub struct ServerState {
     cache: WorldCache,
+    /// A release loaded by `RELOAD_PREPARE` but not yet served: phase
+    /// one of the fleet's epoch-consistent rollout. `RELOAD_COMMIT`
+    /// swaps it in; until then every answer still comes from the
+    /// current epoch.
+    staged: Mutex<Option<Arc<UncertainGraph>>>,
     queries_served: AtomicU64,
     protocol_errors: AtomicU64,
     reloads: AtomicU64,
@@ -177,6 +182,7 @@ impl ServerState {
     pub fn new(graph: Arc<UncertainGraph>, world_cache_capacity: usize) -> Self {
         Self {
             cache: WorldCache::new(graph, world_cache_capacity),
+            staged: Mutex::new(None),
             queries_served: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
@@ -321,6 +327,9 @@ impl ServerState {
                 "shutting down".to_string()
             }
             Request::Reload(ref path) => self.reload(path)?,
+            Request::ReloadPrepare(ref path) => self.reload_prepare(path)?,
+            Request::ReloadCommit => self.reload_commit()?,
+            Request::Health => format!("ok epoch={epoch} n={n}"),
             Request::Info => format!(
                 "n={} candidates={} mass={} epoch={epoch}",
                 n,
@@ -401,6 +410,39 @@ impl ServerState {
             ));
         }
         Ok(out)
+    }
+
+    /// Phase one of the two-phase rollout: load the release into the
+    /// staged slot. The current epoch keeps serving untouched — a fleet
+    /// router prepares every replica (paying each load) before any
+    /// replica commits, so the fleet never serves a mix of releases
+    /// because one replica loaded faster than another.
+    fn reload_prepare(&self, path: &str) -> Result<String, String> {
+        let (graph, meta) = load_published_graph(path)?;
+        let n = graph.num_vertices();
+        let m = graph.num_candidates();
+        *self.staged.lock().expect("staged slot poisoned") = Some(Arc::new(graph));
+        let mut out = format!("prepared n={n} candidates={m}");
+        if let Some(meta) = meta {
+            out.push_str(&format!(" snapshot_epoch={}", meta.epoch));
+        }
+        Ok(out)
+    }
+
+    /// Phase two: swap the staged release in atomically (same epoch
+    /// bump and world-pool invalidation as `RELOAD`, but with the load
+    /// already paid in phase one, the flip is O(1)).
+    fn reload_commit(&self) -> Result<String, String> {
+        let staged = self
+            .staged
+            .lock()
+            .expect("staged slot poisoned")
+            .take()
+            .ok_or("nothing staged: run RELOAD_PREPARE first")?;
+        let n = staged.num_vertices();
+        let m = staged.num_candidates();
+        let epoch = self.swap_graph(staged);
+        Ok(format!("committed epoch={epoch} n={n} candidates={m}"))
     }
 
     /// Monte-Carlo estimate `S̄` over worlds `0..r` of the seed stream
@@ -792,6 +834,41 @@ mod tests {
             .collect();
         let mean = values.iter().sum::<f64>() / 5.0;
         assert!(after.starts_with(&format!("OK mean={mean} ")), "{after}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn two_phase_reload_serves_old_epoch_until_commit() {
+        let s = state();
+        assert_eq!(s.answer("HEALTH"), "OK ok epoch=0 n=4");
+        // Nothing staged yet: commit is a typed error, not a flip.
+        assert!(s.answer("RELOAD_COMMIT").starts_with("ERR "));
+
+        let dir = std::env::temp_dir().join(format!("obf_server_prepare_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r1.snap");
+        let g2 = Arc::new(UncertainGraph::new(4, vec![(0, 1, 1.0), (2, 3, 0.5)]).unwrap());
+        obf_uncertain::save_snapshot(&g2, &path).unwrap();
+
+        let before = s.answer("INFO");
+        let reply = s.answer(&format!("RELOAD_PREPARE {}", path.display()));
+        assert!(reply.starts_with("OK prepared n=4 candidates=2"), "{reply}");
+        // Prepared but not committed: every answer is still epoch 0.
+        assert_eq!(s.answer("INFO"), before);
+        assert_eq!(s.epoch(), 0);
+        assert_eq!(s.reloads(), 0);
+
+        let reply = s.answer("RELOAD_COMMIT");
+        assert_eq!(reply, "OK committed epoch=1 n=4 candidates=2");
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.reloads(), 1);
+        assert_eq!(s.answer("HEALTH"), "OK ok epoch=1 n=4");
+        assert_eq!(
+            s.answer("EXPECTED num_edges"),
+            format!("OK {}", expected_num_edges(&g2))
+        );
+        // The staged slot is consumed: a second commit errors.
+        assert!(s.answer("RELOAD_COMMIT").starts_with("ERR "));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -30,6 +30,13 @@
 //! RELOAD <path>                admin: swap in a new release (snapshot or
 //!                              TSV, auto-detected); bumps the serve
 //!                              epoch and invalidates cached worlds
+//! RELOAD_PREPARE <path>        admin: load a release into the staged
+//!                              slot without serving it — the fleet
+//!                              router prepares every replica before any
+//!                              replica flips
+//! RELOAD_COMMIT                admin: atomically swap in the staged
+//!                              release (ERR if nothing is staged)
+//! HEALTH                       liveness probe: `OK ok epoch=<e> n=<n>`
 //! SHUTDOWN                     admin: stop accepting connections
 //! QUIT
 //! ```
@@ -158,6 +165,14 @@ pub enum Request {
     /// Admin: load the file at the path and swap it in as the new
     /// release.
     Reload(String),
+    /// Admin: load the file at the path into the staged slot without
+    /// serving it (phase one of the fleet's epoch-consistent rollout).
+    ReloadPrepare(String),
+    /// Admin: atomically swap in the staged release (phase two).
+    ReloadCommit,
+    /// Liveness probe answered without touching the graph beyond the
+    /// epoch read — the router's health check.
+    Health,
     /// Admin: stop the accept loop.
     Shutdown,
     Quit,
@@ -222,6 +237,12 @@ impl Request {
                 let path = parts.next().ok_or("RELOAD needs a file path")?;
                 Request::Reload(path.to_string())
             }
+            "RELOAD_PREPARE" => {
+                let path = parts.next().ok_or("RELOAD_PREPARE needs a file path")?;
+                Request::ReloadPrepare(path.to_string())
+            }
+            "RELOAD_COMMIT" => Request::ReloadCommit,
+            "HEALTH" => Request::Health,
             "SHUTDOWN" => Request::Shutdown,
             "QUIT" => Request::Quit,
             other => return Err(format!("unknown request {other:?}")),
@@ -284,6 +305,12 @@ mod tests {
             Request::parse("RELOAD /tmp/release1.snap"),
             Ok(Request::Reload("/tmp/release1.snap".into()))
         );
+        assert_eq!(
+            Request::parse("RELOAD_PREPARE /tmp/release2.snap"),
+            Ok(Request::ReloadPrepare("/tmp/release2.snap".into()))
+        );
+        assert_eq!(Request::parse("RELOAD_COMMIT"), Ok(Request::ReloadCommit));
+        assert_eq!(Request::parse("HEALTH"), Ok(Request::Health));
         assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
     }
@@ -306,6 +333,9 @@ mod tests {
             "PING extra",
             "RELOAD",
             "RELOAD two paths",
+            "RELOAD_PREPARE",
+            "RELOAD_COMMIT now",
+            "HEALTH check",
             "SHUTDOWN now",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");

@@ -50,7 +50,7 @@ pub mod tally;
 pub mod truncated;
 
 pub use describe::{mean, quantile, sample_std, sample_var, BoxplotSummary, Summary};
-pub use entropy::{entropy_bits, entropy_bits_normalized};
+pub use entropy::{entropy_bits, entropy_bits_normalized, entropy_from_partials};
 pub use histogram::IntHistogram;
 pub use hoeffding::{hoeffding_bound, hoeffding_bound_tally, hoeffding_sample_size};
 pub use jackknife::jackknife_groups;

@@ -54,8 +54,8 @@ pub use queries::{distance_distribution, knn_majority_distance, reliability};
 pub use sampling::{sample_indexed_world, sample_worlds_par, WorldSampler};
 pub use snapshot::{
     decode_snapshot, decode_snapshot_with_meta, load_snapshot, load_snapshot_with_meta,
-    read_snapshot, save_snapshot, save_snapshot_with_meta, stored_checksum, write_snapshot,
-    SnapshotError, SnapshotMeta,
+    read_snapshot, save_snapshot, save_snapshot_with_meta, snapshot_bytes,
+    snapshot_bytes_with_meta, stored_checksum, write_snapshot, SnapshotError, SnapshotMeta,
 };
 pub use statistics::{evaluate_uncertain, evaluate_world, StatSuite, UtilityConfig};
 pub use triangles::{

@@ -1,0 +1,239 @@
+//! Distributed-equivalence campaign: the partitioned Definition 2
+//! check and scattered world sampling must be **bit-identical** to the
+//! single-process engine at every worker count, on both transports,
+//! including ragged splits (worker counts that don't divide the chunk
+//! count, chunk counts smaller than the worker count).
+//!
+//! The contract under test: workers return per-chunk `(Σx, Σx·log₂x)`
+//! partials over the *globally fixed* chunking and the coordinator
+//! folds all chunks in ascending chunk order — the same reduction tree
+//! as `AdversaryTable::entropies` — so distribution changes wall-clock
+//! time and nothing else.
+
+use obf_cluster::{spawn_in_proc_workers, spawn_socket_workers, Coordinator, Transport};
+use obf_core::adversary::AdversaryTable;
+use obf_core::{run_budgeted, DegreeProfile, MemoizedAdversary, ObfuscationCheck};
+use obf_graph::{Graph, GraphBuilder, Parallelism};
+use obf_uncertain::{sample_indexed_world, sample_worlds_par, DegreeDistMethod, UncertainGraph};
+use proptest::prelude::*;
+
+/// An original graph and a published uncertain graph over the same
+/// vertex set (the check needs nothing more than a shared `n`).
+fn arb_pair(max_n: usize) -> impl Strategy<Value = (Graph, UncertainGraph)> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+        let cands = proptest::collection::vec((0..n as u32, 0..n as u32, 0.0f64..=1.0), 0..3 * n);
+        (edges, cands).prop_map(move |(edges, triples)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut kept = Vec::new();
+            for (u, v, p) in triples {
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    kept.push((key.0, key.1, p));
+                }
+            }
+            (b.build(), UncertainGraph::new(n, kept).unwrap())
+        })
+    })
+}
+
+fn workers_for(transport: &str, count: usize) -> Vec<Box<dyn Transport>> {
+    match transport {
+        "in_proc" => spawn_in_proc_workers(count),
+        "socket" => spawn_socket_workers(count).expect("loopback socket workers"),
+        other => panic!("unknown transport {other}"),
+    }
+}
+
+/// Asserts the distributed check reproduces the single-process one bit
+/// for bit: every per-degree entropy, ε̃, and the failure count.
+fn assert_check_identical(got: &ObfuscationCheck, expected: &ObfuscationCheck) {
+    assert_eq!(
+        got.entropy_by_degree.len(),
+        expected.entropy_by_degree.len()
+    );
+    for ((dg, hg), (de, he)) in got
+        .entropy_by_degree
+        .iter()
+        .zip(&expected.entropy_by_degree)
+    {
+        assert_eq!(dg, de);
+        assert_eq!(hg.to_bits(), he.to_bits(), "H(Y_{dg}) differs");
+    }
+    assert_eq!(got.eps_achieved.to_bits(), expected.eps_achieved.to_bits());
+    assert_eq!(got.failed_vertices, expected.failed_vertices);
+}
+
+/// The acceptance matrix, exhaustively: workers ∈ {1, 2, 4} × both
+/// transports × chunk sizes that make the splits ragged (25 vertices,
+/// chunk_size 3 → 9 chunks, which 2 and 4 don't divide; chunk_size 64
+/// → 1 chunk, fewer than every multi-worker count).
+#[test]
+fn acceptance_matrix_workers_transports_ragged_splits() {
+    let original = {
+        let mut b = GraphBuilder::new(25);
+        for v in 1..25u32 {
+            b.add_edge(v - 1, v);
+            if v % 3 == 0 {
+                b.add_edge(v, v / 3);
+            }
+        }
+        b.build()
+    };
+    let published = UncertainGraph::new(
+        25,
+        (1..25u32)
+            .map(|v| (v - 1, v, 0.15 + 0.8 * f64::from(v) / 25.0))
+            .chain((0..8u32).map(|i| (i, i + 10, 0.5)))
+            .collect(),
+    )
+    .unwrap();
+    let profile = DegreeProfile::new(&original);
+    let table = AdversaryTable::build(&published, DegreeDistMethod::Exact);
+    let k = 3;
+    for chunk_size in [1, 3, 7, 64] {
+        let par = Parallelism::sequential().with_chunk_size(chunk_size);
+        let expected = ObfuscationCheck::run_with_profile(&profile, &table, k, &par);
+        let expected_worlds = sample_worlds_par(&published, 13, 99, &par);
+        for transport in ["in_proc", "socket"] {
+            for workers in [1, 2, 4] {
+                let mut coord = Coordinator::new(workers_for(transport, workers));
+                coord.load_graph(&published).unwrap();
+                let got = coord
+                    .check(&original, k, DegreeDistMethod::Exact, chunk_size)
+                    .unwrap();
+                assert_check_identical(&got, &expected);
+                let worlds = coord.sample_worlds(13, 99).unwrap();
+                assert_eq!(worlds.len(), expected_worlds.len());
+                for (w, e) in worlds.iter().zip(&expected_worlds) {
+                    assert_eq!(
+                        w.edges().collect::<Vec<_>>(),
+                        e.edges().collect::<Vec<_>>(),
+                        "world mismatch at {transport} × {workers} workers × cs {chunk_size}"
+                    );
+                }
+                coord.shutdown().unwrap();
+            }
+        }
+    }
+}
+
+/// The distributed verdict also agrees with the memoized budgeted fast
+/// path (which is itself proven bit-identical to the exhaustive check).
+#[test]
+fn distributed_verdict_agrees_with_memoized_fastpath() {
+    let original = Graph::from_edges(
+        12,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (6, 7),
+            (8, 9),
+            (10, 11),
+            (0, 6),
+        ],
+    );
+    let published = UncertainGraph::new(
+        12,
+        vec![
+            (0, 1, 0.8),
+            (1, 2, 0.6),
+            (2, 3, 0.9),
+            (3, 4, 0.4),
+            (4, 5, 0.7),
+            (5, 0, 0.3),
+            (6, 7, 0.5),
+            (8, 9, 0.95),
+            (10, 11, 0.2),
+            (0, 6, 0.45),
+        ],
+    )
+    .unwrap();
+    let profile = DegreeProfile::new(&original);
+    let par = Parallelism::sequential().with_chunk_size(4);
+    for k in [2, 3, 5] {
+        for eps in [0.05, 0.25, 0.9] {
+            let mut adv = MemoizedAdversary::new(&published, DegreeDistMethod::Exact, 64, &par);
+            let budgeted = run_budgeted(&profile, &mut adv, k, eps, false, &par);
+            let mut coord = Coordinator::new(spawn_in_proc_workers(3));
+            coord.load_graph(&published).unwrap();
+            let got = coord
+                .check(&original, k, DegreeDistMethod::Exact, 4)
+                .unwrap();
+            assert_eq!(got.satisfies(eps), budgeted.satisfies, "k={k} eps={eps}");
+            if let Some(eps_exact) = budgeted.eps_exact {
+                assert_eq!(got.eps_achieved.to_bits(), eps_exact.to_bits());
+            }
+            coord.shutdown().unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random graphs × random worker counts × random chunk sizes: the
+    /// distributed check is bit-identical to the single-process check.
+    #[test]
+    fn partitioned_check_is_bit_identical(
+        (original, published) in arb_pair(18),
+        workers in 1usize..=4,
+        chunk_size in 1usize..=8,
+        socket in any::<bool>(),
+        k in 2usize..=4,
+    ) {
+        let profile = DegreeProfile::new(&original);
+        let table = AdversaryTable::build(&published, DegreeDistMethod::Exact);
+        let par = Parallelism::sequential().with_chunk_size(chunk_size);
+        let expected = ObfuscationCheck::run_with_profile(&profile, &table, k, &par);
+        let transport = if socket { "socket" } else { "in_proc" };
+        let mut coord = Coordinator::new(workers_for(transport, workers));
+        coord.load_graph(&published).unwrap();
+        let got = coord
+            .check(&original, k, DegreeDistMethod::Exact, chunk_size)
+            .unwrap();
+        assert_check_identical(&got, &expected);
+        coord.shutdown().unwrap();
+    }
+
+    /// Scattered world sampling reproduces the indexed stream exactly:
+    /// world `i` equals `sample_indexed_world(g, seed, i)` regardless
+    /// of which worker drew it.
+    #[test]
+    fn scattered_sampling_matches_indexed_stream(
+        (_, published) in arb_pair(18),
+        workers in 1usize..=4,
+        r in 0usize..=17,
+        master_seed in any::<u64>(),
+        socket in any::<bool>(),
+    ) {
+        let transport = if socket { "socket" } else { "in_proc" };
+        let mut coord = Coordinator::new(workers_for(transport, workers));
+        coord.load_graph(&published).unwrap();
+        let got = coord.sample_worlds(r, master_seed).unwrap();
+        prop_assert_eq!(got.len(), r);
+        for (i, world) in got.iter().enumerate() {
+            let expected = sample_indexed_world(&published, master_seed, i);
+            prop_assert_eq!(world.num_vertices(), expected.num_vertices());
+            prop_assert_eq!(
+                world.edges().collect::<Vec<_>>(),
+                expected.edges().collect::<Vec<_>>(),
+                "world {} differs", i
+            );
+        }
+        coord.shutdown().unwrap();
+    }
+}
