@@ -11,6 +11,7 @@
 #   ./ci.sh serve      # obf_server integration tests + loadgen smoke + digest check
 #   ./ci.sh evolve     # obf_evolve tests + republish bench smoke + digest check
 #   ./ci.sh cluster    # obf_cluster tests + cluster_bench toy run + fleet digest check
+#   ./ci.sh snapshot   # snapshot v3 round-trip, convert tool, mmap-vs-heap digest, docs spec
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -179,6 +180,53 @@ cluster() {
     echo "cluster OK: bit-identical at every worker count, stable digest $expected_digest"
 }
 
+snapshot() {
+    step "snapshot + mapped-store + out-of-core-build test suites"
+    cargo test -q -p obf_uncertain snapshot
+    cargo test -q -p obf_uncertain mapped
+    cargo test -q -p obf_uncertain build
+    cargo test -q --test snapshot_v3
+
+    step "docs-consistency (every verb + format version appears in docs/FORMATS.md)"
+    ./scripts/check_formats_docs.sh
+
+    # End-to-end tool check: TSV -> v3 (in-memory) and TSV -> v3
+    # (out-of-core, tiny budget to force spill runs) must produce
+    # byte-identical files, and --verify must pass on both paths.
+    step "snapshot_convert round-trip (in-memory vs out-of-core, byte-identical)"
+    cargo build --release -p obf_bench
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    cat > "$tmpdir/toy.tsv" <<'EOF'
+# n=5
+0	1	0.7
+0	2	0.9
+1	2	0.8
+1	3	0.1
+2	4	0.35
+3	4	1
+EOF
+    ./target/release/snapshot_convert --verify "$tmpdir/toy.tsv" "$tmpdir/toy.mem.v3"
+    ./target/release/snapshot_convert --verify --out-of-core --mem-budget 64 \
+        "$tmpdir/toy.tsv" "$tmpdir/toy.ext.v3"
+    cmp "$tmpdir/toy.mem.v3" "$tmpdir/toy.ext.v3" \
+        || { echo "out-of-core v3 build differs from in-memory writer"; exit 1; }
+    ./target/release/snapshot_convert --verify --format v2 "$tmpdir/toy.mem.v3" "$tmpdir/toy.v2" \
+        || { echo "v3 -> v2 conversion failed"; exit 1; }
+
+    # Serving equivalence: the bench asserts the mmap-served candidate
+    # stream digests equal to the heap-loaded one at every size, and
+    # records the open-time columns the nightly job tracks.
+    step "snapshot_bench (mmap-vs-heap digest + open-time columns)"
+    OBF_FAST=1 ./target/release/snapshot_bench
+    test -s results/BENCH_snapshot.json \
+        || { echo "snapshot_bench did not emit results/BENCH_snapshot.json"; exit 1; }
+    matches=$(grep -c '"digest_match": true' results/BENCH_snapshot.json)
+    [ "$matches" -ge 3 ] \
+        || { echo "expected >= 3 digest_match entries, got $matches"; exit 1; }
+    echo "snapshot OK: byte-identical builds, $matches mmap-vs-heap digest matches"
+}
+
 case "${1:-all}" in
     lint) lint ;;
     test) run_tests ;;
@@ -186,6 +234,7 @@ case "${1:-all}" in
     serve) serve ;;
     evolve) evolve ;;
     cluster) cluster ;;
+    snapshot) snapshot ;;
     fast)
         lint
         run_tests
@@ -197,9 +246,10 @@ case "${1:-all}" in
         serve
         evolve
         cluster
+        snapshot
         ;;
     *)
-        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|fast)" >&2
+        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|snapshot|fast)" >&2
         exit 2
         ;;
 esac

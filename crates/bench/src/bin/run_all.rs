@@ -15,11 +15,26 @@ use std::process::Command;
 fn main() {
     if obf_bench::help_requested() {
         println!("run_all: run every table/figure binary in sequence");
+        println!(
+            "binaries driven: table1 table2 table3 table4 table5 fig2 fig3 fig4 table6 snapshot_bench"
+        );
+        println!(
+            "not driven (on-demand tools): loadgen, republish, cluster_bench, snapshot_convert"
+        );
         println!("{}", obf_bench::HARNESS_USAGE);
         return;
     }
     let exes = [
-        "table1", "table2", "table3", "table4", "table5", "fig2", "fig3", "fig4", "table6",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig2",
+        "fig3",
+        "fig4",
+        "table6",
+        "snapshot_bench",
     ];
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let self_path = std::env::current_exe().expect("current exe");

@@ -11,7 +11,7 @@
 //! `SHUTDOWN` verb.
 
 use obf_cluster::{Fleet, RouterConfig};
-use obf_server::{load_published_graph, ServerConfig};
+use obf_server::{load_published_graph_with_source, ServerConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -42,12 +42,12 @@ fn main() {
     if replicas == 0 {
         die("--replicas must be at least 1");
     }
-    let (graph, meta) = match load_published_graph(&path) {
+    let (graph, meta, source) = match load_published_graph_with_source(&path) {
         Ok(loaded) => loaded,
         Err(e) => die(&e),
     };
     eprintln!(
-        "loaded {path}: n={} candidates={}{}",
+        "loaded {path} ({source}): n={} candidates={}{}",
         graph.num_vertices(),
         graph.num_candidates(),
         meta.map(|m| format!(" snapshot_epoch={}", m.epoch))

@@ -14,6 +14,9 @@
 //! Decoding never panics and never allocates proportionally to a
 //! length field without first checking it against the bytes actually
 //! present: a truncated or garbage frame is a typed [`WireError`].
+//!
+//! The normative tag/body tables live in `docs/FORMATS.md` § "Cluster
+//! worker wire protocol".
 
 use obf_uncertain::DegreeDistMethod;
 use std::fmt;

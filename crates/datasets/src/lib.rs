@@ -131,6 +131,16 @@ impl DatasetSpec {
         Self::synthetic(dataset, dataset.default_scale(), seed)
     }
 
+    /// Synthesises at the *paper's* full vertex count
+    /// ([`Dataset::paper_n`] — 226 413 vertices for dblp): the input of
+    /// the paper-scale Table 3 row and the external-memory snapshot
+    /// builds. Expect seconds of generation time and hundreds of MB of
+    /// working set; the scaled-down sizes stay the default everywhere
+    /// latency matters.
+    pub fn paper_scale(dataset: Dataset, seed: u64) -> Self {
+        Self::synthetic(dataset, dataset.paper_n(), seed)
+    }
+
     /// Loads a real edge list to stand in for `dataset`.
     pub fn from_edge_list<P: AsRef<std::path::Path>>(
         dataset: Dataset,

@@ -17,6 +17,9 @@
 //! canonical for the declared vertex count, and the per-batch operation
 //! counts in the `batch` line must match the body — a truncated or
 //! hand-edited log can never half-apply.
+//!
+//! The normative grammar lives in `docs/FORMATS.md` § "Delta logs
+//! (OBFUDELTA v1)".
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;

@@ -1,0 +1,294 @@
+//! Bounded-RAM external sorting for fixed-size records.
+//!
+//! The out-of-core CSR build (`obf_uncertain::build`) has to order tens
+//! of millions of incidence records without holding them in memory.
+//! [`ExternalSorter`] implements the classic two-phase recipe: records
+//! are buffered up to a byte budget, each full buffer is sorted and
+//! spilled to a *run* file in a temp directory, and
+//! [`ExternalSorter::finish`] k-way merges the sorted runs through a
+//! binary heap into one globally sorted stream. Peak memory is the
+//! buffer budget plus one [`std::io::BufReader`] per run; run files are
+//! deleted as the merge drains them.
+//!
+//! Records serialise themselves via the [`Record`] trait (fixed
+//! [`Record::SIZE`], little-endian by convention — the run files are
+//! private scratch, not an interchange format) and must be `Ord`; ties
+//! may be yielded in any run order, so make the ordering total over the
+//! meaningful key bits.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size, totally ordered record that can round-trip through a
+/// byte buffer of exactly [`Record::SIZE`] bytes.
+pub trait Record: Copy + Ord {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Writes the record into `buf` (`buf.len() == SIZE`).
+    fn encode(&self, buf: &mut [u8]);
+    /// Reads a record back from `buf` (`buf.len() == SIZE`).
+    fn decode(buf: &[u8]) -> Self;
+}
+
+/// Distinguishes concurrently live sorters sharing a temp directory.
+static SORTER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Two-phase external sorter: `push` records, then `finish` into a
+/// sorted iterator. See the module docs.
+pub struct ExternalSorter<T: Record> {
+    tmp_dir: PathBuf,
+    /// Max records buffered in RAM before spilling a run.
+    buffer_cap: usize,
+    buffer: Vec<T>,
+    runs: Vec<PathBuf>,
+    id: u64,
+    total: u64,
+}
+
+impl<T: Record> ExternalSorter<T> {
+    /// Creates a sorter spilling runs into `tmp_dir` (created if
+    /// missing), buffering at most `mem_budget_bytes` of records in RAM
+    /// (at least one record, so tiny budgets degrade to more runs, not
+    /// failure).
+    pub fn new<P: AsRef<Path>>(tmp_dir: P, mem_budget_bytes: usize) -> std::io::Result<Self> {
+        let tmp_dir = tmp_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&tmp_dir)?;
+        let buffer_cap = (mem_budget_bytes / T::SIZE).max(1);
+        Ok(Self {
+            tmp_dir,
+            buffer_cap,
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            id: SORTER_ID.fetch_add(1, Ordering::Relaxed),
+            total: 0,
+        })
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of runs spilled to disk so far (diagnostics).
+    pub fn runs_spilled(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Adds a record, spilling a sorted run when the buffer fills.
+    pub fn push(&mut self, rec: T) -> std::io::Result<()> {
+        self.buffer.push(rec);
+        self.total += 1;
+        if self.buffer.len() >= self.buffer_cap {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> std::io::Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.buffer.sort_unstable();
+        let path = self.tmp_dir.join(format!(
+            "extsort_{}_{}_{}.run",
+            std::process::id(),
+            self.id,
+            self.runs.len()
+        ));
+        let mut w = BufWriter::new(File::create(&path)?);
+        let mut buf = vec![0u8; T::SIZE];
+        for rec in &self.buffer {
+            rec.encode(&mut buf);
+            w.write_all(&buf)?;
+        }
+        w.flush()?;
+        self.runs.push(path);
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Finishes the sort: spills any buffered tail and returns the
+    /// k-way merged, globally sorted stream. Run files are deleted as
+    /// the iterator drains (and on drop).
+    pub fn finish(mut self) -> std::io::Result<SortedRecords<T>> {
+        if self.runs.is_empty() {
+            // Everything fit in the budget: sort in place, no disk.
+            self.buffer.sort_unstable();
+            let buffer = std::mem::take(&mut self.buffer);
+            return Ok(SortedRecords {
+                mem: buffer.into_iter(),
+                heap: BinaryHeap::new(),
+                readers: Vec::new(),
+                run_paths: Vec::new(),
+            });
+        }
+        self.spill()?;
+        let mut readers = Vec::with_capacity(self.runs.len());
+        let mut heap = BinaryHeap::with_capacity(self.runs.len());
+        for (i, path) in self.runs.iter().enumerate() {
+            let mut reader: RunReader<T> = RunReader {
+                inner: BufReader::with_capacity(64 * 1024, File::open(path)?),
+                buf: vec![0u8; T::SIZE],
+                _marker: std::marker::PhantomData,
+            };
+            if let Some(rec) = reader.next_record()? {
+                heap.push(Reverse((rec, i)));
+            }
+            readers.push(reader);
+        }
+        Ok(SortedRecords {
+            mem: Vec::new().into_iter(),
+            heap,
+            readers,
+            run_paths: std::mem::take(&mut self.runs),
+        })
+    }
+}
+
+struct RunReader<T: Record> {
+    inner: BufReader<File>,
+    buf: Vec<u8>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Record> RunReader<T> {
+    fn next_record(&mut self) -> std::io::Result<Option<T>> {
+        match self.inner.read_exact(&mut self.buf) {
+            Ok(()) => Ok(Some(T::decode(&self.buf))),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The globally sorted output stream of an [`ExternalSorter`].
+///
+/// Yields `io::Result<T>` items: run files live on disk, so reads can
+/// fail mid-stream. Deletes the run files when dropped.
+pub struct SortedRecords<T: Record> {
+    /// In-memory fast path when nothing was spilled.
+    mem: std::vec::IntoIter<T>,
+    heap: BinaryHeap<Reverse<(T, usize)>>,
+    readers: Vec<RunReader<T>>,
+    run_paths: Vec<PathBuf>,
+}
+
+impl<T: Record> Iterator for SortedRecords<T> {
+    type Item = std::io::Result<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(rec) = self.mem.next() {
+            return Some(Ok(rec));
+        }
+        let Reverse((rec, run)) = self.heap.pop()?;
+        match self.readers[run].next_record() {
+            Ok(Some(next)) => self.heap.push(Reverse((next, run))),
+            Ok(None) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        Some(Ok(rec))
+    }
+}
+
+impl<T: Record> Drop for SortedRecords<T> {
+    fn drop(&mut self) {
+        for path in &self.run_paths {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    impl Record for u64 {
+        const SIZE: usize = 8;
+        fn encode(&self, buf: &mut [u8]) {
+            buf.copy_from_slice(&self.to_le_bytes());
+        }
+        fn decode(buf: &[u8]) -> Self {
+            u64::from_le_bytes(buf.try_into().unwrap())
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join("obfugraph_extsort_test")
+            .join(name)
+    }
+
+    /// Deterministic pseudo-random sequence without the rand dep.
+    fn scramble(i: u64) -> u64 {
+        crate::splitmix64(i ^ 0xE575_0C7E)
+    }
+
+    #[test]
+    fn sorts_in_memory_when_under_budget() {
+        let mut s: ExternalSorter<u64> = ExternalSorter::new(tmp("mem"), 1 << 20).unwrap();
+        for i in 0..1000 {
+            s.push(scramble(i)).unwrap();
+        }
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.runs_spilled(), 0);
+        let out: Vec<u64> = s.finish().unwrap().map(|r| r.unwrap()).collect();
+        let mut want: Vec<u64> = (0..1000).map(scramble).collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn spills_and_merges_with_tiny_budget() {
+        let dir = tmp("spill");
+        // 64-byte budget => 8 records per run => ~125 runs for 1000.
+        let mut s: ExternalSorter<u64> = ExternalSorter::new(&dir, 64).unwrap();
+        for i in 0..1000 {
+            s.push(scramble(i)).unwrap();
+        }
+        assert!(s.runs_spilled() >= 100, "only {} runs", s.runs_spilled());
+        let merged = s.finish().unwrap();
+        let out: Vec<u64> = merged.map(|r| r.unwrap()).collect();
+        let mut want: Vec<u64> = (0..1000).map(scramble).collect();
+        want.sort_unstable();
+        assert_eq!(out, want);
+        // All run files cleaned up.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".run")
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+    }
+
+    #[test]
+    fn duplicates_and_empty_input_survive() {
+        let mut s: ExternalSorter<u64> = ExternalSorter::new(tmp("dups"), 32).unwrap();
+        for _ in 0..10 {
+            for v in [5u64, 3, 5, 1] {
+                s.push(v).unwrap();
+            }
+        }
+        let out: Vec<u64> = s.finish().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(out.len(), 40);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.iter().filter(|&&v| v == 5).count(), 20);
+
+        let empty: ExternalSorter<u64> = ExternalSorter::new(tmp("empty"), 32).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.finish().unwrap().count(), 0);
+    }
+}

@@ -12,12 +12,17 @@ use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::hashers::FxHashMap;
 
-/// Errors from edge-list parsing.
+/// Errors from edge-list parsing. Every content error names both the
+/// 1-based line and the byte offset where that line starts (counting
+/// `\n` line endings), so a report is actionable with either a text
+/// editor or `dd`/`xxd`.
 #[derive(Debug)]
 pub enum IoError {
     Io(std::io::Error),
     Parse {
         line: usize,
+        /// Byte offset of the start of the offending line.
+        byte: u64,
         content: String,
     },
     /// A line that parses but violates the edge-list contract (self loop,
@@ -25,6 +30,8 @@ pub enum IoError {
     /// file can be fixed rather than silently patched.
     Invalid {
         line: usize,
+        /// Byte offset of the start of the offending line.
+        byte: u64,
         msg: String,
     },
 }
@@ -33,11 +40,21 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse { line, content } => {
-                write!(f, "parse error at line {line}: {content:?}")
+            IoError::Parse {
+                line,
+                byte,
+                content,
+            } => {
+                write!(
+                    f,
+                    "parse error at line {line} (byte offset {byte}): {content:?}"
+                )
             }
-            IoError::Invalid { line, msg } => {
-                write!(f, "invalid edge list at line {line}: {msg}")
+            IoError::Invalid { line, byte, msg } => {
+                write!(
+                    f,
+                    "invalid edge list at line {line} (byte offset {byte}): {msg}"
+                )
             }
         }
     }
@@ -81,8 +98,13 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
             id
         })
     };
+    // Byte offset of the current line's first byte, assuming `\n`
+    // line endings (what `lines()` strips).
+    let mut line_start: u64 = 0;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let byte = line_start;
+        line_start += line.len() as u64 + 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
@@ -93,6 +115,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
             _ => {
                 return Err(IoError::Parse {
                     line: lineno + 1,
+                    byte,
                     content: line.clone(),
                 })
             }
@@ -102,6 +125,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
             _ => {
                 return Err(IoError::Parse {
                     line: lineno + 1,
+                    byte,
                     content: line.clone(),
                 })
             }
@@ -109,6 +133,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
         if a == b {
             return Err(IoError::Invalid {
                 line: lineno + 1,
+                byte,
                 msg: format!("self loop at vertex {a}"),
             });
         }
@@ -117,6 +142,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
         if !seen.insert((u.min(v), u.max(v))) {
             return Err(IoError::Invalid {
                 line: lineno + 1,
+                byte,
                 msg: format!("duplicate edge ({a}, {b})"),
             });
         }
@@ -175,11 +201,12 @@ mod tests {
     }
 
     #[test]
-    fn self_loop_rejected_with_line() {
+    fn self_loop_rejected_with_line_and_byte() {
         let input = "1 2\n3 3\n";
         match read_edge_list(input.as_bytes()) {
-            Err(IoError::Invalid { line, msg }) => {
+            Err(IoError::Invalid { line, byte, msg }) => {
                 assert_eq!(line, 2);
+                assert_eq!(byte, 4);
                 assert!(msg.contains("self loop"), "msg={msg}");
             }
             other => panic!("expected invalid error, got {other:?}"),
@@ -190,8 +217,9 @@ mod tests {
     fn duplicate_rejected_with_line_either_orientation() {
         for input in ["1 2\n1 2\n", "1 2\n2 1\n"] {
             match read_edge_list(input.as_bytes()) {
-                Err(IoError::Invalid { line, msg }) => {
+                Err(IoError::Invalid { line, byte, msg }) => {
                     assert_eq!(line, 2);
+                    assert_eq!(byte, 4);
                     assert!(msg.contains("duplicate"), "msg={msg}");
                 }
                 other => panic!("expected invalid error, got {other:?}"),
@@ -200,12 +228,17 @@ mod tests {
     }
 
     #[test]
-    fn parse_error_reported_with_line() {
-        let input = "1 2\nbogus\n";
+    fn parse_error_reported_with_line_and_byte() {
+        let input = "# header\n1 2\nbogus\n";
         match read_edge_list(input.as_bytes()) {
-            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            Err(IoError::Parse { line, byte, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(byte, 13);
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
+        let err = read_edge_list("bogus\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("byte offset 0"), "{err}");
     }
 
     #[test]

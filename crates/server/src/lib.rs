@@ -138,20 +138,89 @@ impl Default for ServerConfig {
     }
 }
 
+/// How a loaded release is backed in memory: zero-copy pages of the
+/// snapshot file, or owned heap arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphSource {
+    /// A v3 snapshot served straight from an `mmap(2)` of the file.
+    Mmap,
+    /// Decoded into heap-owned CSR arrays (TSV, v1/v2 snapshots, or a
+    /// v3 file on a platform without the mmap fast path).
+    Heap,
+}
+
+impl std::fmt::Display for GraphSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GraphSource::Mmap => "mmap",
+            GraphSource::Heap => "heap",
+        })
+    }
+}
+
 /// Loads a published graph from disk, auto-detecting the format by the
 /// snapshot magic bytes: binary snapshot (with its release metadata) or
 /// whitespace-separated `u v p` TSV (no metadata).
-pub fn load_published_graph(path: &str) -> Result<(UncertainGraph, Option<SnapshotMeta>), String> {
+///
+/// v3 snapshots are preferentially mapped, not read: the page-aligned
+/// CSR sections are served zero-copy via [`obf_uncertain::MappedSnapshot`],
+/// so load time is the O(1) structural verification instead of
+/// O(bytes), and resident memory is whatever the page cache keeps warm.
+/// Anything the mmap path cannot take (v1/v2, big-endian host, non-unix
+/// platform) falls back to the heap decoder, whose answers are
+/// bit-identical.
+pub fn load_published_graph_with_source(
+    path: &str,
+) -> Result<(UncertainGraph, Option<SnapshotMeta>, GraphSource), String> {
+    // Sniff magic + version without reading the body, so a multi-GB v3
+    // release never transits the heap.
+    let head = {
+        use std::io::Read;
+        let mut f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut head = [0u8; 12];
+        let mut got = 0;
+        while got < head.len() {
+            match f.read(&mut head[got..]) {
+                Ok(0) => break,
+                Ok(k) => got += k,
+                Err(e) => return Err(format!("cannot read {path}: {e}")),
+            }
+        }
+        (head, got)
+    };
+    let is_snapshot = head.1 >= SNAPSHOT_MAGIC.len() && head.0[..8] == SNAPSHOT_MAGIC;
+    if is_snapshot && head.1 >= 12 {
+        let version = u32::from_le_bytes(head.0[8..12].try_into().expect("4 bytes"));
+        if version == obf_uncertain::snapshot::SNAPSHOT_VERSION_V3 {
+            if let Ok(snap) = obf_uncertain::MappedSnapshot::open(path) {
+                let meta = snap.meta();
+                return Ok((
+                    UncertainGraph::from_mapped(snap),
+                    Some(meta),
+                    GraphSource::Mmap,
+                ));
+            }
+            // Fall through: the heap decoder re-reads the file and
+            // reports the precise byte-offset error (or succeeds where
+            // only the platform, not the file, blocked the mmap).
+        }
+    }
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if bytes.len() >= SNAPSHOT_MAGIC.len() && bytes[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC {
+    if is_snapshot {
         obf_uncertain::decode_snapshot_with_meta(&bytes)
-            .map(|(g, meta)| (g, Some(meta)))
+            .map(|(g, meta)| (g, Some(meta), GraphSource::Heap))
             .map_err(|e| e.to_string())
     } else {
         obf_uncertain::read_uncertain_edge_list(&bytes[..], 0)
-            .map(|g| (g, None))
+            .map(|g| (g, None, GraphSource::Heap))
             .map_err(|e| e.to_string())
     }
+}
+
+/// [`load_published_graph_with_source`] without the source tag, for
+/// callers that only need the graph.
+pub fn load_published_graph(path: &str) -> Result<(UncertainGraph, Option<SnapshotMeta>), String> {
+    load_published_graph_with_source(path).map(|(g, meta, _)| (g, meta))
 }
 
 /// Per-server state shared by the serving core. The published graph
@@ -398,7 +467,7 @@ impl ServerState {
     /// The `RELOAD <path>` admin command: load the file (snapshot or
     /// TSV), swap it in atomically, invalidate the world pool.
     fn reload(&self, path: &str) -> Result<String, String> {
-        let (graph, meta) = load_published_graph(path)?;
+        let (graph, meta, source) = load_published_graph_with_source(path)?;
         let n = graph.num_vertices();
         let m = graph.num_candidates();
         let epoch = self.swap_graph(Arc::new(graph));
@@ -409,6 +478,7 @@ impl ServerState {
                 meta.epoch, meta.parent_checksum
             ));
         }
+        out.push_str(&format!(" source={source}"));
         Ok(out)
     }
 
@@ -418,7 +488,7 @@ impl ServerState {
     /// replica commits, so the fleet never serves a mix of releases
     /// because one replica loaded faster than another.
     fn reload_prepare(&self, path: &str) -> Result<String, String> {
-        let (graph, meta) = load_published_graph(path)?;
+        let (graph, meta, source) = load_published_graph_with_source(path)?;
         let n = graph.num_vertices();
         let m = graph.num_candidates();
         *self.staged.lock().expect("staged slot poisoned") = Some(Arc::new(graph));
@@ -426,6 +496,7 @@ impl ServerState {
         if let Some(meta) = meta {
             out.push_str(&format!(" snapshot_epoch={}", meta.epoch));
         }
+        out.push_str(&format!(" source={source}"));
         Ok(out)
     }
 

@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use obf_server::{load_published_graph, PollerKind, Server, ServerConfig, ServerMode};
+use obf_server::{load_published_graph_with_source, PollerKind, Server, ServerConfig, ServerMode};
 
 const USAGE: &str = "usage:
   obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
@@ -105,9 +105,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or("missing graph path")?;
-    let (graph, meta) = load_published_graph(path)?;
+    let (graph, meta, source) = load_published_graph_with_source(path)?;
     eprintln!(
-        "loaded {path}: n = {}, |E_C| = {}, E[edges] = {:.1}{}",
+        "loaded {path} ({source}): n = {}, |E_C| = {}, E[edges] = {:.1}{}",
         graph.num_vertices(),
         graph.num_candidates(),
         obf_uncertain::expected_num_edges(&graph),

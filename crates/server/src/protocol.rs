@@ -40,6 +40,10 @@
 //! SHUTDOWN                     admin: stop accepting connections
 //! QUIT
 //! ```
+//!
+//! The normative verb/reply table (including the fleet router's admin
+//! verbs) lives in `docs/FORMATS.md` § "Server request/reply
+//! protocol"; CI fails if a verb exists here but not there.
 
 use std::io::{Read, Write};
 

@@ -1,0 +1,364 @@
+//! External-memory construction of v3 snapshots: bounded-RAM CSR
+//! builds for graphs whose edge list never fits in memory.
+//!
+//! [`ExtCsrBuilder`] accepts candidate pairs in *any* order, emits two
+//! 16-byte incidence records per pair — `(row, target, p)` and
+//! `(target, row, p)` — into an [`obf_graph::ExternalSorter`], and on
+//! [`ExtCsrBuilder::finish`] k-way merges the sorted runs directly into
+//! the three v3 sections: records arrive ordered by `(row, target)`,
+//! which *is* CSR order, so one sequential pass writes `offsets`,
+//! `targets` and `probs` to their (pre-computed, page-aligned) file
+//! regions while per-section [`Checksum64`]s accumulate incrementally.
+//! The header is stamped last with a single seek back to offset 0.
+//!
+//! Peak memory is the sorter's buffer budget plus three write buffers —
+//! independent of the graph size. The output is **byte-identical** to
+//! the in-memory writer [`crate::snapshot::snapshot_bytes_v3_with_meta`]
+//! over the same graph (tested below), so everything proven about v3
+//! files (mmap bit-identity, checksum coverage) transfers.
+
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use obf_graph::{ExternalSorter, Record};
+
+use crate::snapshot::{
+    checksum64, v3_layout, Checksum64, SnapshotMeta, SNAPSHOT_MAGIC, SNAPSHOT_VERSION_V3,
+    V3_HEADER_LEN,
+};
+
+/// Default sorter buffer budget: 64 MiB (~4M incidence records).
+pub const DEFAULT_MEM_BUDGET: usize = 64 << 20;
+
+/// Errors from the external-memory build.
+#[derive(Debug)]
+pub enum BuildError {
+    Io(std::io::Error),
+    /// A pushed candidate violates the graph invariants, or the merged
+    /// stream revealed a duplicate pair.
+    Invalid(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Io(e) => write!(f, "I/O error: {e}"),
+            BuildError::Invalid(msg) => write!(f, "invalid candidate stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<std::io::Error> for BuildError {
+    fn from(e: std::io::Error) -> Self {
+        BuildError::Io(e)
+    }
+}
+
+/// One CSR incidence entry; ordering by `(row, target)` is exactly CSR
+/// order. The probability rides along as raw bits (it is not part of
+/// the sort key in any meaningful way — `(row, target)` is unique in a
+/// valid stream).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct IncidenceRec {
+    row: u32,
+    target: u32,
+    p_bits: u64,
+}
+
+impl Record for IncidenceRec {
+    const SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..4].copy_from_slice(&self.row.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.target.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.p_bits.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        Self {
+            row: u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            target: u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+            p_bits: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+/// A buffered, checksumming writer over one section region of the
+/// output file (its own file handle, so the three sections advance
+/// independent cursors).
+struct SectionWriter {
+    file: std::io::BufWriter<std::fs::File>,
+    checksum: Checksum64,
+}
+
+impl SectionWriter {
+    fn open(path: &Path, start: u64, section_len: u64) -> std::io::Result<Self> {
+        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.seek(SeekFrom::Start(start))?;
+        Ok(Self {
+            file: std::io::BufWriter::with_capacity(256 * 1024, file),
+            checksum: Checksum64::new(section_len),
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.checksum.update(bytes);
+        self.file.write_all(bytes)
+    }
+
+    fn finish(mut self) -> std::io::Result<u64> {
+        self.file.flush()?;
+        Ok(self.checksum.finish())
+    }
+}
+
+/// Streams candidate pairs through disk-backed sorting into a v3
+/// snapshot file. See the module docs.
+pub struct ExtCsrBuilder {
+    n: usize,
+    sorter: ExternalSorter<IncidenceRec>,
+}
+
+impl ExtCsrBuilder {
+    /// A builder for an `n`-vertex graph, spilling sorted runs into
+    /// `tmp_dir` with the given RAM budget (use
+    /// [`DEFAULT_MEM_BUDGET`] when in doubt).
+    pub fn new<P: AsRef<Path>>(
+        n: usize,
+        tmp_dir: P,
+        mem_budget_bytes: usize,
+    ) -> Result<Self, BuildError> {
+        if n > u32::MAX as usize {
+            return Err(BuildError::Invalid(format!(
+                "n={n} exceeds the u32 vertex id space"
+            )));
+        }
+        Ok(Self {
+            n,
+            sorter: ExternalSorter::new(tmp_dir, mem_budget_bytes)?,
+        })
+    }
+
+    /// Adds one candidate pair (any orientation, any order across
+    /// calls). Validation matches [`crate::UncertainGraph::new`] except
+    /// duplicate detection, which happens during the merge in
+    /// [`ExtCsrBuilder::finish`].
+    pub fn push(&mut self, u: u32, v: u32, p: f64) -> Result<(), BuildError> {
+        if u == v {
+            return Err(BuildError::Invalid(format!("self loop at vertex {u}")));
+        }
+        if (u as usize) >= self.n || (v as usize) >= self.n {
+            return Err(BuildError::Invalid(format!(
+                "pair ({u},{v}) out of range for n={}",
+                self.n
+            )));
+        }
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(BuildError::Invalid(format!(
+                "probability {p} out of [0,1] for ({u},{v})"
+            )));
+        }
+        let p_bits = p.to_bits();
+        self.sorter.push(IncidenceRec {
+            row: u,
+            target: v,
+            p_bits,
+        })?;
+        self.sorter.push(IncidenceRec {
+            row: v,
+            target: u,
+            p_bits,
+        })?;
+        Ok(())
+    }
+
+    /// Candidate pairs pushed so far.
+    pub fn num_candidates(&self) -> u64 {
+        self.sorter.len() / 2
+    }
+
+    /// Sorted runs spilled so far (diagnostics: 0 means the build never
+    /// left RAM).
+    pub fn runs_spilled(&self) -> usize {
+        self.sorter.runs_spilled()
+    }
+
+    /// Merges the runs into a v3 snapshot at `path`, returning its
+    /// stored (header) checksum for epoch chaining.
+    pub fn finish<P: AsRef<Path>>(self, path: P, meta: SnapshotMeta) -> Result<u64, BuildError> {
+        let path = path.as_ref();
+        let (n, m) = (self.n, self.sorter.len() as usize / 2);
+        let (offsets_off, targets_off, probs_off, file_len) = v3_layout(n, m).ok_or_else(|| {
+            BuildError::Invalid(format!("graph sizes n={n}, m={m} overflow the v3 layout"))
+        })?;
+        let merged = self.sorter.finish()?;
+
+        // Pre-size the file: the extension is zero-filled, which is
+        // what makes the header padding and inter-section padding zero
+        // without ever writing them.
+        let file = std::fs::File::create(path)?;
+        file.set_len(file_len as u64)?;
+        drop(file);
+        let mut offsets_w = SectionWriter::open(path, offsets_off as u64, 8 * (n as u64 + 1))?;
+        let mut targets_w = SectionWriter::open(path, targets_off as u64, 8 * m as u64)?;
+        let mut probs_w = SectionWriter::open(path, probs_off as u64, 16 * m as u64)?;
+
+        // One sequential pass over the merged stream writes all three
+        // sections: records ordered by (row, target) are CSR order.
+        offsets_w.put(&0u64.to_le_bytes())?;
+        let mut current_row = 0u32;
+        let mut acc = 0u64;
+        let mut prev: Option<(u32, u32)> = None;
+        for rec in merged {
+            let rec = rec?;
+            if prev == Some((rec.row, rec.target)) {
+                let (u, v) = (rec.row.min(rec.target), rec.row.max(rec.target));
+                return Err(BuildError::Invalid(format!(
+                    "duplicate candidate pair ({u}, {v})"
+                )));
+            }
+            prev = Some((rec.row, rec.target));
+            while current_row < rec.row {
+                offsets_w.put(&acc.to_le_bytes())?;
+                current_row += 1;
+            }
+            acc += 1;
+            targets_w.put(&rec.target.to_le_bytes())?;
+            probs_w.put(&rec.p_bits.to_le_bytes())?;
+        }
+        while (current_row as usize) < n {
+            offsets_w.put(&acc.to_le_bytes())?;
+            current_row += 1;
+        }
+        debug_assert_eq!(acc as usize, 2 * m);
+        let section_checksums = [offsets_w.finish()?, targets_w.finish()?, probs_w.finish()?];
+
+        // Stamp the header last: its checksum commits to the section
+        // checksums, which commit to the section bytes just written.
+        let mut header = [0u8; V3_HEADER_LEN];
+        header[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        header[8..12].copy_from_slice(&SNAPSHOT_VERSION_V3.to_le_bytes());
+        header[16..24].copy_from_slice(&meta.epoch.to_le_bytes());
+        header[24..32].copy_from_slice(&meta.parent_checksum.to_le_bytes());
+        header[32..40].copy_from_slice(&(n as u64).to_le_bytes());
+        header[40..48].copy_from_slice(&(m as u64).to_le_bytes());
+        header[48..56].copy_from_slice(&(offsets_off as u64).to_le_bytes());
+        header[56..64].copy_from_slice(&(targets_off as u64).to_le_bytes());
+        header[64..72].copy_from_slice(&(probs_off as u64).to_le_bytes());
+        header[72..80].copy_from_slice(&(file_len as u64).to_le_bytes());
+        for (i, checksum) in section_checksums.iter().enumerate() {
+            header[80 + 8 * i..88 + 8 * i].copy_from_slice(&checksum.to_le_bytes());
+        }
+        let header_checksum = checksum64(&header[8..104]);
+        header[104..112].copy_from_slice(&header_checksum.to_le_bytes());
+        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(header_checksum)
+    }
+}
+
+/// Converts any decodable snapshot (or in-memory graph) to a v3 file
+/// through the external-memory pipeline — used by `snapshot_convert
+/// --out-of-core` and as the paper-scale build path.
+pub fn write_v3_via_extsort<P: AsRef<Path>, Q: AsRef<Path>>(
+    g: &crate::UncertainGraph,
+    meta: SnapshotMeta,
+    path: P,
+    tmp_dir: Q,
+    mem_budget_bytes: usize,
+) -> Result<u64, BuildError> {
+    let mut b = ExtCsrBuilder::new(g.num_vertices(), tmp_dir, mem_budget_bytes)?;
+    for (u, v, p) in g.candidate_pairs() {
+        b.push(u, v, p)?;
+    }
+    b.finish(path, meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::snapshot_bytes_v3_with_meta;
+    use crate::UncertainGraph;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("obfugraph_build_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn random_graph(n: usize, seed: u64) -> UncertainGraph {
+        // Deterministic candidate soup off splitmix64.
+        let mut candidates = Vec::new();
+        let mut s = seed;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                s = obf_graph::splitmix64(s);
+                if s % 10 < 3 {
+                    let p = (s >> 11) as f64 / (1u64 << 53) as f64;
+                    candidates.push((u, v, p));
+                }
+            }
+        }
+        UncertainGraph::new(n, candidates).unwrap()
+    }
+
+    #[test]
+    fn extsort_build_is_byte_identical_to_in_memory_writer() {
+        for (n, seed, budget) in [(0, 1, 64), (1, 2, 64), (40, 3, 1 << 20), (40, 4, 128)] {
+            let g = random_graph(n, seed);
+            let meta = SnapshotMeta {
+                epoch: 5,
+                parent_checksum: 123,
+            };
+            let path = tmp(&format!("ext_{n}_{seed}_{budget}.snap"));
+            let mut b = ExtCsrBuilder::new(n, tmp("runs"), budget).unwrap();
+            // Push in reverse order to prove input order does not
+            // matter.
+            for &(u, v, p) in g.candidates().iter().rev() {
+                b.push(v, u, p).unwrap();
+            }
+            if budget == 128 && g.num_candidates() > 10 {
+                assert!(b.runs_spilled() > 0, "tiny budget should spill");
+            }
+            let checksum = b.finish(&path, meta).unwrap();
+            let got = std::fs::read(&path).unwrap();
+            let want = snapshot_bytes_v3_with_meta(&g, meta);
+            assert_eq!(got, want, "n={n} seed={seed} budget={budget}");
+            assert_eq!(Some(checksum), crate::stored_checksum(&got));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_pushes_and_duplicates() {
+        let mut b = ExtCsrBuilder::new(4, tmp("rej"), 1 << 16).unwrap();
+        assert!(b.push(1, 1, 0.5).is_err()); // self loop
+        assert!(b.push(0, 9, 0.5).is_err()); // range
+        assert!(b.push(0, 1, 1.5).is_err()); // probability
+        assert!(b.push(0, 1, f64::NAN).is_err());
+        b.push(0, 1, 0.5).unwrap();
+        b.push(1, 0, 0.7).unwrap(); // same pair, other orientation
+        let err = b.finish(tmp("rej.snap"), SnapshotMeta::default());
+        assert!(matches!(err, Err(BuildError::Invalid(_))), "{err:?}");
+    }
+
+    #[test]
+    fn finished_file_decodes_and_mmaps() {
+        let g = random_graph(25, 9);
+        let path = tmp("decode.snap");
+        write_v3_via_extsort(&g, SnapshotMeta::default(), &path, tmp("runs2"), 256).unwrap();
+        let back = crate::load_snapshot(&path).unwrap();
+        assert_eq!(back, g);
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            let snap = crate::MappedSnapshot::open_verified(&path).unwrap();
+            let mg = UncertainGraph::from_mapped(snap);
+            assert_eq!(mg, g);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -46,7 +46,7 @@ pub fn expected_degree_variance(g: &UncertainGraph) -> f64 {
         let var = g.degree_variance_term(v);
         sum_second_moment += var + mu * mu;
     }
-    let edge_var_sum: f64 = g.candidates().iter().map(|&(_, _, p)| p * (1.0 - p)).sum();
+    let edge_var_sum: f64 = g.candidate_pairs().map(|(_, _, p)| p * (1.0 - p)).sum();
     let mu_bar = 2.0 * g.total_probability_mass() / nf;
     sum_second_moment / nf - 4.0 / (nf * nf) * edge_var_sum - mu_bar * mu_bar
 }

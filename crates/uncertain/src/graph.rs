@@ -1,7 +1,43 @@
 //! The [`UncertainGraph`] type (paper Definition 1, restricted to a
 //! candidate set `E_C` as in Section 3).
 
-use obf_graph::{Graph, VertexPair};
+use std::sync::OnceLock;
+
+use obf_graph::Graph;
+
+use crate::mapped::MappedSnapshot;
+
+/// Backing storage for the SoA-CSR incidence arrays: heap-owned vectors
+/// (every constructed graph) or borrowed zero-copy slices out of an
+/// mmap'd v3 snapshot. The two variants expose bit-identical data
+/// through the same accessors — proptested end to end through the
+/// server protocol in `crates/server/tests`.
+#[derive(Debug)]
+enum Store {
+    Owned {
+        /// Candidate pairs in canonical `(lo, hi)` order with
+        /// probabilities in `[0, 1]`; sorted and deduplicated.
+        edges: Vec<(u32, u32, f64)>,
+        /// CSR row index: `targets[offsets[v]..offsets[v+1]]` (and the
+        /// same range of `probs`) describes the candidates incident to
+        /// `v`.
+        offsets: Vec<usize>,
+        /// Other endpoint of each incident candidate, by vertex.
+        targets: Vec<u32>,
+        /// Probability of each incident candidate, parallel to
+        /// `targets`.
+        probs: Vec<f64>,
+    },
+    Mapped {
+        snap: MappedSnapshot,
+        /// Lazily materialised canonical candidate list, for the few
+        /// consumers that need a contiguous `&[(u32, u32, f64)]` slice
+        /// (the obfuscation engine, `apply_delta`); the serving hot
+        /// paths iterate [`UncertainGraph::candidate_pairs`] straight
+        /// off the mapping instead.
+        edges: OnceLock<Vec<(u32, u32, f64)>>,
+    },
+}
 
 /// An uncertain graph `G̃ = (V, p)`: `n` vertices and a list of candidate
 /// pairs with existence probabilities; pairs not listed are certain
@@ -11,20 +47,16 @@ use obf_graph::{Graph, VertexPair};
 /// separate `offsets`/`targets`/`probs` arrays — so the sharded hot
 /// loops (the per-vertex Poisson-binomial rows of the adversary matrix,
 /// expected-triangle merges) stream each array with unit stride instead
-/// of skipping over interleaved `(u32, f64)` pairs.
-#[derive(Debug, Clone, PartialEq)]
+/// of skipping over interleaved `(u32, f64)` pairs. The arrays are
+/// either heap-owned or, via [`UncertainGraph::from_mapped`], zero-copy
+/// views into an mmap'd v3 snapshot (`docs/FORMATS.md`); every accessor
+/// returns bit-identical data either way.
+#[derive(Debug)]
 pub struct UncertainGraph {
     n: usize,
-    /// Candidate pairs in canonical `(lo, hi)` order with probabilities in
-    /// `[0, 1]`; sorted and deduplicated.
-    edges: Vec<(u32, u32, f64)>,
-    /// CSR row index: `targets[offsets[v]..offsets[v+1]]` (and the same
-    /// range of `probs`) describes the candidate pairs incident to `v`.
-    offsets: Vec<usize>,
-    /// Other endpoint of each incident candidate, concatenated by vertex.
-    targets: Vec<u32>,
-    /// Probability of each incident candidate, parallel to `targets`.
-    probs: Vec<f64>,
+    /// Number of candidate pairs `|E_C|`.
+    m: usize,
+    store: Store,
 }
 
 impl UncertainGraph {
@@ -79,10 +111,13 @@ impl UncertainGraph {
         }
         Ok(Self {
             n,
-            edges: candidates,
-            offsets,
-            targets,
-            probs,
+            m: candidates.len(),
+            store: Store::Owned {
+                edges: candidates,
+                offsets,
+                targets,
+                probs,
+            },
         })
     }
 
@@ -150,11 +185,40 @@ impl UncertainGraph {
         }
         Ok(Self {
             n,
-            edges,
-            offsets,
-            targets,
-            probs,
+            m: edges.len(),
+            store: Store::Owned {
+                edges,
+                offsets,
+                targets,
+                probs,
+            },
         })
+    }
+
+    /// Wraps an opened [`MappedSnapshot`] as a zero-copy uncertain
+    /// graph: the CSR accessors read straight from the mapping, no
+    /// array is copied onto the heap, and dropping the graph unmaps the
+    /// file.
+    ///
+    /// [`MappedSnapshot::open`] already established the structural
+    /// invariants that make every access in-bounds; callers that need
+    /// the full content guarantees of the heap decoder should open with
+    /// [`MappedSnapshot::open_verified`] first.
+    pub fn from_mapped(snap: MappedSnapshot) -> Self {
+        Self {
+            n: snap.num_vertices(),
+            m: snap.num_candidates(),
+            store: Store::Mapped {
+                snap,
+                edges: OnceLock::new(),
+            },
+        }
+    }
+
+    /// Whether this graph serves from an mmap'd snapshot (vs heap-owned
+    /// arrays) — surfaced by `obf_server`'s RELOAD replies.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, Store::Mapped { .. })
     }
 
     /// The "certain" embedding of a deterministic graph: every edge gets
@@ -174,13 +238,46 @@ impl UncertainGraph {
     /// `p = 1`).
     #[inline]
     pub fn num_candidates(&self) -> usize {
-        self.edges.len()
+        self.m
     }
 
-    /// Candidate pairs in canonical order.
+    /// Candidate pairs in canonical order as a contiguous slice.
+    ///
+    /// For a heap-owned graph this is free; for an mmap-served graph it
+    /// materialises (and caches) the list on first call — O(m) heap.
+    /// Iteration-only consumers should prefer
+    /// [`UncertainGraph::candidate_pairs`], which streams the identical
+    /// sequence off either store without materialising anything.
     #[inline]
     pub fn candidates(&self) -> &[(u32, u32, f64)] {
-        &self.edges
+        match &self.store {
+            Store::Owned { edges, .. } => edges,
+            Store::Mapped { edges, .. } => edges.get_or_init(|| self.candidate_pairs().collect()),
+        }
+    }
+
+    /// Iterates the candidate pairs in canonical `(lo, hi)` order,
+    /// yielding exactly the same `(u, v, p)` sequence (same f64 bits)
+    /// as [`UncertainGraph::candidates`] — the canonical list is the
+    /// per-row `target > row` suffix of the CSR walked in row order, so
+    /// the mapped store streams it without materialising. Every
+    /// candidate-order-dependent consumer (world sampling, Eq. 1,
+    /// probability-mass sums) goes through this, which is what makes
+    /// mmap-served answers bit-identical to heap-served ones.
+    #[inline]
+    pub fn candidate_pairs(&self) -> CandidatePairs<'_> {
+        let inner = match &self.store {
+            Store::Owned { edges, .. } => PairsInner::Slice(edges.iter()),
+            Store::Mapped { snap, .. } => PairsInner::Scan {
+                offsets: snap.offsets(),
+                targets: snap.targets(),
+                probs: snap.probs(),
+                row: 0,
+                i: 0,
+                remaining: self.m,
+            },
+        };
+        CandidatePairs { inner }
     }
 
     /// Candidate pairs incident to `v` as `(other, p)` pairs, zipped from
@@ -195,12 +292,34 @@ impl UncertainGraph {
             .zip(self.incident_probs(v).iter().copied())
     }
 
-    /// Other endpoints of the candidate pairs incident to `v` (sorted by
-    /// insertion order of the canonical candidate list).
+    /// The CSR bounds of vertex `v`'s incidence row.
+    #[inline]
+    fn row_bounds(&self, v: usize) -> (usize, usize) {
+        match &self.store {
+            Store::Owned { offsets, .. } => (offsets[v], offsets[v + 1]),
+            Store::Mapped { snap, .. } => {
+                // Clamped: under `MappedSnapshot::open_trusted` the
+                // offsets section is unverified, and a rotted entry
+                // must yield a wrong (empty) row, never an
+                // out-of-bounds slice.
+                let o = snap.offsets();
+                let len = 2 * snap.num_candidates();
+                let lo = (o[v] as usize).min(len);
+                (lo, (o[v + 1] as usize).clamp(lo, len))
+            }
+        }
+    }
+
+    /// Other endpoints of the candidate pairs incident to `v` (in
+    /// ascending target order — the canonical fill order appends all
+    /// `a < v` partners before all `w > v` partners, each run sorted).
     #[inline]
     pub fn incident_targets(&self, v: u32) -> &[u32] {
-        let v = v as usize;
-        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+        let (start, end) = self.row_bounds(v as usize);
+        match &self.store {
+            Store::Owned { targets, .. } => &targets[start..end],
+            Store::Mapped { snap, .. } => &snap.targets()[start..end],
+        }
     }
 
     /// Probabilities of the candidate pairs incident to `v`, parallel to
@@ -209,15 +328,18 @@ impl UncertainGraph {
     /// avoids a per-vertex allocation in the sharded adversary build.
     #[inline]
     pub fn incident_probs(&self, v: u32) -> &[f64] {
-        let v = v as usize;
-        &self.probs[self.offsets[v]..self.offsets[v + 1]]
+        let (start, end) = self.row_bounds(v as usize);
+        match &self.store {
+            Store::Owned { probs, .. } => &probs[start..end],
+            Store::Mapped { snap, .. } => &snap.probs()[start..end],
+        }
     }
 
     /// Number of candidate pairs incident to `v`.
     #[inline]
     pub fn incident_count(&self, v: u32) -> usize {
-        let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        let (start, end) = self.row_bounds(v as usize);
+        end - start
     }
 
     /// Exact support interval of the vertex's degree distribution, as
@@ -244,17 +366,24 @@ impl UncertainGraph {
         (ones, pos)
     }
 
-    /// Probability of the pair `(u, v)` (0 if not a candidate).
+    /// Probability of the pair `(u, v)` (0 if not a candidate; vertices
+    /// out of range are never candidates).
+    ///
+    /// Binary-searches the shorter endpoint's incidence row (rows are
+    /// sorted ascending by target) instead of the global candidate
+    /// list: O(log deg) on either store, and the mapped store answers
+    /// without materialising the candidate slice.
     pub fn probability(&self, u: u32, v: u32) -> f64 {
-        if u == v {
+        if u == v || (u as usize) >= self.n || (v as usize) >= self.n {
             return 0.0;
         }
-        let pair = VertexPair::new(u, v);
-        match self
-            .edges
-            .binary_search_by(|&(a, b, _)| (a, b).cmp(&pair.as_tuple()))
-        {
-            Ok(i) => self.edges[i].2,
+        let (a, b) = if self.incident_count(u) <= self.incident_count(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        match self.incident_targets(a).binary_search(&b) {
+            Ok(i) => self.incident_probs(a)[i],
             Err(_) => 0.0,
         }
     }
@@ -276,7 +405,7 @@ impl UncertainGraph {
         debug_assert!(present.windows(2).all(|w| w[0] < w[1]));
         let mut lp = 0.0;
         let mut iter = present.iter().peekable();
-        for (i, &(_, _, p)) in self.edges.iter().enumerate() {
+        for (i, (_, _, p)) in self.candidate_pairs().enumerate() {
             let included = iter.peek() == Some(&&i);
             if included {
                 iter.next();
@@ -288,20 +417,24 @@ impl UncertainGraph {
         lp
     }
 
-    /// Total expected number of edges `Σ_e p(e)`.
+    /// Total expected number of edges `Σ_e p(e)` (summed in canonical
+    /// candidate order on either store — FP summation order is part of
+    /// the bit-identity contract).
     pub fn total_probability_mass(&self) -> f64 {
-        self.edges.iter().map(|&(_, _, p)| p).sum()
+        self.candidate_pairs().map(|(_, _, p)| p).sum()
     }
 
     /// Whether `(u, v)` is a candidate pair (even with `p = 0`).
     pub fn is_candidate(&self, u: u32, v: u32) -> bool {
-        if u == v {
+        if u == v || (u as usize) >= self.n || (v as usize) >= self.n {
             return false;
         }
-        let pair = VertexPair::new(u, v).as_tuple();
-        self.edges
-            .binary_search_by(|&(a, b, _)| (a, b).cmp(&pair))
-            .is_ok()
+        let (a, b) = if self.incident_count(u) <= self.incident_count(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.incident_targets(a).binary_search(&b).is_ok()
     }
 
     /// Applies a sorted batch of candidate changes by merging it into
@@ -348,24 +481,27 @@ impl UncertainGraph {
             prev = Some((u, v));
         }
         // Merge the candidate list with the change run, classifying each
-        // change as insert / overwrite / remove on the way.
-        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len() + changes.len());
+        // change as insert / overwrite / remove on the way. (On a
+        // mapped graph `candidates()` materialises the list first —
+        // republishing produces a new heap graph either way.)
+        let old_edges = self.candidates();
+        let mut edges: Vec<(u32, u32, f64)> = Vec::with_capacity(old_edges.len() + changes.len());
         let (mut i, mut j) = (0usize, 0usize);
         let mut inserted = 0usize;
         let mut removed = 0usize;
-        while i < self.edges.len() || j < changes.len() {
-            let take_old = match (self.edges.get(i), changes.get(j)) {
+        while i < old_edges.len() || j < changes.len() {
+            let take_old = match (old_edges.get(i), changes.get(j)) {
                 (Some(&(a, b, _)), Some(&(u, v, _))) => (a, b) < (u, v),
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => unreachable!(),
             };
             if take_old {
-                edges.push(self.edges[i]);
+                edges.push(old_edges[i]);
                 i += 1;
             } else {
                 let (u, v, p) = changes[j];
-                let existing = self.edges.get(i).is_some_and(|&(a, b, _)| (a, b) == (u, v));
+                let existing = old_edges.get(i).is_some_and(|&(a, b, _)| (a, b) == (u, v));
                 match p {
                     Some(p) => {
                         edges.push((u, v, p));
@@ -394,7 +530,7 @@ impl UncertainGraph {
             row_changes[u as usize].push((v, p));
             row_changes[v as usize].push((u, p));
         }
-        let incidents = 2 * (self.edges.len() + inserted - removed);
+        let incidents = 2 * (old_edges.len() + inserted - removed);
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0usize);
         let mut targets: Vec<u32> = Vec::with_capacity(incidents);
@@ -427,6 +563,129 @@ impl UncertainGraph {
         // `from_csr_parts` replays every `new()` invariant in O(n + m),
         // so a merge bug can never escape as a malformed graph.
         Self::from_csr_parts(n, edges, offsets, targets, probs)
+    }
+}
+
+/// Iterator over the canonical candidate list, from either store — see
+/// [`UncertainGraph::candidate_pairs`].
+pub struct CandidatePairs<'a> {
+    inner: PairsInner<'a>,
+}
+
+enum PairsInner<'a> {
+    /// Heap store: walk the materialised canonical list.
+    Slice(std::slice::Iter<'a, (u32, u32, f64)>),
+    /// Mapped store: walk the CSR rows in order, yielding each row's
+    /// `target > row` suffix — by construction exactly the canonical
+    /// list, entry for entry and bit for bit.
+    Scan {
+        offsets: &'a [u64],
+        targets: &'a [u32],
+        probs: &'a [f64],
+        row: u32,
+        i: usize,
+        remaining: usize,
+    },
+}
+
+impl Iterator for CandidatePairs<'_> {
+    type Item = (u32, u32, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.inner {
+            PairsInner::Slice(it) => it.next().copied(),
+            PairsInner::Scan {
+                offsets,
+                targets,
+                probs,
+                row,
+                i,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                loop {
+                    // On a structurally verified snapshot, remaining > 0
+                    // implies row < n and i < 2m. The explicit guards
+                    // cover `open_trusted` views of section-rotted
+                    // files: the stream ends short instead of indexing
+                    // out of bounds.
+                    if *row as usize + 1 >= offsets.len() || *i >= targets.len() {
+                        *remaining = 0;
+                        return None;
+                    }
+                    if *i >= offsets[*row as usize + 1] as usize {
+                        *row += 1;
+                        continue;
+                    }
+                    let (t, p) = (targets[*i], probs[*i]);
+                    *i += 1;
+                    if t > *row {
+                        *remaining -= 1;
+                        return Some((*row, t, p));
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            PairsInner::Slice(it) => it.size_hint(),
+            PairsInner::Scan { remaining, .. } => (*remaining, Some(*remaining)),
+        }
+    }
+}
+
+impl ExactSizeIterator for CandidatePairs<'_> {}
+
+impl Clone for UncertainGraph {
+    /// Cloning always yields a heap-owned graph: a clone of an
+    /// mmap-served graph deep-copies the arrays (the mapping stays with
+    /// the original).
+    fn clone(&self) -> Self {
+        match &self.store {
+            Store::Owned {
+                edges,
+                offsets,
+                targets,
+                probs,
+            } => Self {
+                n: self.n,
+                m: self.m,
+                store: Store::Owned {
+                    edges: edges.clone(),
+                    offsets: offsets.clone(),
+                    targets: targets.clone(),
+                    probs: probs.clone(),
+                },
+            },
+            Store::Mapped { snap, .. } => Self {
+                n: self.n,
+                m: self.m,
+                store: Store::Owned {
+                    edges: self.candidates().to_vec(),
+                    offsets: snap.offsets().iter().map(|&x| x as usize).collect(),
+                    targets: snap.targets().to_vec(),
+                    probs: snap.probs().to_vec(),
+                },
+            },
+        }
+    }
+}
+
+impl PartialEq for UncertainGraph {
+    /// Two graphs are equal when they describe the same `(V, p)` —
+    /// same vertex count and identical canonical candidate sequences
+    /// (f64 semantics, matching the old derived implementation). The
+    /// CSR arrays are a function of the candidate list, and the store
+    /// kind deliberately does not participate: a mapped graph equals
+    /// its heap-decoded twin.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.m == other.m && self.candidate_pairs().eq(other.candidate_pairs())
     }
 }
 

@@ -14,13 +14,19 @@ pub enum UncertainIoError {
     Io(std::io::Error),
     Parse {
         line: usize,
+        /// Byte offset of the start of the offending line (counting
+        /// `\n` line endings).
+        byte: u64,
         content: String,
     },
     /// A line that parses but violates the candidate-list contract:
     /// self loop, duplicate pair, or a probability outside `[0, 1]`
-    /// (including NaN/∞) — named by line so the input can be fixed.
+    /// (including NaN/∞) — named by line and byte offset so the input
+    /// can be fixed.
     InvalidLine {
         line: usize,
+        /// Byte offset of the start of the offending line.
+        byte: u64,
         msg: String,
     },
     Invalid(String),
@@ -30,11 +36,21 @@ impl std::fmt::Display for UncertainIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UncertainIoError::Io(e) => write!(f, "I/O error: {e}"),
-            UncertainIoError::Parse { line, content } => {
-                write!(f, "parse error at line {line}: {content:?}")
+            UncertainIoError::Parse {
+                line,
+                byte,
+                content,
+            } => {
+                write!(
+                    f,
+                    "parse error at line {line} (byte offset {byte}): {content:?}"
+                )
             }
-            UncertainIoError::InvalidLine { line, msg } => {
-                write!(f, "invalid uncertain graph at line {line}: {msg}")
+            UncertainIoError::InvalidLine { line, byte, msg } => {
+                write!(
+                    f,
+                    "invalid uncertain graph at line {line} (byte offset {byte}): {msg}"
+                )
             }
             UncertainIoError::Invalid(msg) => write!(f, "invalid uncertain graph: {msg}"),
         }
@@ -65,8 +81,13 @@ pub fn read_uncertain_edge_list<R: BufRead>(
     let mut candidates: Vec<(u32, u32, f64)> = Vec::new();
     let mut max_id: Option<u32> = None;
     let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    // Byte offset of the current line's first byte, assuming `\n`
+    // line endings (what `lines()` strips).
+    let mut line_start: u64 = 0;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
+        let byte = line_start;
+        line_start += line.len() as u64 + 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
@@ -80,10 +101,12 @@ pub fn read_uncertain_edge_list<R: BufRead>(
         })();
         let (u, v, p) = parsed.ok_or_else(|| UncertainIoError::Parse {
             line: lineno + 1,
+            byte,
             content: line.clone(),
         })?;
         let invalid = |msg: String| UncertainIoError::InvalidLine {
             line: lineno + 1,
+            byte,
             msg,
         };
         if u == v {
@@ -123,7 +146,7 @@ pub fn write_uncertain_edge_list<W: Write>(g: &UncertainGraph, writer: W) -> std
         g.num_vertices(),
         g.num_candidates()
     )?;
-    for &(u, v, p) in g.candidates() {
+    for (u, v, p) in g.candidate_pairs() {
         // {:?} prints the shortest representation that round-trips f64.
         writeln!(w, "{u}\t{v}\t{p:?}")?;
     }
@@ -163,8 +186,9 @@ mod tests {
     fn rejects_bad_probability() {
         for input in ["0 1 1.5\n", "0 1 -0.1\n", "0 1 NaN\n", "0 1 inf\n"] {
             match read_uncertain_edge_list(input.as_bytes(), 0) {
-                Err(UncertainIoError::InvalidLine { line, msg }) => {
+                Err(UncertainIoError::InvalidLine { line, byte, msg }) => {
                     assert_eq!(line, 1, "input={input:?}");
+                    assert_eq!(byte, 0, "input={input:?}");
                     assert!(msg.contains("probability"), "msg={msg}");
                 }
                 other => panic!("expected invalid-line error for {input:?}, got {other:?}"),
@@ -176,8 +200,9 @@ mod tests {
     fn rejects_self_loop_with_line() {
         let input = "0 1 0.5\n2 2 0.5\n";
         match read_uncertain_edge_list(input.as_bytes(), 0) {
-            Err(UncertainIoError::InvalidLine { line, msg }) => {
+            Err(UncertainIoError::InvalidLine { line, byte, msg }) => {
                 assert_eq!(line, 2);
+                assert_eq!(byte, 8);
                 assert!(msg.contains("self loop"), "msg={msg}");
             }
             other => panic!("expected invalid-line error, got {other:?}"),
@@ -189,8 +214,9 @@ mod tests {
         // Comments don't shift the reported (1-based) line numbers.
         for input in ["# c\n0 1 0.5\n0 1 0.7\n", "# c\n0 1 0.5\n1 0 0.5\n"] {
             match read_uncertain_edge_list(input.as_bytes(), 0) {
-                Err(UncertainIoError::InvalidLine { line, msg }) => {
+                Err(UncertainIoError::InvalidLine { line, byte, msg }) => {
                     assert_eq!(line, 3, "input={input:?}");
+                    assert_eq!(byte, 12, "input={input:?}");
                     assert!(msg.contains("duplicate"), "msg={msg}");
                 }
                 other => panic!("expected invalid-line error for {input:?}, got {other:?}"),
@@ -202,9 +228,14 @@ mod tests {
     fn rejects_malformed_line() {
         let input = "0 1\n";
         match read_uncertain_edge_list(input.as_bytes(), 0) {
-            Err(UncertainIoError::Parse { line, .. }) => assert_eq!(line, 1),
+            Err(UncertainIoError::Parse { line, byte, .. }) => {
+                assert_eq!(line, 1);
+                assert_eq!(byte, 0);
+            }
             other => panic!("expected parse error, got {other:?}"),
         }
+        let err = read_uncertain_edge_list("# c\nbogus\n".as_bytes(), 0).unwrap_err();
+        assert!(err.to_string().contains("byte offset 4"), "{err}");
     }
 
     #[test]

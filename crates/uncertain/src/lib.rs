@@ -30,11 +30,14 @@
 //! assert!(world.num_edges() <= 2);
 //! ```
 
+pub mod build;
 pub mod degree_dist;
 pub mod estimator;
 pub mod expected;
 pub mod graph;
 pub mod io;
+pub mod mapped;
+pub mod mmap;
 pub mod queries;
 pub mod sampling;
 pub mod snapshot;
@@ -42,20 +45,24 @@ pub mod statistics;
 pub mod triangles;
 pub mod world_cache;
 
+pub use build::ExtCsrBuilder;
 pub use degree_dist::{degree_distribution_exact, degree_distribution_normal, DegreeDistMethod};
 pub use estimator::{estimate_statistic, estimate_statistic_par, EstimateSummary};
 pub use expected::{expected_average_degree, expected_degree_variance, expected_num_edges};
-pub use graph::UncertainGraph;
+pub use graph::{CandidatePairs, UncertainGraph};
 pub use io::{
     load_uncertain_edge_list, read_uncertain_edge_list, save_uncertain_edge_list,
     write_uncertain_edge_list,
 };
+pub use mapped::MappedSnapshot;
+pub use mmap::MmapFile;
 pub use queries::{distance_distribution, knn_majority_distance, reliability};
 pub use sampling::{sample_indexed_world, sample_worlds_par, WorldSampler};
 pub use snapshot::{
     decode_snapshot, decode_snapshot_with_meta, load_snapshot, load_snapshot_with_meta,
-    read_snapshot, save_snapshot, save_snapshot_with_meta, snapshot_bytes,
-    snapshot_bytes_with_meta, stored_checksum, write_snapshot, SnapshotError, SnapshotMeta,
+    read_snapshot, save_snapshot, save_snapshot_v3_with_meta, save_snapshot_with_meta,
+    snapshot_bytes, snapshot_bytes_v3, snapshot_bytes_v3_with_meta, snapshot_bytes_with_meta,
+    stored_checksum, write_snapshot, Checksum64, SnapshotError, SnapshotMeta,
 };
 pub use statistics::{evaluate_uncertain, evaluate_world, StatSuite, UtilityConfig};
 pub use triangles::{

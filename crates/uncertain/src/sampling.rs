@@ -106,7 +106,11 @@ pub fn sample_world<R: Rng + ?Sized>(g: &UncertainGraph, rng: &mut R) -> Graph {
         g.num_vertices(),
         world_capacity(g.total_probability_mass(), g.num_candidates()),
     );
-    for &(u, v, p) in g.candidates() {
+    // candidate_pairs() yields the identical (u, v, p) sequence on the
+    // heap and mmap stores, so the RNG stream — and therefore the
+    // sampled world — is bit-identical regardless of how the snapshot
+    // was loaded.
+    for (u, v, p) in g.candidate_pairs() {
         // Branching on the cheap cases first: most probabilities in an
         // obfuscated graph are near 0 or 1.
         if p >= 1.0 || (p > 0.0 && rng.gen::<f64>() < p) {

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Docs-consistency check: docs/FORMATS.md is the normative spec for
+# every on-disk and on-wire format, so anything format-shaped that the
+# code knows about must appear there. This script derives the ground
+# truth from the source (never from a hand-maintained list) and fails
+# when the spec has fallen behind:
+#
+#   * every server line-protocol verb in the Request::parse match
+#     (crates/server/src/protocol.rs)
+#   * every fleet admin verb the router intercepts
+#     (crates/cluster/src/fleet.rs)
+#   * every snapshot version constant (crates/uncertain/src/snapshot.rs)
+#   * the file magics (OBFUSNAP, OBFUDELTA) and the cluster wire version
+#
+# Usage (from the repo root): ./scripts/check_formats_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC=docs/FORMATS.md
+[[ -f "$SPEC" ]] || { echo "missing $SPEC" >&2; exit 1; }
+
+fail=0
+require() {
+    local what="$1" pattern="$2"
+    if ! grep -qE "$pattern" "$SPEC"; then
+        echo "UNDOCUMENTED: $what (no match for /$pattern/ in $SPEC)" >&2
+        fail=1
+    fi
+}
+
+# Server verbs: the string arms of Request::parse.
+server_verbs=$(grep -oE '"[A-Z][A-Z_]*" =>' crates/server/src/protocol.rs \
+    | grep -oE '[A-Z][A-Z_]*' | sort -u)
+[[ -n "$server_verbs" ]] || { echo "extracted no server verbs — grep pattern stale?" >&2; exit 1; }
+for v in $server_verbs; do
+    require "server verb $v" "\\b$v\\b"
+done
+
+# Fleet admin verbs: string arms of the router's admin dispatch
+# (including alternation arms like '"DRAIN" | "UNDRAIN" =>').
+fleet_verbs=$(grep -E '"[A-Z][A-Z_]*".*=>' crates/cluster/src/fleet.rs \
+    | grep -oE '"[A-Z][A-Z_]*"' | tr -d '"' | sort -u)
+[[ -n "$fleet_verbs" ]] || { echo "extracted no fleet verbs — grep pattern stale?" >&2; exit 1; }
+for v in $fleet_verbs; do
+    require "fleet verb $v" "\\b$v\\b"
+done
+
+# Snapshot versions: every 'pub const SNAPSHOT_*VERSION*: u32 = N' must
+# be described as vN in the spec.
+versions=$(grep -oE 'pub const SNAPSHOT[A-Z_]*VERSION[A-Z_0-9]*: u32 = [0-9]+' \
+    crates/uncertain/src/snapshot.rs | grep -oE '[0-9]+$' | sort -un)
+[[ -n "$versions" ]] || { echo "extracted no snapshot versions — grep pattern stale?" >&2; exit 1; }
+for n in $versions; do
+    require "snapshot version v$n" "\\bv$n\\b"
+done
+
+# Magics and the wire version.
+require "snapshot magic OBFUSNAP" "OBFUSNAP"
+require "delta-log magic OBFUDELTA" "OBFUDELTA"
+wire_version=$(grep -oE 'pub const WIRE_VERSION: u8 = [0-9]+' crates/cluster/src/wire.rs \
+    | grep -oE '[0-9]+$')
+[[ -n "$wire_version" ]] || { echo "could not extract WIRE_VERSION" >&2; exit 1; }
+require "cluster wire version $wire_version" "wire version.*\\b$wire_version\\b|WIRE_VERSION.*= $wire_version"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "docs-consistency check FAILED — update docs/FORMATS.md" >&2
+    exit 1
+fi
+n_verbs=$(echo "$server_verbs $fleet_verbs" | wc -w)
+echo "docs-consistency OK ($n_verbs verbs, versions:$(echo $versions | tr '\n' ' '), 2 magics, wire v$wire_version)"

@@ -115,6 +115,8 @@ fn figure_and_table_binaries_registered() {
         "run_all",
         "loadgen",
         "republish",
+        "snapshot_convert",
+        "snapshot_bench",
         "obf_server",
         "obfugraph-cli",
     ] {
