@@ -12,6 +12,7 @@
 #   ./ci.sh evolve     # obf_evolve tests + republish bench smoke + digest check
 #   ./ci.sh cluster    # obf_cluster tests + cluster_bench toy run + fleet digest check
 #   ./ci.sh snapshot   # snapshot v3 round-trip, convert tool, mmap-vs-heap digest, docs spec
+#   ./ci.sh analyze    # obf_audit static analysis (deny-clean) + pedantic clippy on engine crates
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -187,8 +188,8 @@ snapshot() {
     cargo test -q -p obf_uncertain build
     cargo test -q --test snapshot_v3
 
-    step "docs-consistency (every verb + format version appears in docs/FORMATS.md)"
-    ./scripts/check_formats_docs.sh
+    # Docs consistency (every verb + format version appears in
+    # docs/FORMATS.md) is rule `formats-doc` of `ci.sh analyze` now.
 
     # End-to-end tool check: TSV -> v3 (in-memory) and TSV -> v3
     # (out-of-core, tiny budget to force spill runs) must produce
@@ -227,6 +228,26 @@ EOF
     echo "snapshot OK: byte-identical builds, $matches mmap-vs-heap digest matches"
 }
 
+analyze() {
+    # The workspace's own static analysis: determinism + unsafe-hygiene
+    # rules (D1-D4), wire/format doc exhaustiveness (P1), pragma
+    # hygiene. Deny findings fail; the machine-readable report lands in
+    # results/AUDIT.json. `--explain <rule>` documents any failure.
+    step "obf_audit (determinism & unsafe-hygiene rules, deny level)"
+    cargo run -q --release -p obf_audit --bin obf_audit
+
+    # Pedantic clippy subset promoted to errors on the engine crates
+    # (their path dependencies compile — and are linted — with them).
+    step "clippy pedantic subset (engine crates)"
+    cargo clippy -q -p obf_core -p obf_uncertain -p obf_graph -p obf_cluster --all-targets -- \
+        -D clippy::if_not_else \
+        -D clippy::manual_let_else \
+        -D clippy::semicolon_if_nothing_returned \
+        -D clippy::match_same_arms \
+        -D clippy::uninlined_format_args \
+        -D clippy::unnecessary_wraps
+}
+
 case "${1:-all}" in
     lint) lint ;;
     test) run_tests ;;
@@ -235,12 +256,14 @@ case "${1:-all}" in
     evolve) evolve ;;
     cluster) cluster ;;
     snapshot) snapshot ;;
+    analyze) analyze ;;
     fast)
         lint
         run_tests
         ;;
     all)
         lint
+        analyze
         run_tests
         release
         serve
@@ -249,7 +272,7 @@ case "${1:-all}" in
         snapshot
         ;;
     *)
-        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|snapshot|fast)" >&2
+        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|snapshot|analyze|fast)" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,461 @@
+//! A comment/string/raw-string-aware Rust lexer for the audit rules.
+//!
+//! The offline workspace has no `syn` (and no registry access), so the
+//! rule engine works over a token stream produced by this hand-rolled
+//! lexer — the same vendored-shim idiom as `vendor/rand`. The lexer is
+//! deliberately *not* a full Rust front end: it only guarantees the
+//! properties the rules need to avoid false positives:
+//!
+//! * comments (`//`, nested `/* */`, doc variants) never produce code
+//!   tokens, but are captured with line numbers so rules can look for
+//!   `SAFETY:` comments and `audit:allow` pragmas;
+//! * string literals (`"…"`, `b"…"`), raw strings (`r#"…"#` at any
+//!   hash depth) and char literals never leak their contents as
+//!   identifiers — a fixture containing `unsafe` *inside a string*
+//!   must not trip the unsafe rule;
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! * every token carries its 1-based source line.
+
+/// What a token is. Punctuation is kept as single characters — the
+/// rules match multi-character operators (`::`, `=>`) as sequences,
+/// which is unambiguous for the patterns they look for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `for`, `HashMap`, …).
+    Ident,
+    /// `"…"` or `b"…"` string literal (content excludes the quotes).
+    Str,
+    /// `r"…"`/`r#"…"#`/`br#"…"#` raw string literal.
+    RawStr,
+    /// `'x'` char or byte literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`), without the quote.
+    Lifetime,
+    /// Numeric literal (int or float, any base, with suffix).
+    Num,
+    /// A single punctuation character (`.`, `:`, `=`, `&`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Token text. For `Str`/`RawStr`/`Char` this is the *content*
+    /// (delimiters stripped) so rules can inspect e.g. magic strings;
+    /// for everything else it is the exact source slice.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment, with its kind preserved so pragma/SAFETY scanning can
+/// treat line and block comments alike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//`/`/*`-style delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when the comment has source tokens *before* it on its
+    /// starting line (a trailing comment annotates its own line;
+    /// a standalone comment annotates the next token line).
+    pub trailing: bool,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    /// Pragmas are only honoured in plain comments — doc prose may
+    /// *mention* `audit:allow` without creating one.
+    pub doc: bool,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Invalid source does not panic — the lexer
+/// degrades to single-character punctuation tokens, which at worst
+/// makes a rule miss (never crash) on a file that would not compile
+/// anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+        line_has_token: false,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+    /// Whether a *code token* has been emitted on the current line —
+    /// used to classify comments as trailing vs standalone.
+    line_has_token: bool,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.line_has_token = false;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+        self.line_has_token = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                'r' | 'b' if self.raw_or_byte_string() => {}
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphanumeric() => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_token;
+        self.bump();
+        self.bump(); // //
+        let doc = matches!(self.peek(), Some('/') | Some('!'));
+        // Swallow doc-comment markers so the text starts cleanly.
+        while self.peek() == Some('/') || self.peek() == Some('!') {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap());
+        }
+        self.out.comments.push(Comment {
+            text: text.trim().to_string(),
+            line,
+            trailing,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_token;
+        self.bump();
+        self.bump(); // /*
+        let doc = matches!(self.peek(), Some('*') | Some('!'))
+            && (self.peek(), self.peek_at(1)) != (Some('*'), Some('/'));
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(_), _) => text.push(self.bump().unwrap()),
+                (None, _) => break, // unterminated: degrade gracefully
+            }
+        }
+        self.out.comments.push(Comment {
+            text: text.trim().to_string(),
+            line,
+            trailing,
+            doc,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `rb`… prefixes.
+    /// Returns false (consuming nothing) when the `r`/`b` starts a
+    /// plain identifier.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 0usize;
+        let mut saw_r = false;
+        // Accept any of r, b, br, rb as the prefix letters.
+        while let Some(c) = self.peek_at(ahead) {
+            match c {
+                'r' if ahead < 2 && !saw_r => {
+                    saw_r = true;
+                    ahead += 1;
+                }
+                'b' if ahead < 2 => ahead += 1,
+                _ => break,
+            }
+        }
+        if ahead == 0 {
+            return false;
+        }
+        // Count hashes (raw strings only).
+        let mut hashes = 0usize;
+        while self.peek_at(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek_at(ahead + hashes) != Some('"') {
+            return false; // `r` / `b` identifier, or `b'x'` handled later
+        }
+        if hashes > 0 && !saw_r {
+            return false; // b#"…" is not a string
+        }
+        let line = self.line;
+        for _ in 0..ahead + hashes + 1 {
+            self.bump();
+        }
+        let raw = saw_r;
+        let mut text = String::new();
+        if raw {
+            // Ends at `"` followed by `hashes` hashes. No escapes.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek_at(i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break 'outer;
+                    }
+                }
+                text.push(c);
+            }
+            self.push(TokKind::RawStr, text, line);
+        } else {
+            text = self.cooked_string_body();
+            self.push(TokKind::Str, text, line);
+        }
+        true
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let text = self.cooked_string_body();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Consumes a cooked string body up to and including the closing
+    /// quote, honouring backslash escapes. The opening quote must
+    /// already be consumed.
+    fn cooked_string_body(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        text
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // '
+                     // Lifetime: 'ident not closed by a quote ('a, 'static, 'outer:).
+        if let Some(c) = self.peek() {
+            if (c == '_' || c.is_alphabetic()) && self.peek_at(1) != Some('\'') {
+                let mut name = String::new();
+                while let Some(c) = self.peek() {
+                    if c == '_' || c.is_alphanumeric() {
+                        name.push(self.bump().unwrap());
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+                return;
+            }
+        }
+        // Char literal, possibly escaped ('\n', '\'', '\u{1F600}').
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            // Digits, base prefixes/hex digits, underscores, exponents,
+            // type suffixes, and the decimal point when followed by a
+            // digit (so `1.iter()` does not eat the dot).
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()));
+            if !take {
+                break;
+            }
+            text.push(self.bump().unwrap());
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(self.bump().unwrap());
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "unsafe HashMap"; // unsafe in a line comment
+            /* unsafe in a /* nested */ block comment */
+            let b = r#"unsafe { Instant::now() }"#;
+            let c = b"OBFUSNAP";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        // The raw-string and byte-string contents are preserved on their
+        // literal tokens for rules that inspect magics.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::RawStr && t.text.contains("Instant::now")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "OBFUSNAP"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = lex(r#"let s = "a\"unsafe\"b"; let t = '\'';"#).tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("unsafe")));
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\n  c").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_hash_strings_at_depth() {
+        let toks = lex(r###"let s = r##"quote "# inside"##;"###).tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::RawStr && t.text == r##"quote "# inside"##));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_method_calls() {
+        let toks = lex("1.5f64 + x.iter()").tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5f64"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "iter"));
+    }
+}

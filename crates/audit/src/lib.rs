@@ -1,0 +1,247 @@
+//! `obf_audit` — workspace-wide determinism & unsafe-hygiene static
+//! analysis.
+//!
+//! The tool is dependency-free by construction (no `syn`, no registry
+//! access): [`lexer`] is a comment/string/raw-string-aware Rust lexer,
+//! [`source`] layers `#[cfg(test)]` masking and `audit:allow` pragma
+//! extraction on top, and [`rules`] evaluates the catalog (D1–D4, P1)
+//! over the token streams. [`audit`] ties it together: run every rule,
+//! apply pragmas, report leftover pragma hygiene problems.
+//!
+//! The rule catalog itself is documented in `docs/AUDIT.md`; run
+//! `cargo run --bin obf_audit -- --explain <rule>` for one entry.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{Finding, Severity};
+use source::SourceFile;
+
+/// A loaded workspace: every Rust source under the audited roots plus
+/// the normative format spec.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+    /// `docs/FORMATS.md` contents, if present (rule P1's spec side).
+    pub formats_md: Option<String>,
+}
+
+impl Workspace {
+    /// Walks `crates/*/src`, `crates/*/tests`, `src/` and `tests/`
+    /// under `root`, lexing every `.rs` file. Vendored shims under
+    /// `vendor/` are deliberately out of scope: the rules encode this
+    /// workspace's invariants, not upstream's.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rs_files: Vec<PathBuf> = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            crates.sort();
+            for krate in crates {
+                for sub in ["src", "tests"] {
+                    collect_rs(&krate.join(sub), &mut rs_files)?;
+                }
+            }
+        }
+        for sub in ["src", "tests"] {
+            collect_rs(&root.join(sub), &mut rs_files)?;
+        }
+        rs_files.sort();
+
+        let mut files = Vec::with_capacity(rs_files.len());
+        for path in rs_files {
+            let src = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::parse(&rel, &src));
+        }
+        let formats_md = fs::read_to_string(root.join("docs/FORMATS.md")).ok();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            formats_md,
+        })
+    }
+
+    /// Builds a workspace from in-memory `(rel_path, source)` pairs —
+    /// the fixture entry point for self-tests.
+    pub fn from_sources<'a>(
+        sources: impl IntoIterator<Item = (&'a str, &'a str)>,
+        formats_md: Option<&str>,
+    ) -> Workspace {
+        Workspace {
+            root: PathBuf::new(),
+            files: sources
+                .into_iter()
+                .map(|(p, s)| SourceFile::parse(p, s))
+                .collect(),
+            formats_md: formats_md.map(str::to_string),
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// A finding suppressed by a pragma, kept for the report so allows
+/// stay reviewable.
+#[derive(Debug, Clone)]
+pub struct Allowed {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The audit outcome: surviving findings (deny + warn) and the allows
+/// that suppressed the rest.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub allowed: Vec<Allowed>,
+    /// Files analysed (for the report header).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+}
+
+/// Runs the full rule catalog over `ws` and applies `audit:allow`
+/// pragmas.
+///
+/// Pragma semantics: a well-formed pragma for rule R suppresses every
+/// R-finding on its target line (same line for trailing pragmas, next
+/// code line for standalone ones). Malformed pragmas are deny
+/// findings; well-formed pragmas that suppressed nothing are warn
+/// findings (rot that would hide the next real finding). Rule P1
+/// (`formats-doc`) deliberately has no pragma escape.
+pub fn audit(ws: &Workspace) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        raw.extend(rules::check_map_iter(file));
+        raw.extend(rules::check_wall_clock(file));
+        raw.extend(rules::check_unsafe(file));
+        raw.extend(rules::check_float_reduce(file));
+    }
+    raw.extend(rules::check_formats_doc(
+        &ws.files,
+        ws.formats_md.as_deref(),
+    ));
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allowed: Vec<Allowed> = Vec::new();
+    let mut used = std::collections::BTreeSet::new(); // (path idx, pragma idx)
+
+    for f in raw {
+        if f.rule == "formats-doc" {
+            findings.push(f);
+            continue;
+        }
+        let suppressing =
+            ws.files.iter().enumerate().find_map(|(fi, file)| {
+                if file.rel_path != f.path {
+                    return None;
+                }
+                file.pragmas.iter().enumerate().find_map(|(pi, p)| {
+                    (p.malformed.is_none() && p.rule == f.rule && p.applies_to == f.line)
+                        .then_some((fi, pi, p.reason.clone()))
+                })
+            });
+        match suppressing {
+            Some((fi, pi, reason)) => {
+                used.insert((fi, pi));
+                allowed.push(Allowed {
+                    rule: f.rule,
+                    path: f.path,
+                    line: f.line,
+                    reason,
+                });
+            }
+            None => findings.push(f),
+        }
+    }
+
+    // Pragma hygiene: malformed → deny, unused → warn, unknown rule →
+    // deny (a typo'd rule id silently suppresses nothing).
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (pi, p) in file.pragmas.iter().enumerate() {
+            if let Some(msg) = &p.malformed {
+                findings.push(Finding {
+                    rule: "pragma",
+                    severity: Severity::Deny,
+                    path: file.rel_path.clone(),
+                    line: p.line,
+                    message: msg.clone(),
+                });
+            } else if rules::rule_info(&p.rule).is_none() {
+                findings.push(Finding {
+                    rule: "pragma",
+                    severity: Severity::Deny,
+                    path: file.rel_path.clone(),
+                    line: p.line,
+                    message: format!(
+                        "audit:allow names unknown rule `{}` — see --list-rules",
+                        p.rule
+                    ),
+                });
+            } else if !used.contains(&(fi, pi)) {
+                findings.push(Finding {
+                    rule: "pragma",
+                    severity: Severity::Warn,
+                    path: file.rel_path.clone(),
+                    line: p.line,
+                    message: format!(
+                        "unused audit:allow({}) — it suppresses no finding; delete it",
+                        p.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    allowed.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Report {
+        findings,
+        allowed,
+        files_scanned: ws.files.len(),
+    }
+}

@@ -1,0 +1,209 @@
+//! `obf_audit` — CLI entry point for the workspace static-analysis
+//! pass. See `docs/AUDIT.md` for the rule catalog and pragma grammar.
+//!
+//! Exit codes follow the workspace convention: 0 clean (warnings do
+//! not fail), 1 deny-level findings, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use obf_audit::rules::RULES;
+use obf_audit::{audit, Report, Workspace};
+use obf_bench::json::Json;
+
+const USAGE: &str = "\
+usage:
+  obf_audit [--root <dir>] [--no-report]
+  obf_audit --list-rules
+  obf_audit --explain <rule>
+
+Walks crates/*/{src,tests}, src/ and tests/ under the workspace root
+(default: the current directory, or its nearest ancestor containing
+Cargo.toml) and checks the determinism & unsafe-hygiene rule catalog
+(D1-D4, P1; see docs/AUDIT.md). Findings print as
+  <severity>: <rule>: <file>:<line>: <message>
+and a machine-readable report is written to results/AUDIT.json unless
+--no-report is given.
+
+exit codes: 0 clean (warnings allowed), 1 deny findings, 2 usage";
+
+fn main() -> ExitCode {
+    if obf_bench::help_requested() {
+        println!("obf_audit: determinism & unsafe-hygiene static analysis");
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut write_report = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--no-report" => write_report = false,
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<14} {:<5} {}", r.id, r.severity.as_str(), r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    return usage_error("--explain needs a rule id (see --list-rules)");
+                };
+                let Some(r) = obf_audit::rules::rule_info(&id) else {
+                    return usage_error(&format!("unknown rule `{id}` (see --list-rules)"));
+                };
+                println!("rule: {}  (severity: {})", r.id, r.severity.as_str());
+                println!("\n{}\n\nrationale:\n  {}", r.summary, r.rationale);
+                println!("\nexample:\n  {}", r.example.replace('\n', "\n  "));
+                println!("\nhow to allow:\n  {}", r.how_to_allow);
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("obf_audit: no Cargo.toml found in this directory or any ancestor");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "obf_audit: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = audit(&ws);
+
+    for f in &report.findings {
+        println!(
+            "{}: {}: {}:{}: {}",
+            f.severity.as_str(),
+            f.rule,
+            f.path,
+            f.line,
+            f.message
+        );
+    }
+    eprintln!(
+        "obf_audit: {} files, {} deny, {} warn, {} allowed",
+        report.files_scanned,
+        report.deny_count(),
+        report.warn_count(),
+        report.allowed.len()
+    );
+
+    if write_report {
+        let out = root.join("results/AUDIT.json");
+        if let Err(e) = std::fs::create_dir_all(out.parent().unwrap())
+            .and_then(|()| std::fs::write(&out, report_json(&report).pretty()))
+        {
+            eprintln!("obf_audit: failed to write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("obf_audit: report written to {}", out.display());
+    }
+
+    if report.deny_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("obf_audit: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The workspace root is the nearest ancestor with a Cargo.toml
+/// (preferring the outermost one that has a `crates/` directory, so
+/// running from inside a member crate still audits the workspace).
+fn find_workspace_root() -> Option<PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    let mut best = None;
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").is_file() {
+            best = Some(dir.to_path_buf());
+            if dir.join("crates").is_dir() {
+                break;
+            }
+        }
+    }
+    best
+}
+
+fn report_json(report: &Report) -> Json {
+    Json::obj([
+        ("tool", Json::str("obf_audit")),
+        ("files_scanned", Json::from(report.files_scanned)),
+        ("deny", Json::from(report.deny_count())),
+        ("warn", Json::from(report.warn_count())),
+        (
+            "findings",
+            Json::Arr(
+                report
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("rule", Json::str(f.rule)),
+                            ("severity", Json::str(f.severity.as_str())),
+                            ("path", Json::str(&f.path)),
+                            ("line", Json::from(f.line)),
+                            ("message", Json::str(&f.message)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "allowed",
+            Json::Arr(
+                report
+                    .allowed
+                    .iter()
+                    .map(|a| {
+                        Json::obj([
+                            ("rule", Json::str(a.rule)),
+                            ("path", Json::str(&a.path)),
+                            ("line", Json::from(a.line)),
+                            ("reason", Json::str(&a.reason)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rules",
+            Json::Arr(
+                RULES
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("id", Json::str(r.id)),
+                            ("severity", Json::str(r.severity.as_str())),
+                            ("summary", Json::str(r.summary)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,356 @@
+//! Per-file analysis context: token stream, comment side-channel,
+//! `#[cfg(test)]` masking, and `audit:allow` pragma extraction.
+
+use crate::lexer::{self, Comment, Tok, TokKind};
+
+/// One `// audit:allow(<rule>, <reason>)` pragma.
+///
+/// Grammar (documented normatively in `docs/AUDIT.md`):
+///
+/// ```text
+/// audit:allow(<rule-id>, <reason text…>)
+/// ```
+///
+/// inside any comment. The reason is mandatory and non-empty — a
+/// pragma without one is itself a deny-level finding. A *trailing*
+/// pragma (code before it on the same line) suppresses findings on its
+/// own line; a *standalone* pragma suppresses findings on the next
+/// line that carries code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Rule id the pragma allows (e.g. `map-iter`).
+    pub rule: String,
+    /// Mandatory justification text.
+    pub reason: String,
+    /// Line of the comment carrying the pragma.
+    pub line: u32,
+    /// Line whose findings the pragma suppresses.
+    pub applies_to: u32,
+    /// Parse problem, if any (missing reason / missing `)`), reported
+    /// as a deny finding by the engine.
+    pub malformed: Option<String>,
+}
+
+/// A lexed source file ready for rule evaluation.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    pub pragmas: Vec<Pragma>,
+    /// `true` for whole-file test code (anything under a `tests/`
+    /// directory).
+    pub is_test_file: bool,
+    /// 1-based lines covered by `#[cfg(test)]` / `#[test]` items.
+    test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let lexer::Lexed { tokens, comments } = lexer::lex(src);
+        let is_test_file = rel_path.starts_with("tests/") || rel_path.contains("/tests/");
+        let test_mask = test_mask(&tokens, src.lines().count() + 2);
+        let pragmas = extract_pragmas(&comments, &tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            comments,
+            pragmas,
+            is_test_file,
+            test_mask,
+        }
+    }
+
+    /// Whether `line` is test-only code (test file, or inside a
+    /// `#[cfg(test)]`/`#[test]` item). Determinism rules skip test
+    /// code: a test may freely time itself or iterate a map.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_file || *self.test_mask.get(line as usize).unwrap_or(&false)
+    }
+
+    /// Whether a comment containing `needle` appears on `line` or the
+    /// `window` lines above it — the contract behind `SAFETY:` lookup.
+    pub fn comment_near(&self, line: u32, window: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(window);
+        self.comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains(needle))
+    }
+}
+
+/// Marks every line belonging to an item annotated with an attribute
+/// that mentions `test` (`#[cfg(test)]`, `#[test]`,
+/// `#[cfg(all(test, unix))]`, …). `#[cfg(not(test))]` is *not* masked.
+/// The item body is delimited by the next top-level `{…}` (or a `;`
+/// for item-less forms like `use`).
+fn test_mask(tokens: &[Tok], n_lines: usize) -> Vec<bool> {
+    let mut mask = vec![false; n_lines + 1];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[…]` or `#![…]` — collect its tokens.
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].kind == TokKind::Punct && tokens[j].text == "!" {
+            j += 1;
+        }
+        if !(j < tokens.len() && tokens[j].text == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[i].line;
+        let mut depth = 0i32;
+        let mut is_test_attr = false;
+        let mut saw_not = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                (TokKind::Ident, "test") => is_test_attr = true,
+                (TokKind::Ident, "not") => saw_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr || saw_not {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = j + 1;
+        while k < tokens.len() && tokens[k].kind == TokKind::Punct && tokens[k].text == "#" {
+            let mut d = 0i32;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // Find the item body: first `{` before a top-level `;`.
+        let mut end_line = tokens.get(k).map_or(attr_start_line, |t| t.line);
+        let mut brace = 0i32;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" => brace += 1,
+                    "}" => {
+                        brace -= 1;
+                        if brace == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if brace == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        for line in attr_start_line..=end_line {
+            if let Some(slot) = mask.get_mut(line as usize) {
+                *slot = true;
+            }
+        }
+        i = k + 1;
+    }
+    mask
+}
+
+fn extract_pragmas(comments: &[Comment], tokens: &[Tok]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Pragma grammar: a *plain* comment whose text starts with
+        // `audit:allow`. Doc comments and prose that merely mention
+        // the pragma form never count.
+        let Some(rest) = c.text.strip_prefix("audit:allow") else {
+            continue;
+        };
+        if c.doc {
+            continue;
+        }
+        let (rule, reason, malformed) = parse_allow_args(rest);
+        let applies_to = if c.trailing {
+            c.line
+        } else {
+            // The next line carrying a code token. (Stacked pragmas on
+            // consecutive comment lines all land on the same target.)
+            tokens
+                .iter()
+                .find(|t| t.line > c.line)
+                .map_or(c.line + 1, |t| t.line)
+        };
+        out.push(Pragma {
+            rule,
+            reason,
+            line: c.line,
+            applies_to,
+            malformed,
+        });
+    }
+    out
+}
+
+fn parse_allow_args(rest: &str) -> (String, String, Option<String>) {
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return (
+            String::new(),
+            String::new(),
+            Some("expected `(` after audit:allow".to_string()),
+        );
+    };
+    let Some(close) = body.rfind(')') else {
+        return (
+            String::new(),
+            String::new(),
+            Some("unterminated audit:allow pragma (missing `)`)".to_string()),
+        );
+    };
+    let body = &body[..close];
+    match body.split_once(',') {
+        Some((rule, reason)) => {
+            let rule = rule.trim().to_string();
+            let reason = reason.trim().to_string();
+            if reason.is_empty() {
+                let m = format!(
+                    "audit:allow({rule}, …) has an empty reason — a justification is mandatory"
+                );
+                (rule, reason, Some(m))
+            } else {
+                (rule, reason, None)
+            }
+        }
+        None => {
+            let rule = body.trim().to_string();
+            let m = format!(
+                "audit:allow({rule}) is missing the mandatory reason: use audit:allow({rule}, <why this is sound>)"
+            );
+            (rule, String::new(), Some(m))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "\
+fn live() {
+    let x = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() {}
+}
+
+fn also_live() {}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(!f.is_test_line(2));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(7));
+        assert!(f.is_test_line(10));
+        assert!(!f.is_test_line(12));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() { body(); }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn cfg_all_test_unix_is_masked() {
+        let src = "#[cfg(all(test, unix))]\nmod t {\n  fn x() {}\n}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.is_test_line(3));
+    }
+
+    #[test]
+    fn files_under_tests_are_all_test_code() {
+        let f = SourceFile::parse("crates/x/tests/proptests.rs", "fn x() {}\n");
+        assert!(f.is_test_line(1));
+        let f = SourceFile::parse("tests/smoke.rs", "fn x() {}\n");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn trailing_pragma_applies_to_its_own_line() {
+        let src = "fn f() {\n    work(); // audit:allow(map-iter, sorted right after)\n}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.pragmas.len(), 1);
+        let p = &f.pragmas[0];
+        assert_eq!(p.rule, "map-iter");
+        assert_eq!(p.reason, "sorted right after");
+        assert_eq!(p.applies_to, 2);
+        assert!(p.malformed.is_none());
+    }
+
+    #[test]
+    fn standalone_pragma_applies_to_next_code_line() {
+        let src = "\
+fn f() {
+    // audit:allow(wall-clock, timing feeds stats only)
+
+    let t = now();
+}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.pragmas[0].applies_to, 4);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_malformed() {
+        let src = "// audit:allow(map-iter)\nlet x = 1;\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.pragmas[0].malformed.is_some());
+        let src2 = "// audit:allow(map-iter,   )\nlet x = 1;\n";
+        let f2 = SourceFile::parse("crates/x/src/lib.rs", src2);
+        assert!(f2.pragmas[0].malformed.is_some());
+    }
+
+    #[test]
+    fn pragma_inside_string_literal_is_ignored() {
+        let src = "let s = \"audit:allow(map-iter, not a pragma)\";\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.pragmas.is_empty());
+    }
+
+    #[test]
+    fn comment_near_window() {
+        let src = "// SAFETY: fd is open\n//\n// more\nlet x = unsafe { f() };\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.comment_near(4, 6, "SAFETY"));
+        assert!(!f.comment_near(4, 6, "NOPE"));
+    }
+}

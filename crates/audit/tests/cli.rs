@@ -1,0 +1,174 @@
+//! End-to-end CLI tests: exit codes (0 clean / 1 findings / 2 usage),
+//! `--help`/`--explain`/`--list-rules`, the seeded-violation scratch
+//! tree the acceptance criteria call for, and `results/AUDIT.json`
+//! emission.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_obf_audit")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn obf_audit")
+}
+
+/// A scratch workspace under the target dir, torn down on drop.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+        fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        Scratch { dir }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let p = self.dir.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, content).unwrap();
+    }
+
+    fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn audit_scratch(s: &Scratch) -> (i32, String) {
+    let out = run(&["--root", s.path().to_str().unwrap(), "--no-report"]);
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn clean_scratch_tree_exits_zero() {
+    let s = Scratch::new("audit_clean");
+    s.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(xs: &[f64]) -> f64 { xs.iter().sum() }\n",
+    );
+    s.write("docs/FORMATS.md", "");
+    let (code, _) = audit_scratch(&s);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn seeded_d1_violation_exits_nonzero_naming_rule_file_line() {
+    let s = Scratch::new("audit_seed_d1");
+    s.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(m: &HashMap<u32, f64>) -> f64 {\n    m.values().sum::<f64>()\n}\n",
+    );
+    s.write("docs/FORMATS.md", "");
+    let (code, stdout) = audit_scratch(&s);
+    assert_eq!(code, 1);
+    assert!(
+        stdout.contains("map-iter") && stdout.contains("crates/core/src/lib.rs:2"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn seeded_d2_violation_exits_nonzero_naming_rule_file_line() {
+    let s = Scratch::new("audit_seed_d2");
+    s.write(
+        "crates/core/src/lib.rs",
+        "pub fn f() -> u64 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n",
+    );
+    s.write("docs/FORMATS.md", "");
+    let (code, stdout) = audit_scratch(&s);
+    assert_eq!(code, 1);
+    assert!(
+        stdout.contains("wall-clock") && stdout.contains("crates/core/src/lib.rs:2"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn seeded_d3_violation_exits_nonzero_naming_rule_file_line() {
+    let s = Scratch::new("audit_seed_d3");
+    s.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    s.write("docs/FORMATS.md", "");
+    let (code, stdout) = audit_scratch(&s);
+    assert_eq!(code, 1);
+    assert!(
+        stdout.contains("unsafe-hygiene") && stdout.contains("crates/core/src/lib.rs:2"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn report_json_is_written_and_mentions_findings() {
+    let s = Scratch::new("audit_report");
+    s.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }\n",
+    );
+    s.write("docs/FORMATS.md", "");
+    let out = run(&["--root", s.path().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = fs::read_to_string(s.path().join("results/AUDIT.json")).expect("AUDIT.json");
+    assert!(json.contains("\"rule\": \"map-iter\""), "{json}");
+    assert!(json.contains("\"severity\": \"deny\""), "{json}");
+    assert!(json.contains("crates/core/src/lib.rs"), "{json}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(run(&["--frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["--explain"]).status.code(), Some(2));
+    assert_eq!(run(&["--explain", "no-such-rule"]).status.code(), Some(2));
+    assert_eq!(run(&["--root"]).status.code(), Some(2));
+}
+
+#[test]
+fn help_list_rules_and_explain_exit_zero() {
+    let help = run(&["--help"]);
+    assert_eq!(help.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&help.stdout).into_owned();
+    assert!(
+        text.contains("obf_audit") && text.contains("usage"),
+        "{text}"
+    );
+
+    let list = run(&["--list-rules"]);
+    assert_eq!(list.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&list.stdout).into_owned();
+    for rule in [
+        "map-iter",
+        "wall-clock",
+        "unsafe-hygiene",
+        "float-reduce",
+        "formats-doc",
+    ] {
+        assert!(text.contains(rule), "{text}");
+    }
+
+    let explain = run(&["--explain", "map-iter"]);
+    assert_eq!(explain.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&explain.stdout).into_owned();
+    assert!(
+        text.contains("rationale") && text.contains("audit:allow"),
+        "{text}"
+    );
+}

@@ -19,7 +19,7 @@ fn main() {
             "binaries driven: table1 table2 table3 table4 table5 fig2 fig3 fig4 table6 snapshot_bench"
         );
         println!(
-            "not driven (on-demand tools): loadgen, republish, cluster_bench, snapshot_convert"
+            "not driven (on-demand tools): loadgen, republish, cluster_bench, snapshot_convert, obf_audit"
         );
         println!("{}", obf_bench::HARNESS_USAGE);
         return;

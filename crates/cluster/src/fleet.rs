@@ -412,13 +412,13 @@ fn handle_client(mut client: TcpStream, shared: &RouterShared) {
                 }
             }
             "SHUTDOWN" => {
-                if !shared.stop.swap(true, Ordering::SeqCst) {
+                if shared.stop.swap(true, Ordering::SeqCst) {
+                    let _ = write_frame(&mut client, "OK router already stopping");
+                } else {
                     // The accept loop only checks the flag per
                     // connection; self-connect to wake it.
                     let _ = TcpStream::connect(shared.router_addr);
                     let _ = write_frame(&mut client, "OK router stopping");
-                } else {
-                    let _ = write_frame(&mut client, "OK router already stopping");
                 }
                 break;
             }

@@ -48,6 +48,11 @@
 //! coord.shutdown().unwrap();
 //! ```
 
+// `unsafe` in this workspace is confined to audited modules (see
+// docs/AUDIT.md, rule unsafe-hygiene); within them, every unsafe
+// operation must sit in its own `unsafe` block with a SAFETY note.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod coordinator;
 pub mod fleet;
 pub mod transport;

@@ -247,9 +247,9 @@ pub fn run_worker_listener(listener: TcpListener) -> std::io::Result<()> {
         let mut t = crate::transport::SocketTransport::from_stream(stream)?;
         match serve(&mut t) {
             Ok(ServeExit::Shutdown) => return Ok(()),
-            Ok(ServeExit::PeerClosed) => continue,
-            // Transport errors kill the connection, not the worker.
-            Err(_) => continue,
+            // Peer disconnects and transport errors kill the
+            // connection, not the worker.
+            Ok(ServeExit::PeerClosed) | Err(_) => continue,
         }
     }
 }

@@ -650,7 +650,7 @@ fn select_candidates(
             ec.insert(pair);
         }
     }
-    let mut pairs: Vec<VertexPair> = ec.into_iter().collect();
+    let mut pairs: Vec<VertexPair> = ec.into_iter().collect(); // audit:allow(map-iter, sorted on the next line; nothing order-dependent happens between collect and sort)
     pairs.sort_unstable();
     Some((pairs, removed))
 }
@@ -706,7 +706,7 @@ pub fn obfuscate_with_stats(
                 trials: params.t as u32,
                 ..Default::default()
             };
-            let start = Instant::now();
+            let start = Instant::now(); // audit:allow(wall-clock, feeds only SigmaCandidateStats.secs, an instrumentation field excluded from every digest and equivalence check)
             let out = generate_in_context(g, &ctx, params, sigma, &[], rng, &mut cand);
             cand.secs = start.elapsed().as_secs_f64();
             cand.accepted = out.succeeded();

@@ -98,9 +98,10 @@ impl<T: Record> ExternalSorter<T> {
             return Ok(());
         }
         self.buffer.sort_unstable();
+        let pid = std::process::id(); // audit:allow(wall-clock, the pid only namespaces scratch run-file paths so concurrent processes cannot collide; file *contents* and merge order are pid-independent)
         let path = self.tmp_dir.join(format!(
             "extsort_{}_{}_{}.run",
-            std::process::id(),
+            pid,
             self.id,
             self.runs.len()
         ));

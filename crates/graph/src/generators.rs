@@ -122,6 +122,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) 
             let t = endpoints[rng.gen_range(0..endpoints.len())];
             targets.insert(t);
         }
+        // audit:allow(map-iter, FxHashSet with the fixed-key FxHasher iterates deterministically for a fixed insertion sequence; sorting here would reorder the endpoints list and change every seeded graph downstream, breaking the pinned digests)
         for &t in &targets {
             b.add_edge(new, t);
             endpoints.push(new);
@@ -335,7 +336,11 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
         }
     }
     if beta > 0.0 {
-        let lattice: Vec<(u32, u32)> = edges.iter().copied().collect();
+        // Visit lattice edges in sorted order so the rewiring RNG
+        // stream — and hence the generated graph — is independent of
+        // the set's internal layout.
+        let mut lattice: Vec<(u32, u32)> = edges.iter().copied().collect(); // audit:allow(map-iter, sorted on the next line before any RNG draw depends on the order)
+        lattice.sort_unstable();
         for (u, v) in lattice {
             if rng.gen::<f64>() < beta {
                 // Rewire the far endpoint.
@@ -361,7 +366,9 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
         }
     }
     let mut b = GraphBuilder::with_capacity(n, edges.len());
-    for (u, v) in edges {
+    let mut final_edges: Vec<(u32, u32)> = edges.into_iter().collect(); // audit:allow(map-iter, sorted on the next line before insertion order can matter)
+    final_edges.sort_unstable();
+    for (u, v) in final_edges {
         b.add_edge(u, v);
     }
     b.build()

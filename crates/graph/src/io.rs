@@ -110,25 +110,19 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<LoadedGraph, IoError> {
             continue;
         }
         let mut parts = t.split_whitespace();
-        let (a, b) = match (parts.next(), parts.next()) {
-            (Some(a), Some(b)) => (a, b),
-            _ => {
-                return Err(IoError::Parse {
-                    line: lineno + 1,
-                    byte,
-                    content: line.clone(),
-                })
-            }
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                byte,
+                content: line.clone(),
+            });
         };
-        let (a, b) = match (a.parse::<u64>(), b.parse::<u64>()) {
-            (Ok(a), Ok(b)) => (a, b),
-            _ => {
-                return Err(IoError::Parse {
-                    line: lineno + 1,
-                    byte,
-                    content: line.clone(),
-                })
-            }
+        let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.parse::<u64>()) else {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                byte,
+                content: line.clone(),
+            });
         };
         if a == b {
             return Err(IoError::Invalid {

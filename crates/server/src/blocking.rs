@@ -47,7 +47,7 @@ pub(crate) fn accept_loop(
                 let state = Arc::clone(&state);
                 let stop = Arc::clone(&stop);
                 std::thread::spawn(move || {
-                    serve_connection(stream, &state, &stop, addr, idle_timeout)
+                    serve_connection(stream, &state, &stop, addr, idle_timeout);
                 });
             }
             Err(e) => {
@@ -74,14 +74,12 @@ fn serve_connection(
     let mut reader = BufReader::new(stream);
     let mut writer = std::io::BufWriter::new(write_half);
     loop {
-        let line = match read_frame(&mut reader) {
-            Ok(Some(line)) => line,
-            Ok(None) => return, // clean EOF
-            // Framing violation, connection reset, or idle timeout
-            // (WouldBlock/TimedOut): close the connection either way —
-            // an idling peer can reconnect, a wedged one stops pinning
-            // this thread.
-            Err(_) => return,
+        // Anything but a frame — clean EOF, framing violation,
+        // connection reset, or idle timeout (WouldBlock/TimedOut) —
+        // closes the connection: an idling peer can reconnect, a
+        // wedged one stops pinning this thread.
+        let Ok(Some(line)) = read_frame(&mut reader) else {
+            return;
         };
         let verb = line.trim();
         let quitting = verb == "QUIT";

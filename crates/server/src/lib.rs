@@ -55,6 +55,11 @@
 //! server.shutdown();
 //! ```
 
+// `unsafe` in this workspace is confined to audited modules (see
+// docs/AUDIT.md, rule unsafe-hygiene); within them, every unsafe
+// operation must sit in its own `unsafe` block with a SAFETY note.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod blocking;
 pub mod event_loop;
 pub mod protocol;
@@ -642,7 +647,7 @@ impl Server {
                 std::thread::spawn(move || event_loop.run())
             }
             ServerMode::ThreadPerConnection => std::thread::spawn(move || {
-                blocking::accept_loop(listener, core_state, core_stop, addr, config.idle_timeout)
+                blocking::accept_loop(listener, core_state, core_stop, addr, config.idle_timeout);
             }),
         };
         Ok(Self {

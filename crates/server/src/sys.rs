@@ -160,6 +160,8 @@ struct EpollEvent {
 /// returned limit allows.
 pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
     let mut lim = RLimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid, writable RLimit matching the kernel's
+    // struct rlimit layout; getrlimit writes both fields or fails.
     if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
         return Err(io::Error::last_os_error());
     }
@@ -169,6 +171,8 @@ pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
             cur: want,
             max: lim.max,
         };
+        // SAFETY: `new` is a fully initialised RLimit read (never
+        // written) by the kernel; cur ≤ max is upheld by the clamp above.
         if unsafe { setrlimit(RLIMIT_NOFILE, &new) } != 0 {
             return Err(io::Error::last_os_error());
         }
@@ -285,6 +289,8 @@ pub struct EpollPoller {
 #[cfg(target_os = "linux")]
 impl EpollPoller {
     fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; it returns a fresh
+        // descriptor (owned by this EpollPoller until Drop) or -1.
         let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
@@ -301,6 +307,9 @@ impl EpollPoller {
                 | if interest.writable { EPOLLOUT } else { 0 },
             data: token,
         };
+        // SAFETY: `ev` is a valid EpollEvent for the duration of the
+        // call; self.epfd stays open until Drop; the kernel validates
+        // `op` and `fd` and reports EBADF/EINVAL instead of faulting.
         let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             Err(io::Error::last_os_error())
@@ -311,6 +320,9 @@ impl EpollPoller {
 
     fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
         let n = loop {
+            // SAFETY: the buffer pointer/length describe self.buf's
+            // allocation, which outlives the call; the kernel writes at
+            // most `len` events and `rc` never exceeds that length.
             let rc = unsafe {
                 epoll_wait(
                     self.epfd,
@@ -342,6 +354,8 @@ impl EpollPoller {
 #[cfg(target_os = "linux")]
 impl Drop for EpollPoller {
     fn drop(&mut self) {
+        // SAFETY: self.epfd was returned by epoll_create1, is closed
+        // nowhere else, and this Drop runs at most once.
         unsafe { close(self.epfd) };
     }
 }
@@ -371,6 +385,9 @@ impl PollPoller {
             revents: 0,
         }));
         let n = loop {
+            // SAFETY: the pointer/length pair describes self.fds's
+            // allocation (rebuilt just above), valid and writable for
+            // the whole call; poll only writes the revents fields.
             let rc = unsafe {
                 poll(
                     self.fds.as_mut_ptr(),

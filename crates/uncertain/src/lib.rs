@@ -30,6 +30,11 @@
 //! assert!(world.num_edges() <= 2);
 //! ```
 
+// `unsafe` in this workspace is confined to audited modules (see
+// docs/AUDIT.md, rule unsafe-hygiene); within them, every unsafe
+// operation must sit in its own `unsafe` block with a SAFETY note.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod build;
 pub mod degree_dist;
 pub mod estimator;

@@ -254,6 +254,9 @@ impl MappedSnapshot {
         let bytes = self.map.bytes();
         debug_assert!(start + count * std::mem::size_of::<T>() <= bytes.len());
         debug_assert_eq!(start % std::mem::align_of::<T>(), 0);
+        // SAFETY: the doc-comment pre-conditions above — in-bounds,
+        // aligned, immutable mapping, bit-valid POD `T` — hold for
+        // every caller, all of which pass header-validated extents.
         unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(start) as *const T, count) }
     }
 

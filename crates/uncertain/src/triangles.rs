@@ -70,7 +70,7 @@ pub fn expected_triangles_par(g: &UncertainGraph, par: &Parallelism) -> f64 {
         }
         chunk_total
     });
-    partials.iter().sum()
+    partials.iter().sum() // audit:allow(float-reduce, map_chunks returns partials indexed by ascending chunk id; this left-fold IS the fixed merge order)
 }
 
 /// Exact expected number of centre-paths `E[Σ_v C(d_v, 2)]`:
@@ -94,7 +94,7 @@ pub fn expected_center_paths_par(g: &UncertainGraph, par: &Parallelism) -> f64 {
         }
         chunk_total
     });
-    partials.iter().sum()
+    partials.iter().sum() // audit:allow(float-reduce, map_chunks returns partials indexed by ascending chunk id; this left-fold IS the fixed merge order)
 }
 
 /// First-order ("expected-ratio") approximation of the paper's clustering
