@@ -13,6 +13,7 @@
 #   ./ci.sh cluster    # obf_cluster tests + cluster_bench toy run + fleet digest check
 #   ./ci.sh snapshot   # snapshot v3 round-trip, convert tool, mmap-vs-heap digest, docs spec
 #   ./ci.sh analyze    # obf_audit static analysis (deny-clean) + pedantic clippy on engine crates
+#   ./ci.sh trend      # fold committed BENCH_server.json history into results/TREND.md
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -107,8 +108,13 @@ serve() {
         *) echo "answers digest drifted from pinned $expected_digest: $digest1"; exit 1 ;;
     esac
 
-    step "loadgen smoke (2s closed-loop + 6-point open-loop sweep)"
-    OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 2s
+    # Run 2 turns the full observability stack on (request logging +
+    # metrics scrape); the digest-equality check below therefore
+    # doubles as the digest-neutrality gate — instrumentation is
+    # forbidden from changing a single answer byte.
+    step "loadgen smoke (2s closed-loop + 6-point open-loop sweep, request log on)"
+    OBF_FAST=1 ./target/release/loadgen --connections 2 --duration 2s \
+        --request-log results/REQLOG.txt
     test -s results/BENCH_server.json \
         || { echo "loadgen did not emit results/BENCH_server.json"; exit 1; }
     digest2=$(grep answers_digest results/BENCH_server.json)
@@ -117,7 +123,40 @@ serve() {
     points=$(grep -c offered_qps results/BENCH_server.json)
     [ "$points" -ge 5 ] \
         || { echo "open-loop sweep has $points points, need >= 5"; exit 1; }
-    echo "serving OK: zero protocol errors, stable digest $digest1, $points-point open-loop curve"
+    test -s results/REQLOG.txt \
+        || { echo "loadgen did not emit results/REQLOG.txt"; exit 1; }
+    head -1 results/REQLOG.txt | grep -q '^OBFUREQLOG v1$' \
+        || { echo "results/REQLOG.txt is not an OBFUREQLOG v1 file"; exit 1; }
+    test -s results/METRICS.txt \
+        || { echo "loadgen did not emit results/METRICS.txt"; exit 1; }
+    grep -q '^obf_server_queries_total ' results/METRICS.txt \
+        || { echo "METRICS scrape is missing obf_server_queries_total"; exit 1; }
+    grep -q 'obf_server_answer_micros_p99' results/METRICS.txt \
+        || { echo "METRICS scrape is missing span histogram quantiles"; exit 1; }
+
+    # Replay determinism: re-driving the recorded log must reproduce
+    # the pinned answers digest, and two replays of the same log must
+    # report the same replay digest.
+    step "replay determinism (recorded log re-driven twice)"
+    OBF_FAST=1 ./target/release/loadgen --connections 2 --replay results/REQLOG.txt \
+        --expect-digest "$expected_digest"
+    replay1=$(grep replay_digest results/BENCH_replay.json)
+    OBF_FAST=1 ./target/release/loadgen --connections 4 --replay results/REQLOG.txt \
+        --expect-digest "$expected_digest"
+    replay2=$(grep replay_digest results/BENCH_replay.json)
+    [ "$replay1" = "$replay2" ] \
+        || { echo "replay digest differs between runs: $replay1 vs $replay2"; exit 1; }
+    echo "serving OK: zero protocol errors, stable digest $digest1, $points-point open-loop curve, stable replay"
+}
+
+trend() {
+    # Fold the committed BENCH_server.json history into the trend
+    # dashboard. Needs real git history (hosted runs must fetch with
+    # fetch-depth: 0).
+    step "bench trend dashboard (results/TREND.md from BENCH history)"
+    scripts/bench_trend --min-points 2
+    grep -c '^| ' results/TREND.md >/dev/null \
+        || { echo "TREND.md has no table rows"; exit 1; }
 }
 
 evolve() {
@@ -257,6 +296,7 @@ case "${1:-all}" in
     cluster) cluster ;;
     snapshot) snapshot ;;
     analyze) analyze ;;
+    trend) trend ;;
     fast)
         lint
         run_tests
@@ -270,9 +310,10 @@ case "${1:-all}" in
         evolve
         cluster
         snapshot
+        trend
         ;;
     *)
-        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|snapshot|analyze|fast)" >&2
+        echo "unknown step '${1}' (expected lint|test|release|serve|evolve|cluster|snapshot|analyze|trend|fast)" >&2
         exit 2
         ;;
 esac

@@ -163,10 +163,14 @@ const DIGEST_CRATES: &[&str] = &[
 ];
 
 /// Modules allowed to read wall clocks / process ids: the bench
-/// harness (timing is its job) and the two server-timing modules
-/// (idle reaping, drain deadlines) whose readings never feed answers.
+/// harness (timing is its job), the observability crate (spans and
+/// request-log timestamps are its job, and concentrating time reads
+/// there is how they stay quarantined) and the two server-timing
+/// modules (idle reaping, drain deadlines) whose readings never feed
+/// answers.
 const WALL_CLOCK_ALLOWED: &[&str] = &[
     "crates/bench/",
+    "crates/obs/",
     "crates/server/src/event_loop.rs",
     "crates/cluster/src/fleet.rs",
 ];
@@ -572,6 +576,7 @@ pub const FORMAT_SOURCES: &[&str] = &[
     "crates/cluster/src/wire.rs",
     "crates/uncertain/src/snapshot.rs",
     "crates/evolve/src/log.rs",
+    "crates/obs/src/reqlog.rs",
 ];
 
 /// Checks docs/FORMATS.md coverage of every format surface. `files`
@@ -626,6 +631,12 @@ pub fn check_formats_doc(files: &[SourceFile], formats_md: Option<&str>) -> Vec<
     }
     // Delta-log magic.
     if let Some(f) = by_path("crates/evolve/src/log.rs") {
+        for (magic, line) in magic_consts(f) {
+            require(&magic, &f.rel_path, line, "file magic");
+        }
+    }
+    // Request-log magic.
+    if let Some(f) = by_path("crates/obs/src/reqlog.rs") {
         for (magic, line) in magic_consts(f) {
             require(&magic, &f.rel_path, line, "file magic");
         }

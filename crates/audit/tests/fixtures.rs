@@ -153,6 +153,8 @@ fn d2_skips_allowlisted_modules_and_test_code() {
     let src = "fn f() { let t = Instant::now(); use_it(t); }\n";
     for path in [
         "crates/bench/src/bin/table1.rs",
+        "crates/obs/src/span.rs",
+        "crates/obs/src/clock.rs",
         "crates/server/src/event_loop.rs",
         "crates/cluster/src/fleet.rs",
         "crates/core/tests/equivalence.rs",
@@ -173,6 +175,33 @@ mod tests {
 ";
     let report = audit_one("crates/core/src/fixture.rs", cfg_test);
     assert!(rule_hits(&report, "wall-clock").is_empty());
+}
+
+#[test]
+fn d2_allowlist_covers_obs_but_not_code_that_merely_uses_it() {
+    // The observability crate quarantines every wall-clock read: the
+    // identical source line denies in a digest-affecting crate and
+    // passes under crates/obs/, so "route timing through obf_obs" is
+    // enforced, not just documented.
+    let src = "\
+fn sample() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+";
+    let inside = audit_one("crates/obs/src/metrics.rs", src);
+    assert!(
+        rule_hits(&inside, "wall-clock").is_empty(),
+        "{:?}",
+        inside.findings
+    );
+
+    let outside = audit_one("crates/core/src/timing.rs", src);
+    assert_eq!(
+        rule_hits(&outside, "wall-clock"),
+        vec![("crates/core/src/timing.rs".to_string(), 2)]
+    );
+    assert_eq!(outside.deny_count(), 1);
 }
 
 #[test]

@@ -17,6 +17,14 @@
 //! graph from N replicas behind the `obf_cluster` router instead of one
 //! server; the digest must survive that path too, and `--expect-digest`
 //! turns a drift into a non-zero exit.
+//!
+//! Observability: `--request-log <path>` makes the in-process server
+//! append an `OBFUREQLOG v1` record per answered request, and
+//! `--replay <log>` re-drives a recorded log as the timed traffic mix
+//! (reporting a `replay_digest` over the `(request, reply)` pairs in
+//! log order, written to `results/BENCH_replay.json`). After the timed
+//! phase the server's `METRICS` text is always dumped to
+//! `results/METRICS.txt`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,6 +45,7 @@ const USAGE: &str = "usage:
   loadgen [--connections 4] [--duration 5s] [--addr host:port] [--probe 64]
           [--fleet 0] [--expect-digest <hex>]
           [--open-loop-points 6] [--open-loop-secs 600ms]
+          [--request-log <path>] [--replay <log>]
 options:
   --connections <N>        concurrent client connections (default 4)
   --duration <D>           timed-phase length, e.g. 5s / 2.5s / 500ms (default 5s)
@@ -47,7 +56,15 @@ options:
   --expect-digest <hex>    exit non-zero unless answers_digest equals this value
   --open-loop-points <N>   offered-load sweep points after the closed-loop
                            phase, 0 disables the sweep (default 6)
-  --open-loop-secs <D>     offered-arrival window per sweep point (default 600ms)";
+  --open-loop-secs <D>     offered-arrival window per sweep point (default 600ms)
+  --request-log <path>     the in-process server appends an OBFUREQLOG v1 record
+                           per answered request (fleet mode: replica i writes
+                           <path>.i); conflicts with --addr
+  --replay <log>           re-drive a recorded OBFUREQLOG v1 log as the timed
+                           traffic (admin verbs are skipped; --duration and the
+                           open-loop sweep do not apply; results go to
+                           results/BENCH_replay.json with a replay_digest over
+                           the (request, reply) pairs in log order)";
 
 /// What answers the traffic: an in-process single server, an
 /// in-process replica fleet behind the router, or something external
@@ -105,6 +122,8 @@ fn main() {
     };
     let expect_digest = arg_value("--expect-digest");
     let external_addr = arg_value("--addr");
+    let request_log = arg_value("--request-log");
+    let replay_path = arg_value("--replay");
     if connections == 0 {
         bad_flag("--connections", "0");
     }
@@ -113,6 +132,43 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
+    if request_log.is_some() && external_addr.is_some() {
+        eprintln!(
+            "error: --request-log configures the in-process server and conflicts with --addr"
+        );
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    // Parse the replay log up front, before any server is stood up: a
+    // malformed log is a usage error (with the offending line number),
+    // not a half-run bench.
+    let replay_lines: Option<Vec<String>> = replay_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("loadgen: {path}: {e}");
+            std::process::exit(2);
+        });
+        let entries = obf_obs::reqlog::parse_log(&text).unwrap_or_else(|e| {
+            eprintln!("loadgen: {path}: {e}");
+            std::process::exit(2);
+        });
+        let total = entries.len();
+        let lines: Vec<String> = entries
+            .iter()
+            .filter(|e| is_replayable_verb(&e.verb))
+            .map(|e| e.request_line())
+            .collect();
+        if lines.is_empty() {
+            eprintln!("loadgen: {path}: no replayable requests (admin verbs are skipped)");
+            std::process::exit(2);
+        }
+        if lines.len() < total {
+            eprintln!(
+                "[replay: skipping {} admin/invalid records of {total}]",
+                total - lines.len()
+            );
+        }
+        lines
+    });
 
     // In-process mode publishes the 0.05-scale dblp shape (unless
     // OBF_SCALE overrides) and records the TSV-vs-snapshot load timing;
@@ -146,11 +202,12 @@ fn main() {
             "[load paths: TSV parse {tsv_secs:.4}s, snapshot load {snap_secs:.4}s, speedup {:.1}x]",
             tsv_secs / snap_secs
         );
+        let config = ServerConfig {
+            world_cache_capacity: 1024,
+            request_log: request_log.as_ref().map(std::path::PathBuf::from),
+            ..ServerConfig::default()
+        };
         let backend = if fleet_replicas > 0 {
-            let config = ServerConfig {
-                world_cache_capacity: 1024,
-                ..ServerConfig::default()
-            };
             let fleet = Fleet::launch(graph, fleet_replicas, config, RouterConfig::default())
                 .expect("launch fleet");
             eprintln!(
@@ -159,7 +216,7 @@ fn main() {
             );
             Backend::Fleet(fleet)
         } else {
-            Backend::Single(Server::bind(graph, "127.0.0.1:0", 1024).expect("bind server"))
+            Backend::Single(Server::bind_with(graph, "127.0.0.1:0", config).expect("bind server"))
         };
         (backend, Some((tsv_secs, snap_secs)))
     } else {
@@ -197,46 +254,55 @@ fn main() {
         eprintln!("[answers_digest matches the pinned {expected}]");
     }
 
-    // Timed phase: N connections of mixed traffic.
-    let stop = Arc::new(AtomicBool::new(false));
+    // Timed phase: replay a recorded log, or N connections of the
+    // synthetic mixed traffic.
     let started = Instant::now();
-    let handles: Vec<_> = (0..connections)
-        .map(|conn| {
-            let stop = Arc::clone(&stop);
-            let addr = addr.clone();
-            let seed = cfg.seed;
-            let worlds = cfg.worlds;
-            std::thread::spawn(move || {
-                let mut client = Client::connect(&*addr).expect("connect worker");
-                let mut latencies_ns: Vec<u64> = Vec::new();
-                let mut errors = 0usize;
-                // Interleaved query streams: connection c walks indices
-                // c, c + N, c + 2N, … so the N connections issue
-                // disjoint slices of the same deterministic mix.
-                let mut i = conn;
-                while !stop.load(Ordering::Relaxed) {
-                    let q = mixed_query(seed, i, worlds, served_n);
-                    let t0 = Instant::now();
-                    match client.request(&q) {
-                        Ok(reply) if reply.starts_with("OK ") => {
-                            latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                        }
-                        Ok(_) | Err(_) => errors += 1,
-                    }
-                    i += connections;
-                }
-                (latencies_ns, errors)
-            })
-        })
-        .collect();
-    std::thread::sleep(duration);
-    stop.store(true, Ordering::Relaxed);
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = probe_errors;
-    for h in handles {
-        let (l, e) = h.join().expect("worker panicked");
-        latencies.extend(l);
+    let mut replay_digest: Option<String> = None;
+    if let Some(lines) = &replay_lines {
+        let (l, e, digest) = replay_phase(&addr, lines, connections);
+        latencies = l;
         errors += e;
+        replay_digest = Some(digest);
+    } else {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                let stop = Arc::clone(&stop);
+                let addr = addr.clone();
+                let seed = cfg.seed;
+                let worlds = cfg.worlds;
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&*addr).expect("connect worker");
+                    let mut latencies_ns: Vec<u64> = Vec::new();
+                    let mut errors = 0usize;
+                    // Interleaved query streams: connection c walks indices
+                    // c, c + N, c + 2N, … so the N connections issue
+                    // disjoint slices of the same deterministic mix.
+                    let mut i = conn;
+                    while !stop.load(Ordering::Relaxed) {
+                        let q = mixed_query(seed, i, worlds, served_n);
+                        let t0 = Instant::now();
+                        match client.request(&q) {
+                            Ok(reply) if reply.starts_with("OK ") => {
+                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            }
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                        i += connections;
+                    }
+                    (latencies_ns, errors)
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let (l, e) = h.join().expect("worker panicked");
+            latencies.extend(l);
+            errors += e;
+        }
     }
     let elapsed = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
@@ -250,7 +316,7 @@ fn main() {
     // measure latency from each request's *scheduled arrival time*, so
     // queueing delay counts. Past capacity the backlog grows for the
     // whole window and the tail blows up — the saturation knee.
-    let sweep = if open_loop_points > 0 {
+    let sweep = if open_loop_points > 0 && replay_lines.is_none() {
         let points = open_loop_sweep(
             &addr,
             cfg.seed,
@@ -274,11 +340,72 @@ fn main() {
     let cache_hits = field_f64(&cache_reply, "hits=").unwrap_or(0.0);
     let cache_misses = field_f64(&cache_reply, "misses=").unwrap_or(0.0);
 
+    // The full metrics registry, scraped over the METRICS verb and
+    // saved for CI artifacts (fleet mode: the router's registry; cache
+    // stats came from the bound replica above).
+    match admin.request("METRICS") {
+        Ok(reply) if reply.starts_with("OK metrics\n") => {
+            let path = obf_bench::results_dir().join("METRICS.txt");
+            if let Err(e) = std::fs::write(&path, &reply["OK metrics\n".len()..]) {
+                eprintln!("loadgen: writing {}: {e}", path.display());
+            } else {
+                eprintln!("[metrics dumped to {}]", path.display());
+            }
+        }
+        Ok(reply) => eprintln!("loadgen: unexpected METRICS reply: {reply}"),
+        Err(e) => eprintln!("loadgen: METRICS request failed: {e}"),
+    }
+
     println!(
         "loadgen: {total} requests in {elapsed:.2}s over {connections} connections \
          ({throughput:.0} req/s, p50 {p50:.3} ms, p99 {p99:.3} ms, {errors} protocol errors, \
          cache hit rate {cache_hit_rate:.3})"
     );
+
+    if let Some(digest) = &replay_digest {
+        // Replay runs get their own artifact: BENCH_server.json stays
+        // the synthetic-mix trajectory the trend tooling folds.
+        println!("loadgen: replay_digest = {digest}");
+        let json = Json::obj([
+            ("bench", Json::str("replay")),
+            (
+                "config",
+                Json::obj([
+                    ("connections", Json::from(connections)),
+                    ("seed", Json::from(cfg.seed)),
+                    ("worlds", Json::from(cfg.worlds)),
+                    ("fleet_replicas", Json::from(fleet_replicas)),
+                    (
+                        "replay_log",
+                        match &replay_path {
+                            Some(p) => Json::str(p.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+            (
+                "results",
+                Json::obj([
+                    ("requests", Json::from(total)),
+                    ("elapsed_secs", Json::Num(elapsed)),
+                    ("throughput_qps", Json::Num(throughput)),
+                    ("latency_p50_ms", Json::Num(p50)),
+                    ("latency_p99_ms", Json::Num(p99)),
+                    ("protocol_errors", Json::from(errors)),
+                    ("answers_digest", Json::str(answers_digest.clone())),
+                    ("replay_digest", Json::str(digest.clone())),
+                ]),
+            ),
+        ]);
+        obf_bench::write_json("BENCH_replay.json", &json);
+        backend.shutdown();
+        if errors > 0 {
+            eprintln!("loadgen: {errors} protocol errors");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let json = Json::obj([
         ("bench", Json::str("server")),
@@ -373,6 +500,97 @@ fn main() {
         eprintln!("loadgen: {errors} protocol errors");
         std::process::exit(1);
     }
+}
+
+/// Verbs a replay may re-issue. Admin verbs would mutate or stop the
+/// server being driven (a recorded SHUTDOWN would end the bench), and
+/// INVALID records cannot be reconstructed faithfully.
+fn is_replayable_verb(verb: &str) -> bool {
+    !matches!(
+        verb,
+        "SHUTDOWN"
+            | "QUIT"
+            | "RELOAD"
+            | "RELOAD_PREPARE"
+            | "RELOAD_COMMIT"
+            | "DRAIN"
+            | "UNDRAIN"
+            | "INVALID"
+    )
+}
+
+/// Verbs whose replies embed live counters (cache hits, request
+/// totals, span histograms). They are replayed — the recorded mix
+/// includes their cost — but excluded from the replay digest, which
+/// must be a pure function of the log and the served graph, not of
+/// scheduling.
+fn reply_is_counter_bearing(line: &str) -> bool {
+    matches!(
+        line.split_whitespace().next().unwrap_or(""),
+        "CACHE_STATS" | "SERVER_STATS" | "METRICS" | "FLEET_STATS" | "FLEET_HEALTH"
+    )
+}
+
+/// Re-drives `lines` round-robin over `connections` connections and
+/// returns `(latencies_ns, errors, replay_digest)`. The digest folds
+/// FNV-1a over every deterministic `(request, reply)` pair **in log
+/// order** — thread interleaving cannot change it, so two replays of
+/// the same log against equivalent servers report the same digest.
+fn replay_phase(addr: &str, lines: &[String], connections: usize) -> (Vec<u64>, usize, String) {
+    let lines = Arc::new(lines.to_vec());
+    let handles: Vec<_> = (0..connections)
+        .map(|conn| {
+            let addr = addr.to_string();
+            let lines = Arc::clone(&lines);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&*addr).expect("connect replay worker");
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                // (entry index, fnv1a(request + "\n" + reply)) pairs for
+                // the ordered digest fold in the parent.
+                let mut pair_hashes: Vec<(usize, u64)> = Vec::new();
+                let mut errors = 0usize;
+                let mut i = conn;
+                while i < lines.len() {
+                    let q = &lines[i];
+                    let t0 = Instant::now();
+                    match client.request(q) {
+                        Ok(reply) => {
+                            if reply.starts_with("OK ") {
+                                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                            } else {
+                                errors += 1;
+                            }
+                            if !reply_is_counter_bearing(q) {
+                                let mut buf = q.clone().into_bytes();
+                                buf.push(b'\n');
+                                buf.extend_from_slice(reply.as_bytes());
+                                pair_hashes.push((i, obf_obs::reqlog::fnv1a(&buf)));
+                            }
+                        }
+                        Err(_) => errors += 1,
+                    }
+                    i += connections;
+                }
+                (latencies_ns, pair_hashes, errors)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut pair_hashes: Vec<(usize, u64)> = Vec::new();
+    let mut errors = 0usize;
+    for h in handles {
+        let (l, p, e) = h.join().expect("replay worker panicked");
+        latencies.extend(l);
+        pair_hashes.extend(p);
+        errors += e;
+    }
+    pair_hashes.sort_unstable_by_key(|&(i, _)| i);
+    let mut fold = Vec::with_capacity(pair_hashes.len() * 8);
+    for (_, h) in &pair_hashes {
+        fold.extend_from_slice(&h.to_le_bytes());
+    }
+    let digest = format!("{:016x}", obf_obs::reqlog::fnv1a(&fold));
+    (latencies, errors, digest)
 }
 
 /// One measured point of the open-loop sweep.
@@ -543,7 +761,7 @@ fn time_load_paths(g: &UncertainGraph) -> (f64, f64) {
 
 /// Flags that take a value, in either `--name value` or `--name=value`
 /// form (`--threads` belongs to the shared harness).
-const VALUE_FLAGS: [&str; 9] = [
+const VALUE_FLAGS: [&str; 11] = [
     "--connections",
     "--duration",
     "--addr",
@@ -553,6 +771,8 @@ const VALUE_FLAGS: [&str; 9] = [
     "--expect-digest",
     "--open-loop-points",
     "--open-loop-secs",
+    "--request-log",
+    "--replay",
 ];
 
 /// A misspelled flag must not silently fall back to a default — the

@@ -19,7 +19,10 @@ fn main() {
             "binaries driven: table1 table2 table3 table4 table5 fig2 fig3 fig4 table6 snapshot_bench"
         );
         println!(
-            "not driven (on-demand tools): loadgen, republish, cluster_bench, snapshot_convert, obf_audit"
+            "not driven (on-demand tools): loadgen (serving bench; --request-log records an \
+             OBFUREQLOG v1 log, --replay re-drives one), republish, cluster_bench, \
+             snapshot_convert, obf_audit, scripts/bench_trend (folds committed \
+             BENCH_server.json history into results/TREND.md)"
         );
         println!("{}", obf_bench::HARNESS_USAGE);
         return;

@@ -21,7 +21,7 @@
 //!   edge list with [`Graph::from_edges`] reproduces the canonical CSR.
 
 use crate::transport::Transport;
-use crate::wire::{decode_response, encode_request, WorkerRequest, WorkerResponse};
+use crate::wire::{decode_response, encode_request_with_trace, WorkerRequest, WorkerResponse};
 use crate::ClusterError;
 use obf_core::{DegreeProfile, ObfuscationCheck};
 use obf_graph::{split_ranges, Graph, Parallelism};
@@ -54,8 +54,13 @@ impl Coordinator {
     }
 
     fn send(&mut self, worker: usize, req: &WorkerRequest) -> Result<(), ClusterError> {
+        // Thread the caller's trace (if any) over the wire, so a
+        // server request fanned out to workers keeps one trace id
+        // end-to-end. No trace → the exact legacy frame bytes.
+        let trace = obf_obs::current_trace();
+        let trace = (!trace.is_none()).then_some(trace.0);
         self.workers[worker]
-            .send(&encode_request(req))
+            .send(&encode_request_with_trace(req, trace))
             .map_err(|e| ClusterError::from_transport(worker, e))
     }
 

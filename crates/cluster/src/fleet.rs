@@ -13,6 +13,7 @@
 //! ```text
 //! FLEET_STATS        per-replica active/assigned/draining counters
 //! FLEET_HEALTH       probe every replica's HEALTH, report epochs
+//! METRICS            the router's own metrics registry, text format
 //! DRAIN <i>          stop assigning new connections to replica i
 //! UNDRAIN <i>        resume assignments to replica i
 //! RELOAD <path>      epoch-consistent rollout (below)
@@ -43,11 +44,13 @@
 //! one exception — if it was bound, its binding is released first so
 //! it cannot deadlock its own rollout.)
 
+use obf_obs::metrics::labeled;
+use obf_obs::{Counter, Gauge, Registry};
 use obf_server::{read_frame, write_frame, Client, Server, ServerConfig};
 use obf_uncertain::UncertainGraph;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -77,12 +80,21 @@ impl Default for RouterConfig {
 
 struct ReplicaSlot {
     addr: SocketAddr,
-    /// Routed connections currently bound to this replica.
+    /// Routed connections currently bound to this replica. Stays a
+    /// plain atomic (not a registry gauge): the SeqCst
+    /// increment-then-recheck handshake against the rollout's drain is
+    /// load-bearing, and the registry's relaxed ordering would not be.
     active: AtomicUsize,
-    /// Total connections ever assigned (FLEET_STATS).
-    assigned: AtomicU64,
+    /// Total connections ever assigned — registry counter
+    /// `obf_router_assigned_total{replica=...}` (also read by
+    /// `FLEET_STATS`).
+    assigned: Arc<Counter>,
     /// Draining: the assigner skips this replica.
     draining: AtomicBool,
+    /// Registry mirror of `active`, refreshed at scrape time.
+    active_gauge: Arc<Gauge>,
+    /// Registry mirror of `draining`, refreshed at scrape time.
+    draining_gauge: Arc<Gauge>,
 }
 
 struct RouterShared {
@@ -91,7 +103,13 @@ struct RouterShared {
     router_addr: SocketAddr,
     replicas: Vec<ReplicaSlot>,
     next: AtomicUsize,
-    rollouts: AtomicU64,
+    /// The router's metrics registry — `FLEET_STATS` and the `METRICS`
+    /// verb read the same atomics. Per-router (not global) so
+    /// co-resident fleets in one test process stay distinguishable.
+    registry: Arc<Registry>,
+    /// Completed rollouts — registry counter
+    /// `obf_router_rollouts_total`.
+    rollouts: Arc<Counter>,
     rollout_lock: Mutex<()>,
     config: RouterConfig,
     stop: AtomicBool,
@@ -120,7 +138,7 @@ impl RouterShared {
             match TcpStream::connect(r.addr) {
                 Ok(stream) => {
                     let _ = stream.set_nodelay(true);
-                    r.assigned.fetch_add(1, Ordering::Relaxed);
+                    r.assigned.inc();
                     return Some((i, stream));
                 }
                 Err(_) => {
@@ -143,11 +161,22 @@ impl RouterShared {
         format!(
             "OK replicas={} rollouts={} active={} assigned={} draining={}",
             self.replicas.len(),
-            self.rollouts.load(Ordering::Relaxed),
+            self.rollouts.get(),
             join(&|r| r.active.load(Ordering::SeqCst).to_string()),
-            join(&|r| r.assigned.load(Ordering::Relaxed).to_string()),
+            join(&|r| r.assigned.get().to_string()),
             join(&|r| u8::from(r.draining.load(Ordering::SeqCst)).to_string()),
         )
+    }
+
+    /// The `METRICS` reply body: refresh the registry mirrors of the
+    /// handshake atomics, then render the router's registry.
+    fn metrics_text(&self) -> String {
+        for r in &self.replicas {
+            r.active_gauge.set(r.active.load(Ordering::SeqCst) as u64);
+            r.draining_gauge
+                .set(u64::from(r.draining.load(Ordering::SeqCst)));
+        }
+        format!("OK metrics\n{}", self.registry.render_text())
     }
 
     fn health_line(&self) -> String {
@@ -226,7 +255,7 @@ impl RouterShared {
             }
             r.draining.store(false, Ordering::SeqCst);
         }
-        self.rollouts.fetch_add(1, Ordering::Relaxed);
+        self.rollouts.inc();
         format!(
             "OK fleet reloaded replicas={} epoch={last_epoch}",
             self.replicas.len()
@@ -273,19 +302,28 @@ impl Router {
         assert!(!replicas.is_empty(), "need at least one replica");
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new());
         let shared = Arc::new(RouterShared {
             router_addr: addr,
             replicas: replicas
                 .into_iter()
-                .map(|addr| ReplicaSlot {
-                    addr,
-                    active: AtomicUsize::new(0),
-                    assigned: AtomicU64::new(0),
-                    draining: AtomicBool::new(false),
+                .enumerate()
+                .map(|(i, addr)| {
+                    let replica = i.to_string();
+                    let labels: &[(&str, &str)] = &[("replica", &replica)];
+                    ReplicaSlot {
+                        addr,
+                        active: AtomicUsize::new(0),
+                        assigned: registry.counter(&labeled("obf_router_assigned_total", labels)),
+                        draining: AtomicBool::new(false),
+                        active_gauge: registry.gauge(&labeled("obf_router_active", labels)),
+                        draining_gauge: registry.gauge(&labeled("obf_router_draining", labels)),
+                    }
                 })
                 .collect(),
             next: AtomicUsize::new(0),
-            rollouts: AtomicU64::new(0),
+            rollouts: registry.counter("obf_router_rollouts_total"),
+            registry,
             rollout_lock: Mutex::new(()),
             config,
             stop: AtomicBool::new(false),
@@ -367,6 +405,14 @@ fn handle_client(mut client: TcpStream, shared: &RouterShared) {
             }
             "FLEET_HEALTH" => {
                 if write_frame(&mut client, &shared.health_line()).is_err() {
+                    break;
+                }
+            }
+            "METRICS" => {
+                // Intercepted: a client asking the fleet for METRICS
+                // gets the router's registry. Per-replica registries
+                // are reachable by asking a replica directly.
+                if write_frame(&mut client, &shared.metrics_text()).is_err() {
                     break;
                 }
             }
@@ -492,11 +538,20 @@ impl Fleet {
     ) -> std::io::Result<Fleet> {
         assert!(n_replicas >= 1, "need at least one replica");
         let mut replicas = Vec::with_capacity(n_replicas);
-        for _ in 0..n_replicas {
+        for i in 0..n_replicas {
+            let mut config = server_config.clone();
+            if let Some(path) = &mut config.request_log {
+                // One log per replica: replica i appends `.i` to the
+                // configured path so co-resident replicas never
+                // interleave records in a single file.
+                let mut os = path.clone().into_os_string();
+                os.push(format!(".{i}"));
+                *path = os.into();
+            }
             replicas.push(Some(Server::bind_with(
                 Arc::clone(&graph),
                 "127.0.0.1:0",
-                server_config,
+                config,
             )?));
         }
         let addrs: Vec<SocketAddr> = replicas
@@ -650,6 +705,77 @@ mod tests {
         let reply = c.request("PING").unwrap();
         assert!(reply.starts_with("ERR NO_REPLICA"), "{reply}");
         fleet.shutdown();
+    }
+
+    #[test]
+    fn router_serves_metrics_and_stays_transcript_neutral() {
+        let queries = [
+            "PING",
+            "INFO",
+            "EXPECTED num_edges",
+            "STAT num_edges 16 7",
+            "EXPECTED_DEGREE 1",
+            "DEGREE_DIST 2",
+        ];
+        let transcript = |fleet: &Fleet| -> Vec<String> {
+            let mut c = Client::connect(fleet.addr()).unwrap();
+            queries.iter().map(|q| c.request(q).unwrap()).collect()
+        };
+
+        // One replica so routing is deterministic; request logging off.
+        let g =
+            Arc::new(UncertainGraph::new(4, vec![(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.25)]).unwrap());
+        let quiet_fleet = Fleet::launch(
+            Arc::clone(&g),
+            1,
+            ServerConfig::default(),
+            RouterConfig::default(),
+        )
+        .unwrap();
+        let quiet = transcript(&quiet_fleet);
+        quiet_fleet.shutdown();
+
+        // Same fleet with per-replica request logs and METRICS scrapes
+        // interleaved: answers must not move by a byte.
+        let dir = std::env::temp_dir().join(format!("obf_fleet_obs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_base = dir.join("reqlog.txt");
+        let logged_config = ServerConfig {
+            request_log: Some(log_base.clone()),
+            ..ServerConfig::default()
+        };
+        let fleet = Fleet::launch(g, 1, logged_config, RouterConfig::default()).unwrap();
+        let mut admin = Client::connect(fleet.addr()).unwrap();
+        let router_metrics = admin.request("METRICS").unwrap();
+        assert!(
+            router_metrics.starts_with("OK metrics\n"),
+            "{router_metrics}"
+        );
+        assert!(
+            router_metrics.contains("obf_router_rollouts_total"),
+            "{router_metrics}"
+        );
+        assert!(
+            router_metrics.contains("obf_router_active{replica=\"0\"}"),
+            "{router_metrics}"
+        );
+        let noisy = transcript(&fleet);
+        let replica_metrics = Client::connect(fleet.replica_addrs()[0])
+            .unwrap()
+            .request("METRICS")
+            .unwrap();
+        assert!(
+            replica_metrics.contains("obf_server_queries_total"),
+            "{replica_metrics}"
+        );
+        fleet.shutdown();
+
+        assert_eq!(noisy, quiet, "observability changed a routed answer");
+        // Replica 0's log landed at the `.0`-suffixed path.
+        let mut suffixed = log_base.into_os_string();
+        suffixed.push(".0");
+        let logged = std::fs::read_to_string(std::path::PathBuf::from(suffixed)).unwrap();
+        assert!(logged.starts_with("OBFUREQLOG v1\n"), "{logged}");
     }
 
     #[test]

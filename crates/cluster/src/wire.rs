@@ -3,8 +3,16 @@
 //! Hand-rolled little-endian encoding, one message per frame:
 //!
 //! ```text
-//! [version u8] [tag u8] [body...]
+//! [version u8] [tag u8] [trace_id u64?] [body...]
 //! ```
+//!
+//! The high bit of the tag byte ([`TAG_TRACED`]) flags an optional
+//! trace-id field: when set, a `u64` trace id (little-endian) precedes
+//! the body, letting a coordinator thread its per-request trace through
+//! workers for observability. Untraced frames are byte-identical to the
+//! pre-trace layout, so the version byte is unchanged. The trace id
+//! never affects what a request computes — only what the worker's span
+//! metrics are attributed to.
 //!
 //! Floating-point values travel as raw IEEE-754 bit patterns
 //! (`f64::to_le_bytes`), so a partial sum computed on a worker is
@@ -23,6 +31,11 @@ use std::fmt;
 
 /// Wire format version; bumped on any layout change.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Tag-byte flag: a `u64` trace id (little-endian) precedes the body.
+/// Flagging via the tag's (previously always-zero) high bit keeps
+/// untraced frames bit-identical to the version-1 layout.
+pub const TAG_TRACED: u8 = 0x80;
 
 /// Why a frame failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -228,6 +241,17 @@ fn read_header(c: &mut Cursor<'_>) -> Result<u8, WireError> {
     c.u8()
 }
 
+/// Splits a possibly-traced tag into `(bare_tag, trace_id)`, consuming
+/// the trace-id field when the [`TAG_TRACED`] flag is set.
+fn read_trace(c: &mut Cursor<'_>, tag: u8) -> Result<(u8, Option<u64>), WireError> {
+    if tag & TAG_TRACED != 0 {
+        let trace = c.u64()?;
+        Ok((tag & !TAG_TRACED, Some(trace)))
+    } else {
+        Ok((tag, None))
+    }
+}
+
 fn put_method(out: &mut Vec<u8>, method: DegreeDistMethod) {
     match method {
         DegreeDistMethod::Exact => out.push(METHOD_EXACT),
@@ -293,10 +317,29 @@ pub fn encode_request(req: &WorkerRequest) -> Vec<u8> {
     }
 }
 
-/// Decodes a request frame.
+/// [`encode_request`] with a trace id threaded in: sets [`TAG_TRACED`]
+/// on the tag byte and splices the id before the body. `trace = None`
+/// produces the exact [`encode_request`] bytes.
+pub fn encode_request_with_trace(req: &WorkerRequest, trace: Option<u64>) -> Vec<u8> {
+    let mut frame = encode_request(req);
+    if let Some(id) = trace {
+        frame[1] |= TAG_TRACED;
+        // Body starts right after [version, tag].
+        frame.splice(2..2, id.to_le_bytes());
+    }
+    frame
+}
+
+/// Decodes a request frame, ignoring any trace id.
 pub fn decode_request(frame: &[u8]) -> Result<WorkerRequest, WireError> {
+    decode_request_traced(frame).map(|(req, _)| req)
+}
+
+/// Decodes a request frame along with its optional trace id.
+pub fn decode_request_traced(frame: &[u8]) -> Result<(WorkerRequest, Option<u64>), WireError> {
     let mut c = Cursor::new(frame);
     let tag = read_header(&mut c)?;
+    let (tag, trace) = read_trace(&mut c, tag)?;
     let req = match tag {
         REQ_PING => WorkerRequest::Ping,
         REQ_LOAD => WorkerRequest::LoadGraph {
@@ -329,7 +372,7 @@ pub fn decode_request(frame: &[u8]) -> Result<WorkerRequest, WireError> {
         other => return Err(WireError::BadTag(other)),
     };
     c.finish()?;
-    Ok(req)
+    Ok((req, trace))
 }
 
 /// Encodes a response into one frame.
@@ -577,6 +620,38 @@ mod tests {
     }
 
     #[test]
+    fn traced_requests_round_trip_and_untraced_layout_is_unchanged() {
+        for req in request_fixtures() {
+            // trace = None must be the exact legacy bytes.
+            assert_eq!(encode_request_with_trace(&req, None), encode_request(&req));
+            let frame = encode_request_with_trace(&req, Some(0xdead_beef_0042_7777));
+            assert_eq!(frame[1] & TAG_TRACED, TAG_TRACED, "{req:?}");
+            let (back, trace) = decode_request_traced(&frame).unwrap();
+            assert_eq!(back, req, "{req:?}");
+            assert_eq!(trace, Some(0xdead_beef_0042_7777));
+            // A trace-oblivious decoder still reads the same request.
+            assert_eq!(decode_request(&frame).unwrap(), req, "{req:?}");
+            // Untraced frames decode with trace = None.
+            let (back, trace) = decode_request_traced(&encode_request(&req)).unwrap();
+            assert_eq!(back, req);
+            assert_eq!(trace, None);
+        }
+    }
+
+    #[test]
+    fn traced_truncations_are_typed_errors() {
+        let frame = encode_request_with_trace(&WorkerRequest::Ping, Some(7));
+        for cut in 0..frame.len() {
+            assert!(decode_request_traced(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        // Traced flag on an unknown tag is still a BadTag on the bare tag.
+        assert_eq!(
+            decode_request(&[WIRE_VERSION, TAG_TRACED | 60, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(WireError::BadTag(60))
+        );
+    }
+
+    #[test]
     fn trailing_bytes_rejected() {
         let mut frame = encode_request(&WorkerRequest::Ping);
         frame.push(0);
@@ -589,9 +664,12 @@ mod tests {
             decode_request(&[9, REQ_PING]),
             Err(WireError::BadVersion(9))
         );
+        // Tag 72 has the TAG_TRACED bit clear, so it is rejected as a
+        // bare unknown tag; a traced unknown tag is covered in
+        // `traced_truncations_are_typed_errors`.
         assert_eq!(
-            decode_request(&[WIRE_VERSION, 200]),
-            Err(WireError::BadTag(200))
+            decode_request(&[WIRE_VERSION, 72]),
+            Err(WireError::BadTag(72))
         );
         assert_eq!(
             decode_response(&[WIRE_VERSION, 200]),

@@ -11,9 +11,11 @@
 //! answer bit-identical.
 
 use crate::transport::{Transport, TransportError};
-use crate::wire::{decode_request, encode_response, WorkerRequest, WorkerResponse};
+use crate::wire::{decode_request_traced, encode_response, WorkerRequest, WorkerResponse};
 use obf_core::chunk_entropy_partials;
 use obf_graph::Parallelism;
+use obf_obs::metrics::labeled;
+use obf_obs::{Span, TraceId, TraceScope};
 use obf_uncertain::{decode_snapshot, sample_indexed_world, UncertainGraph};
 use std::net::TcpListener;
 
@@ -174,10 +176,27 @@ pub enum ServeExit {
     PeerClosed,
 }
 
+/// The canonical metric label of a worker request kind.
+fn req_label(req: &WorkerRequest) -> &'static str {
+    match req {
+        WorkerRequest::Ping => "ping",
+        WorkerRequest::LoadGraph { .. } => "load_graph",
+        WorkerRequest::CheckChunks { .. } => "check_chunks",
+        WorkerRequest::SampleWorlds { .. } => "sample_worlds",
+        WorkerRequest::Shutdown => "shutdown",
+    }
+}
+
 /// Serves one coordinator over one transport until shutdown or
 /// disconnect. Undecodable request frames get a typed
 /// [`WorkerResponse::Error`] reply and the loop keeps going — a
 /// coordinator bug can not wedge a worker.
+///
+/// A trace id carried on the request frame (see
+/// [`crate::wire::TAG_TRACED`]) scopes the handling — the worker's
+/// `obf_worker_handle_micros{req=...}` span and anything the kernels
+/// record attribute to the coordinator's trace. Tracing never changes
+/// a response byte.
 pub fn serve<T: Transport>(transport: &mut T) -> Result<ServeExit, TransportError> {
     let mut worker = Worker::new();
     loop {
@@ -186,9 +205,15 @@ pub fn serve<T: Transport>(transport: &mut T) -> Result<ServeExit, TransportErro
             Err(TransportError::Closed) => return Ok(ServeExit::PeerClosed),
             Err(e) => return Err(e),
         };
-        match decode_request(&frame) {
-            Ok(req) => {
+        match decode_request_traced(&frame) {
+            Ok((req, trace)) => {
+                let _scope = TraceScope::enter(TraceId(trace.unwrap_or(0)));
+                let span = Span::start(
+                    obf_obs::global(),
+                    &labeled("obf_worker_handle_micros", &[("req", req_label(&req))]),
+                );
                 let resp = worker.handle(&req);
+                span.finish();
                 transport.send(&encode_response(&resp))?;
                 if matches!(req, WorkerRequest::Shutdown) {
                     return Ok(ServeExit::Shutdown);

@@ -11,8 +11,6 @@
 //! smallest `σ` that still succeeds, returning the last successful
 //! obfuscation (the one with minimal σ, i.e. maximal utility).
 
-use std::time::Instant;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -706,9 +704,12 @@ pub fn obfuscate_with_stats(
                 trials: params.t as u32,
                 ..Default::default()
             };
-            let start = Instant::now(); // audit:allow(wall-clock, feeds only SigmaCandidateStats.secs, an instrumentation field excluded from every digest and equivalence check)
+            // Span duration feeds only SigmaCandidateStats.secs and the
+            // obf_core_candidate_check_micros histogram — instrumentation
+            // excluded from every digest and equivalence check.
+            let span = obf_obs::Span::start(obf_obs::global(), "obf_core_candidate_check_micros");
             let out = generate_in_context(g, &ctx, params, sigma, &[], rng, &mut cand);
-            cand.secs = start.elapsed().as_secs_f64();
+            cand.secs = span.finish_secs();
             cand.accepted = out.succeeded();
             stats.candidates.push(cand);
             out

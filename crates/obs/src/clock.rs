@@ -1,0 +1,26 @@
+//! Wall-clock timestamping, quarantined here for the D2 audit rule.
+//!
+//! Timestamps are instrumentation only (request-log lines, trend
+//! points); nothing downstream of a timestamp may influence an answer.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Microseconds since the Unix epoch (0 if the system clock is set
+/// before the epoch — impossible in practice, but never panic here).
+pub fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unix_micros_is_monotonic_enough() {
+        let a = super::unix_micros();
+        let b = super::unix_micros();
+        assert!(a > 1_500_000_000_000_000, "clock looks pre-2017: {a}");
+        assert!(b >= a);
+    }
+}

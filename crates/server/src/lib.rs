@@ -66,13 +66,17 @@ pub mod protocol;
 pub mod sys;
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use obf_graph::global_clustering_coefficient;
 use obf_graph::DegreeStats;
+use obf_obs::metrics::labeled;
+use obf_obs::reqlog::{ReqLogEntry, ReqLogWriter, ReqStatus};
+use obf_obs::{Counter, Gauge, Histogram, Registry, Span, TraceScope};
 use obf_stats::hoeffding::hoeffding_bound;
 use obf_uncertain::degree_dist::{vertex_degree_distribution, DegreeDistMethod};
 use obf_uncertain::snapshot::SNAPSHOT_MAGIC;
@@ -99,7 +103,7 @@ pub enum ServerMode {
 }
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Maximum resident worlds in the shared [`WorldCache`].
     pub world_cache_capacity: usize,
@@ -127,6 +131,11 @@ pub struct ServerConfig {
     /// until the peer drains below half the mark. The true bound is
     /// this cap plus one reply, since a queued reply is never split.
     pub write_buffer_cap: usize,
+    /// When set, every answered request is appended to an
+    /// `OBFUREQLOG v1` file at this path (timestamp, trace id, verb,
+    /// args, hash, status, micros). Purely observational: answers are
+    /// byte-identical with logging on or off.
+    pub request_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +148,7 @@ impl Default for ServerConfig {
             max_connections: 4096,
             read_buffer_cap: protocol::MAX_FRAME + 4,
             write_buffer_cap: 256 * 1024,
+            request_log: None,
         }
     }
 }
@@ -239,14 +249,26 @@ pub struct ServerState {
     /// swaps it in; until then every answer still comes from the
     /// current epoch.
     staged: Mutex<Option<Arc<UncertainGraph>>>,
-    queries_served: AtomicU64,
-    protocol_errors: AtomicU64,
-    reloads: AtomicU64,
-    connections_accepted: AtomicU64,
-    peak_connections: AtomicU64,
-    busy_rejections: AtomicU64,
-    idle_reaped: AtomicU64,
-    buffer_peak_bytes: AtomicU64,
+    /// The per-server metrics registry — the single source of truth
+    /// for every counter below. `SERVER_STATS`/`CACHE_STATS` replies
+    /// and the `METRICS` dump all read these same atomics, so the
+    /// verbs can never disagree. Per-server (not process-global) so
+    /// co-resident fleet replicas stay distinguishable.
+    registry: Arc<Registry>,
+    queries_served: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    reloads: Arc<Counter>,
+    connections_accepted: Arc<Counter>,
+    peak_connections: Arc<Gauge>,
+    busy_rejections: Arc<Counter>,
+    idle_reaped: Arc<Counter>,
+    buffer_peak_bytes: Arc<Gauge>,
+    /// Per-verb request counters and answer-latency histograms,
+    /// pre-registered over the fixed [`Request::VERBS`] label space so
+    /// the answer path never takes the registry lock.
+    per_verb: Vec<(&'static str, Arc<Counter>, Arc<Histogram>)>,
+    /// Optional `OBFUREQLOG v1` request log (`--request-log`).
+    request_log: Option<ReqLogWriter>,
     shutdown_requested: AtomicBool,
 }
 
@@ -254,19 +276,59 @@ impl ServerState {
     /// Creates the state over a published graph with a world pool of the
     /// given capacity.
     pub fn new(graph: Arc<UncertainGraph>, world_cache_capacity: usize) -> Self {
-        Self {
-            cache: WorldCache::new(graph, world_cache_capacity),
+        Self::with_request_log(graph, world_cache_capacity, None)
+            .expect("request log disabled, creation cannot fail")
+    }
+
+    /// [`ServerState::new`] plus an optional `OBFUREQLOG v1` request
+    /// log created (truncated) at `path`.
+    pub fn with_request_log(
+        graph: Arc<UncertainGraph>,
+        world_cache_capacity: usize,
+        request_log: Option<&std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let registry = Arc::new(Registry::new());
+        let per_verb = Request::VERBS
+            .iter()
+            .map(|&verb| {
+                (
+                    verb,
+                    registry.counter(&labeled("obf_server_requests_total", &[("verb", verb)])),
+                    registry.histogram(&labeled("obf_server_answer_micros", &[("verb", verb)])),
+                )
+            })
+            .collect();
+        let request_log = match request_log {
+            Some(path) => Some(ReqLogWriter::create(path)?),
+            None => None,
+        };
+        Ok(Self {
+            cache: WorldCache::with_registry(graph, world_cache_capacity, Arc::clone(&registry)),
             staged: Mutex::new(None),
-            queries_served: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
-            connections_accepted: AtomicU64::new(0),
-            peak_connections: AtomicU64::new(0),
-            busy_rejections: AtomicU64::new(0),
-            idle_reaped: AtomicU64::new(0),
-            buffer_peak_bytes: AtomicU64::new(0),
+            queries_served: registry.counter("obf_server_queries_total"),
+            protocol_errors: registry.counter("obf_server_protocol_errors_total"),
+            reloads: registry.counter("obf_server_reloads_total"),
+            connections_accepted: registry.counter("obf_server_connections_accepted_total"),
+            peak_connections: registry.gauge("obf_server_peak_connections"),
+            busy_rejections: registry.counter("obf_server_busy_rejections_total"),
+            idle_reaped: registry.counter("obf_server_idle_reaped_total"),
+            buffer_peak_bytes: registry.gauge("obf_server_buffer_peak_bytes"),
+            per_verb,
+            request_log,
             shutdown_requested: AtomicBool::new(false),
-        }
+            registry,
+        })
+    }
+
+    /// The metrics registry backing every counter, gauge and histogram
+    /// of this server (the `METRICS` verb renders it).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Point-in-time snapshot of this server's metrics registry.
+    pub fn metrics_snapshot(&self) -> obf_obs::MetricsSnapshot {
+        self.registry.snapshot()
     }
 
     /// The currently served graph.
@@ -286,46 +348,46 @@ impl ServerState {
 
     /// Total request lines answered (including `ERR` answers).
     pub fn queries_served(&self) -> u64 {
-        self.queries_served.load(Ordering::Relaxed)
+        self.queries_served.get()
     }
 
     /// Requests answered with `ERR`, plus frame-level violations
     /// (oversized length prefix, non-UTF-8 payload) that never became a
     /// request line.
     pub fn protocol_errors(&self) -> u64 {
-        self.protocol_errors.load(Ordering::Relaxed)
+        self.protocol_errors.get()
     }
 
     /// Successful `RELOAD`s so far.
     pub fn reloads(&self) -> u64 {
-        self.reloads.load(Ordering::Relaxed)
+        self.reloads.get()
     }
 
     /// Connections admitted by the serving core since start-up.
     pub fn connections_accepted(&self) -> u64 {
-        self.connections_accepted.load(Ordering::Relaxed)
+        self.connections_accepted.get()
     }
 
     /// High-water mark of simultaneously open connections (event mode).
     pub fn peak_connections(&self) -> u64 {
-        self.peak_connections.load(Ordering::Relaxed)
+        self.peak_connections.get()
     }
 
     /// Connections rejected by admission control with `ERR BUSY`.
     pub fn busy_rejections(&self) -> u64 {
-        self.busy_rejections.load(Ordering::Relaxed)
+        self.busy_rejections.get()
     }
 
     /// Connections closed by the idle-timeout sweep.
     pub fn idle_reaped(&self) -> u64 {
-        self.idle_reaped.load(Ordering::Relaxed)
+        self.idle_reaped.get()
     }
 
     /// High-water mark of any single connection's buffered bytes
     /// (unparsed requests + unsent replies) — the observable side of
     /// the bounded-memory guarantee.
     pub fn buffer_peak_bytes(&self) -> u64 {
-        self.buffer_peak_bytes.load(Ordering::Relaxed)
+        self.buffer_peak_bytes.get()
     }
 
     /// True once a `SHUTDOWN` request was answered.
@@ -334,25 +396,24 @@ impl ServerState {
     }
 
     pub(crate) fn note_connection_opened(&self, active_now: u64) {
-        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        self.peak_connections
-            .fetch_max(active_now, Ordering::Relaxed);
+        self.connections_accepted.inc();
+        self.peak_connections.max(active_now);
     }
 
     pub(crate) fn note_busy_rejection(&self) {
-        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        self.busy_rejections.inc();
     }
 
     pub(crate) fn note_idle_reaped(&self) {
-        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        self.idle_reaped.inc();
     }
 
     pub(crate) fn note_protocol_error(&self) {
-        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        self.protocol_errors.inc();
     }
 
     pub(crate) fn note_buffer_level(&self, bytes: u64) {
-        self.buffer_peak_bytes.fetch_max(bytes, Ordering::Relaxed);
+        self.buffer_peak_bytes.max(bytes);
     }
 
     /// Swaps in a new published graph, invalidating all cached worlds.
@@ -360,8 +421,24 @@ impl ServerState {
     /// they pinned.
     pub fn swap_graph(&self, graph: Arc<UncertainGraph>) -> u64 {
         let epoch = self.cache.swap_graph(graph);
-        self.reloads.fetch_add(1, Ordering::Relaxed);
+        self.reloads.inc();
         epoch
+    }
+
+    /// Per-verb metrics handles for a canonical verb label (falls back
+    /// to the `INVALID` slot, which is always registered).
+    fn verb_metrics(&self, verb: &str) -> (&Arc<Counter>, &Arc<Histogram>) {
+        let slot = self
+            .per_verb
+            .iter()
+            .find(|(v, _, _)| *v == verb)
+            .or_else(|| {
+                self.per_verb
+                    .iter()
+                    .find(|(v, _, _)| *v == protocol::INVALID_VERB)
+            })
+            .expect("INVALID verb slot is always registered");
+        (&slot.1, &slot.2)
     }
 
     /// Answers one request line: `OK ...` or `ERR ...`.
@@ -371,14 +448,73 @@ impl ServerState {
     /// about. Pure with respect to the pinned graph and the request
     /// (modulo cache and counter bookkeeping), so answers are
     /// reproducible by construction.
+    ///
+    /// Observability rides alongside: a fresh trace id scopes the
+    /// request (visible to the world cache and engine via
+    /// [`obf_obs::current_trace`]), a span times the answer into the
+    /// per-verb latency histogram, and — when enabled — a request-log
+    /// record is appended after the reply is built. None of it touches
+    /// a reply byte.
     pub fn answer(&self, line: &str) -> String {
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
-        match Request::parse(line).and_then(|req| self.answer_request(&req)) {
+        let trace = obf_obs::next_trace_id();
+        let _scope = TraceScope::enter(trace);
+        self.queries_served.inc();
+        let parsed = Request::parse(line);
+        let verb = match &parsed {
+            Ok(req) => req.verb(),
+            Err(_) => protocol::INVALID_VERB,
+        };
+        let (counter, hist) = self.verb_metrics(verb);
+        counter.inc();
+        let span = Span::start_in(Arc::clone(hist));
+        let reply = match parsed.and_then(|req| self.answer_request(&req)) {
             Ok(payload) => format!("OK {payload}"),
             Err(msg) => {
-                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.inc();
                 format!("ERR {msg}")
             }
+        };
+        let micros = span.finish();
+        if let Some(log) = &self.request_log {
+            // Unparseable lines may contain anything (tabs, newlines);
+            // they are filed under INVALID with no args so the log
+            // itself stays well-formed.
+            let (verb_field, args) = if verb == protocol::INVALID_VERB {
+                (protocol::INVALID_VERB.to_string(), String::new())
+            } else {
+                let mut parts = line.split_whitespace();
+                let head = parts.next().unwrap_or(verb).to_string();
+                let tail = parts.collect::<Vec<_>>().join(" ");
+                (head, tail)
+            };
+            let request_line = if args.is_empty() {
+                verb_field.clone()
+            } else {
+                format!("{verb_field} {args}")
+            };
+            log.log(&ReqLogEntry {
+                ts_micros: obf_obs::clock::unix_micros(),
+                trace: trace.0,
+                verb: verb_field,
+                args,
+                args_hash: obf_obs::reqlog::fnv1a(request_line.as_bytes()),
+                status: if reply.starts_with("OK") {
+                    ReqStatus::Ok
+                } else {
+                    ReqStatus::Err
+                },
+                micros,
+            });
+        }
+        reply
+    }
+
+    /// Flush the request log (if any) to disk — called by the serving
+    /// cores on orderly shutdown so short-lived servers never lose
+    /// buffered records.
+    pub fn flush_request_log(&self) {
+        if let Some(log) = &self.request_log {
+            log.flush();
         }
     }
 
@@ -466,6 +602,11 @@ impl ServerState {
                 self.reloads(),
                 self.buffer_peak_bytes()
             ),
+            Request::Metrics => {
+                // Multi-line payload: the frame is length-prefixed, so
+                // newlines inside a reply are unambiguous on the wire.
+                format!("metrics\n{}", self.registry.render_text())
+            }
         })
     }
 
@@ -636,7 +777,11 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new(graph, config.world_cache_capacity));
+        let state = Arc::new(ServerState::with_request_log(
+            graph,
+            config.world_cache_capacity,
+            config.request_log.as_deref(),
+        )?);
         let stop = Arc::new(AtomicBool::new(false));
         let core_state = Arc::clone(&state);
         let core_stop = Arc::clone(&stop);
@@ -687,6 +832,10 @@ impl Server {
         if let Some(t) = self.core_thread.take() {
             let _ = t.join();
         }
+        // Every answered request is logged before its reply is sent, so
+        // once the core has exited (and in blocking mode, once clients
+        // have their replies) the buffer holds the complete log.
+        self.state.flush_request_log();
     }
 
     /// Blocks until the serving core exits — via [`Server::shutdown`]

@@ -5,6 +5,7 @@
 //! ```text
 //! obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
 //!            [--max-conns 4096] [--poller epoll|poll] [--blocking]
+//!            [--request-log <path>]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound — scripts scrape this
@@ -20,6 +21,7 @@ use obf_server::{load_published_graph_with_source, PollerKind, Server, ServerCon
 const USAGE: &str = "usage:
   obf_server <graph.snap|graph.up> [--port 0] [--cache 256] [--idle-timeout 60]
              [--max-conns 4096] [--poller epoll|poll] [--blocking]
+             [--request-log <path>]
 options:
   --port <P>          TCP port to bind on 127.0.0.1 (default 0 = ephemeral)
   --cache <N>         world-cache capacity in worlds (default 256)
@@ -30,6 +32,9 @@ options:
                       OBF_POLLER env var sets the same
   --blocking          serve thread-per-connection (the regression reference)
                       instead of the event loop
+  --request-log <F>   append an OBFUREQLOG v1 record per answered request to F
+                      (truncates F at start-up; purely observational — replies
+                      are byte-identical with or without it)
   --help, -h          print this help and exit
 The graph file is auto-detected: binary snapshot (OBFUSNAP magic) or
 whitespace-separated `u v p` TSV. Admin commands over the protocol:
@@ -96,6 +101,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     PollerKind::parse(raw).ok_or(format!("invalid value {raw:?} for --poller"))?;
             }
             "--blocking" => config.mode = ServerMode::ThreadPerConnection,
+            "--request-log" => {
+                let raw = it.next().ok_or("flag --request-log needs a value")?;
+                config.request_log = Some(raw.into());
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
             other => {
                 if path.replace(other).is_some() {

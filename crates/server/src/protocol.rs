@@ -27,6 +27,10 @@
 //! SERVER_STATS                 serving-core counters: connections
 //!                              accepted/peak, BUSY rejections, idle
 //!                              reaps, protocol errors, buffer peak
+//! METRICS                      full metrics-registry dump: one
+//!                              `name{labels} value` line per metric
+//!                              (counters, gauges, histogram
+//!                              count/sum/max/p50/p90/p99 expansions)
 //! RELOAD <path>                admin: swap in a new release (snapshot or
 //!                              TSV, auto-detected); bumps the serve
 //!                              epoch and invalidates cached worlds
@@ -166,6 +170,8 @@ pub enum Request {
     CacheStats,
     /// Serving-core counters (admission control, reaping, buffers).
     ServerStats,
+    /// Full metrics-registry dump in `name{labels} value` text form.
+    Metrics,
     /// Admin: load the file at the path and swap it in as the new
     /// release.
     Reload(String),
@@ -237,6 +243,7 @@ impl Request {
             }
             "CACHE_STATS" => Request::CacheStats,
             "SERVER_STATS" => Request::ServerStats,
+            "METRICS" => Request::Metrics,
             "RELOAD" => {
                 let path = parts.next().ok_or("RELOAD needs a file path")?;
                 Request::Reload(path.to_string())
@@ -256,7 +263,57 @@ impl Request {
         }
         Ok(req)
     }
+
+    /// The canonical verb of this request — the metric label the
+    /// serving core files its per-verb counters and latency histograms
+    /// under. Every name here appears in [`Request::VERBS`].
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "PING",
+            Request::Info => "INFO",
+            Request::ExpectedDegree(_) => "EXPECTED_DEGREE",
+            Request::DegreeDist(_) => "DEGREE_DIST",
+            Request::Neighborhood(_) => "NEIGHBORHOOD",
+            Request::Expected(_) => "EXPECTED",
+            Request::Stat { .. } => "STAT",
+            Request::CacheStats => "CACHE_STATS",
+            Request::ServerStats => "SERVER_STATS",
+            Request::Metrics => "METRICS",
+            Request::Reload(_) => "RELOAD",
+            Request::ReloadPrepare(_) => "RELOAD_PREPARE",
+            Request::ReloadCommit => "RELOAD_COMMIT",
+            Request::Health => "HEALTH",
+            Request::Shutdown => "SHUTDOWN",
+            Request::Quit => "QUIT",
+        }
+    }
+
+    /// Every canonical verb, plus [`INVALID_VERB`] — the fixed label
+    /// space of per-verb metrics (bounded by construction, so a
+    /// malformed flood cannot mint unbounded metric names).
+    pub const VERBS: &'static [&'static str] = &[
+        "PING",
+        "INFO",
+        "EXPECTED_DEGREE",
+        "DEGREE_DIST",
+        "NEIGHBORHOOD",
+        "EXPECTED",
+        "STAT",
+        "CACHE_STATS",
+        "SERVER_STATS",
+        "METRICS",
+        "RELOAD",
+        "RELOAD_PREPARE",
+        "RELOAD_COMMIT",
+        "HEALTH",
+        "SHUTDOWN",
+        "QUIT",
+        INVALID_VERB,
+    ];
 }
+
+/// The verb label filed for request lines that fail to parse.
+pub const INVALID_VERB: &str = "INVALID";
 
 fn parse_vertex(raw: Option<&str>) -> Result<u32, String> {
     raw.ok_or("missing vertex id")?
@@ -305,6 +362,7 @@ mod tests {
         );
         assert_eq!(Request::parse("CACHE_STATS"), Ok(Request::CacheStats));
         assert_eq!(Request::parse("SERVER_STATS"), Ok(Request::ServerStats));
+        assert_eq!(Request::parse("METRICS"), Ok(Request::Metrics));
         assert_eq!(
             Request::parse("RELOAD /tmp/release1.snap"),
             Ok(Request::Reload("/tmp/release1.snap".into()))
@@ -341,10 +399,38 @@ mod tests {
             "RELOAD_COMMIT now",
             "HEALTH check",
             "SHUTDOWN now",
+            "METRICS now",
         ] {
             assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
         }
         assert!(Request::parse(&format!("STAT num_edges {} 1", MAX_WORLDS + 1)).is_err());
+    }
+
+    #[test]
+    fn verb_labels_are_canonical_and_bounded() {
+        for line in [
+            "PING",
+            "INFO",
+            "EXPECTED_DEGREE 7",
+            "DEGREE_DIST 0",
+            "NEIGHBORHOOD 3",
+            "EXPECTED num_edges",
+            "STAT num_edges 1 1",
+            "CACHE_STATS",
+            "SERVER_STATS",
+            "METRICS",
+            "RELOAD /p",
+            "RELOAD_PREPARE /p",
+            "RELOAD_COMMIT",
+            "HEALTH",
+            "SHUTDOWN",
+            "QUIT",
+        ] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(req.verb(), line.split_whitespace().next().unwrap());
+            assert!(Request::VERBS.contains(&req.verb()), "{line}");
+        }
+        assert!(Request::VERBS.contains(&INVALID_VERB));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use obf_graph::Graph;
+use obf_obs::{Counter, Gauge, Histogram, Registry, Span};
 
 use crate::graph::UncertainGraph;
 use crate::sampling::sample_indexed_world;
@@ -97,26 +98,56 @@ pub struct WorldCache {
     epoch: AtomicU64,
     capacity: usize,
     worlds: RwLock<HashMap<(u64, u64, u64), Arc<Graph>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
+    /// The metrics registry the counters live in — the single source
+    /// of truth: `stats()` and a server's `METRICS` dump both read
+    /// these same atomics, so the two verbs can never disagree.
+    registry: Arc<Registry>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    evictions: Arc<Counter>,
+    resident: Arc<Gauge>,
+    epoch_gauge: Arc<Gauge>,
+    sample_micros: Arc<Histogram>,
 }
 
 impl WorldCache {
     /// Creates a cache over the published graph (epoch 0) holding at
-    /// most `capacity` worlds.
+    /// most `capacity` worlds, registering its counters in a private
+    /// registry (see [`WorldCache::with_registry`] to share one).
     pub fn new(graph: Arc<UncertainGraph>, capacity: usize) -> Self {
+        Self::with_registry(graph, capacity, Arc::new(Registry::new()))
+    }
+
+    /// Creates a cache whose counters live in `registry` under the
+    /// `obf_cache_*` names, so an embedding server can serve them from
+    /// one `METRICS` dump.
+    pub fn with_registry(
+        graph: Arc<UncertainGraph>,
+        capacity: usize,
+        registry: Arc<Registry>,
+    ) -> Self {
+        let capacity_gauge = registry.gauge("obf_cache_capacity");
+        capacity_gauge.set(capacity as u64);
         Self {
             current: RwLock::new((0, graph)),
             epoch: AtomicU64::new(0),
             capacity,
             worlds: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: registry.counter("obf_cache_hits_total"),
+            misses: registry.counter("obf_cache_misses_total"),
+            invalidations: registry.counter("obf_cache_invalidations_total"),
+            evictions: registry.counter("obf_cache_evictions_total"),
+            resident: registry.gauge("obf_cache_resident"),
+            epoch_gauge: registry.gauge("obf_cache_epoch"),
+            sample_micros: registry.histogram("obf_cache_sample_micros"),
+            registry,
         }
+    }
+
+    /// The registry the cache's counters are registered in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The published graph the worlds are currently drawn from.
@@ -153,8 +184,9 @@ impl WorldCache {
         let mut map = self.worlds.write().expect("world cache poisoned");
         let before = map.len();
         map.retain(|k, _| k.0 == new_epoch);
-        self.invalidations
-            .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        self.invalidations.add((before - map.len()) as u64);
+        self.resident.set(map.len() as u64);
+        self.epoch_gauge.set(new_epoch);
         new_epoch
     }
 
@@ -180,11 +212,15 @@ impl WorldCache {
     ) -> Arc<Graph> {
         let key = (epoch, master_seed, index as u64);
         if let Some(world) = self.worlds.read().expect("world cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Arc::clone(world);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
+        // The span observes sampling duration only; the sampled world
+        // is a pure function of (graph, master_seed, index).
+        let span = Span::start_in(Arc::clone(&self.sample_micros));
         let world = Arc::new(sample_indexed_world(graph, master_seed, index));
+        span.finish();
         let mut map = self.worlds.write().expect("world cache poisoned");
         if let Some(existing) = map.get(&key) {
             // A racing miss inserted first; both sampled the identical
@@ -195,22 +231,23 @@ impl WorldCache {
         // longer current — the purge in `swap_graph` must stay complete.
         if self.epoch.load(Ordering::SeqCst) == epoch && map.len() < self.capacity {
             map.insert(key, Arc::clone(&world));
+            self.resident.set(map.len() as u64);
         } else {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         world
     }
 
-    /// Current counters.
+    /// Current counters, read from the shared registry atomics.
     pub fn stats(&self) -> WorldCacheStats {
         WorldCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             resident: self.worlds.read().expect("world cache poisoned").len(),
             capacity: self.capacity,
             epoch: self.epoch(),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.get(),
+            evictions: self.evictions.get(),
         }
     }
 }
